@@ -1,0 +1,59 @@
+"""Shared configuration for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced scale (documented in EXPERIMENTS.md): a 3x3 grid instead of 6x6,
+a 450 s demand horizon instead of 2700 s, and tens of training episodes
+instead of hundreds/thousands.  The *protocol* (train on pattern 1,
+evaluate frozen policies in drain mode, etc.) is identical to the paper.
+
+Each benchmark prints the regenerated rows/series next to the paper's
+published numbers and writes the same text to
+``benchmarks/results/<name>.txt`` so results survive output capture.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "tests"))
+
+from repro.eval.harness import ExperimentScale
+
+#: Reduced-scale configuration used by all grid benchmarks.  40 episodes
+#: is deliberately past the knee of the PPO learning curve at this scale
+#: (learning visibly starts around episode 20 — see fig7's block
+#: averages); shorter budgets evaluate an effectively untrained policy.
+BENCH_SCALE = ExperimentScale(
+    rows=3,
+    cols=3,
+    peak_rate=600.0,
+    t_peak=150.0,
+    light_duration=300.0,
+    horizon_ticks=450,
+    max_ticks=3600,
+    train_episodes=40,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_result(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
+    print(banner)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,64 @@
+"""Ablation — detector coverage (DESIGN.md decision #1; paper Fig. 2).
+
+The paper argues that because sensors cover only ~50 m, raw queue length
+saturates and *pressure* is the right state signal.  This ablation
+trains with 25 m / 50 m / 150 m coverage: shorter coverage caps what the
+agent can see; longer coverage approaches full observability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agents.pairuplight import PairUpLightSystem
+from repro.env.tsc_env import EnvConfig, TrafficSignalEnv
+from repro.rl.runner import train
+from repro.scenarios.flows import flow_pattern
+from repro.scenarios.grid import build_grid
+
+from conftest import BENCH_SCALE, record_result
+
+EPISODES = 15
+COVERAGES = (25.0, 50.0, 150.0)
+
+
+def _run():
+    results = {}
+    grid = build_grid(BENCH_SCALE.rows, BENCH_SCALE.cols)
+    flows = flow_pattern(
+        grid, 1, peak_rate=BENCH_SCALE.peak_rate, t_peak=BENCH_SCALE.t_peak
+    )
+    for coverage in COVERAGES:
+        env = TrafficSignalEnv(
+            grid.network,
+            grid.phase_plans,
+            flows,
+            EnvConfig(
+                horizon_ticks=BENCH_SCALE.horizon_ticks,
+                max_ticks=BENCH_SCALE.max_ticks,
+                coverage=coverage,
+            ),
+            seed=0,
+        )
+        agent = PairUpLightSystem(env, seed=0)
+        results[coverage] = train(agent, env, episodes=EPISODES, seed=0)
+    return results
+
+
+def test_ablation_detector_coverage(once):
+    results = once(_run)
+    lines = [f"Detector-coverage ablation ({EPISODES} episodes, 3x3 grid)", ""]
+    for coverage, history in results.items():
+        curve = history.wait_curve
+        lines.append(
+            f"coverage={coverage:>5.0f} m  first-5={curve[:5].mean():7.1f}s "
+            f"best={curve.min():7.1f}s final-5={curve[-5:].mean():7.1f}s"
+        )
+    lines.append("")
+    lines.append("Paper Fig. 2: with 50 m sensors, pressure-based state "
+                 "remains informative even when queues exceed the sensing "
+                 "range; the 50 m setting is the paper's configuration.")
+    record_result("ablation_detector_coverage", "\n".join(lines))
+
+    for history in results.values():
+        assert np.all(np.isfinite(history.wait_curve))

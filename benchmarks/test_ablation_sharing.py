@@ -1,0 +1,58 @@
+"""Ablation — parameter sharing vs independent actors (DESIGN.md #5).
+
+The paper attributes part of PairUpLight's sample efficiency to
+parameter sharing across homogeneous intersections (Section V-A) — and
+attributes part of MA2C's collapse under saturation to its *lack* of
+sharing.  This ablation trains PairUpLight both ways on the same grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agents.pairuplight import PairUpLightConfig, PairUpLightSystem
+from repro.eval.harness import GridExperiment
+from repro.rl.ppo import PPOConfig
+
+from conftest import BENCH_SCALE, record_result
+
+EPISODES = 20
+
+
+def _run():
+    results = {}
+    for shared in (True, False):
+        experiment = GridExperiment(BENCH_SCALE.with_episodes(EPISODES), seed=0)
+        config = PairUpLightConfig(
+            parameter_sharing=shared,
+            ppo=PPOConfig(epochs=2, minibatch_agents=9) if not shared else PPOConfig(),
+        )
+        _, history = experiment.train_agent(
+            lambda env, c=config: PairUpLightSystem(env, c, seed=0), pattern=1
+        )
+        results["shared" if shared else "independent"] = history
+    return results
+
+
+def test_ablation_parameter_sharing(once):
+    results = once(_run)
+    lines = [f"Parameter-sharing ablation ({EPISODES} episodes, 3x3 grid)", ""]
+    for name, history in results.items():
+        curve = history.wait_curve
+        lines.append(
+            f"{name:<12} first-5={curve[:5].mean():7.1f}s "
+            f"best={curve.min():7.1f}s final-5={curve[-5:].mean():7.1f}s"
+        )
+    lines.append("")
+    lines.append("Paper Section V-A: sharing improves sample efficiency on "
+                 "homogeneous grids — one policy learns from all 9 agents' "
+                 "experience at once.")
+    record_result("ablation_parameter_sharing", "\n".join(lines))
+
+    for history in results.values():
+        assert np.all(np.isfinite(history.wait_curve))
+    shared = results["shared"].wait_curve
+    # Sample-efficiency claim: shared training reaches a better best-so-far
+    # within the same budget (generous 15% noise margin).
+    independent = results["independent"].wait_curve
+    assert shared.min() <= independent.min() * 1.15

@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the substrate: simulator throughput and network
+forward/backward latency.
+
+These are conventional multi-round pytest benchmarks (not one-shot
+experiment regenerations) characterising the two components every
+experiment leans on: the mesoscopic engine and the numpy autograd stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agents.pairuplight.actor import CoordinatedActor
+from repro.env.tsc_env import EnvConfig, TrafficSignalEnv
+from repro.scenarios.flows import flow_pattern
+from repro.scenarios.grid import build_grid
+from repro.sim.demand import DemandGenerator
+from repro.sim.engine import Simulation
+from repro.sim.routing import Router
+
+
+def _loaded_sim() -> Simulation:
+    grid = build_grid(6, 6)
+    flows = flow_pattern(grid, 1, peak_rate=500.0, t_peak=900.0)
+    demand = DemandGenerator(flows, Router(grid.network), seed=0)
+    sim = Simulation(grid.network, demand, grid.phase_plans)
+    sim.step(600)  # warm the network up to realistic occupancy
+    return sim
+
+
+def test_engine_tick_throughput(benchmark):
+    """One hundred 1-second ticks of the paper's 6x6 grid under load."""
+    sim = _loaded_sim()
+    benchmark(sim.step, 100)
+    assert sim.total_created > 0
+
+
+def test_env_step_latency(benchmark):
+    """One full environment step (36 agents, observations + rewards)."""
+    grid = build_grid(6, 6)
+    flows = flow_pattern(grid, 1, peak_rate=500.0, t_peak=900.0)
+    env = TrafficSignalEnv(
+        grid.network, grid.phase_plans, flows,
+        EnvConfig(horizon_ticks=100_000, max_ticks=200_000), seed=0,
+    )
+    env.reset(seed=0)
+    actions = {a: 0 for a in env.agent_ids}
+    benchmark(env.step, actions)
+
+
+def test_actor_forward_latency(benchmark):
+    """Batched actor forward pass for 36 parameter-shared agents."""
+    rng = np.random.default_rng(0)
+    actor = CoordinatedActor(obs_dim=8, num_phases=4, message_dim=1, rng=rng)
+    obs = rng.normal(size=(36, 8))
+    msg = rng.normal(size=(36, 1))
+    state = actor.initial_state(36)
+    benchmark(actor, obs, msg, state)
+
+
+def test_actor_backward_latency(benchmark):
+    """Forward + backward through the actor (one PPO re-evaluation step)."""
+    rng = np.random.default_rng(0)
+    actor = CoordinatedActor(obs_dim=8, num_phases=4, message_dim=1, rng=rng)
+    obs = rng.normal(size=(8, 8))
+    msg = rng.normal(size=(8, 1))
+
+    def step():
+        logits, message, _ = actor(obs, msg, actor.initial_state(8))
+        loss = (logits * logits).sum() + (message * message).sum()
+        actor.zero_grad()
+        loss.backward()
+
+    benchmark(step)

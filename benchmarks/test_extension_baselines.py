@@ -1,0 +1,72 @@
+"""Extension — classical and simplified baselines vs PairUpLight.
+
+Beyond the paper's comparison set, this bench adds:
+
+* **MaxPressure** — Varaiya's throughput-optimal non-learning policy,
+* **LongestQueue** — greedy queue-chasing control (known to starve),
+* **IQL** — CoLight with the graph attention removed (isolates what the
+  neighbourhood encoder contributes).
+
+Shape expectations: MaxPressure is a strong baseline (clearly beats
+Fixedtime); a well-trained PairUpLight is competitive with it; greedy
+LongestQueue is erratic under turning traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agents.fixed_time import FixedTimeSystem
+from repro.agents.iql import IQLSystem
+from repro.agents.max_pressure import LongestQueueSystem, MaxPressureSystem
+from repro.agents.pairuplight import PairUpLightSystem
+from repro.eval.harness import GridExperiment
+
+from conftest import BENCH_SCALE, record_result
+
+
+def _run():
+    experiment = GridExperiment(BENCH_SCALE, seed=0)
+    results = {}
+    # Static / non-learning controllers evaluate directly.
+    for name, factory in (
+        ("Fixedtime", lambda env: FixedTimeSystem(env)),
+        ("MaxPressure", lambda env: MaxPressureSystem(env)),
+        ("LongestQueue", lambda env: LongestQueueSystem()),
+    ):
+        agent = factory(experiment.train_env(1))
+        results[name] = experiment.evaluate_agent(agent, 1)
+    # Learning controllers train on pattern 1 first.
+    for name, factory in (
+        ("IQL", lambda env: IQLSystem(env, seed=0)),
+        ("PairUpLight", lambda env: PairUpLightSystem(env, seed=0)),
+    ):
+        agent, _ = experiment.train_agent(factory, pattern=1)
+        results[name] = experiment.evaluate_agent(agent, 1)
+    return results
+
+
+def test_extension_baselines(once):
+    results = once(_run)
+    lines = [
+        f"Extended baseline comparison (pattern 1, "
+        f"{BENCH_SCALE.train_episodes} episodes for learners)",
+        "",
+        f"{'Controller':<14} {'avg travel time':>16} {'completion':>11}",
+    ]
+    for name, result in sorted(
+        results.items(), key=lambda kv: kv[1].average_travel_time
+    ):
+        lines.append(
+            f"{name:<14} {result.average_travel_time:>14.1f} s "
+            f"{result.completion_rate:>10.0%}"
+        )
+    record_result("extension_baselines", "\n".join(lines))
+
+    att = {name: r.average_travel_time for name, r in results.items()}
+    # MaxPressure is the strong classical baseline: beats Fixedtime.
+    assert att["MaxPressure"] < att["Fixedtime"]
+    # Trained PairUpLight also beats Fixedtime.
+    assert att["PairUpLight"] < att["Fixedtime"]
+    # Everything produced finite numbers.
+    assert all(np.isfinite(v) for v in att.values())

@@ -1,0 +1,56 @@
+"""Fig. 11 — communication bandwidth: 1 vs 2 message elements.
+
+Paper: increasing the message from one to two 32-bit values does NOT
+improve training — the single message is the most effective bandwidth.
+
+Scaled here to 25 episodes on the 3x3 grid.  Shape expectation: the
+1-element configuration's late-training waiting time is no worse than
+the 2-element configuration's (within a noise margin).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agents.pairuplight import PairUpLightConfig, PairUpLightSystem
+from repro.eval.harness import GridExperiment
+
+from conftest import BENCH_SCALE, record_result
+
+EPISODES = 25
+
+
+def _run():
+    histories = {}
+    for message_dim in (1, 2):
+        experiment = GridExperiment(BENCH_SCALE.with_episodes(EPISODES), seed=0)
+        _, history = experiment.train_agent(
+            lambda env, d=message_dim: PairUpLightSystem(
+                env, PairUpLightConfig(message_dim=d), seed=0
+            ),
+            pattern=1,
+        )
+        histories[message_dim] = history
+    return histories
+
+
+def test_fig11_bandwidth(once):
+    histories = once(_run)
+
+    lines = [f"Message bandwidth comparison ({EPISODES} episodes, 3x3 grid)", ""]
+    finals = {}
+    for dim, history in histories.items():
+        curve = history.wait_curve
+        finals[dim] = float(curve[-5:].mean())
+        lines.append(
+            f"message_dim={dim} ({dim * 32:>3} bits): "
+            f"first-5={curve[:5].mean():7.1f}s best={curve.min():7.1f}s "
+            f"final-5={finals[dim]:7.1f}s"
+        )
+    lines.append("")
+    lines.append("Paper Fig. 11: one 32-bit message trains at least as well as "
+                 "two; extra bandwidth does not help.")
+    record_result("fig11_bandwidth", "\n".join(lines))
+
+    # Shape: 32-bit message is not worse than 64-bit (15% noise margin).
+    assert finals[1] <= finals[2] * 1.15

@@ -1,0 +1,77 @@
+"""Fig. 1 — the motivating coordination effect.
+
+The paper's opening figure argues that *coordinated* signal control
+(all east-west greens aligned along a corridor) beats uncoordinated
+per-intersection control.  This bench quantifies that claim in its
+cleanest classical form: a 5-intersection arterial under (a) green-wave
+offset fixed-time plans matched to the link travel time, (b) the same
+plans with zero offsets, and (c) MaxPressure adaptive control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agents.max_pressure import MaxPressureSystem
+from repro.env.tsc_env import EnvConfig, TrafficSignalEnv
+from repro.rl.runner import evaluate
+from repro.scenarios.arterial import build_arterial
+from repro.sim.demand import DemandGenerator, Flow
+from repro.sim.engine import Simulation
+from repro.sim.metrics import average_travel_time
+from repro.sim.routing import Router
+
+from conftest import record_result
+
+
+def _run_programs(scenario, programs, max_ticks=4000):
+    demand = DemandGenerator(
+        [Flow(f.name, f.origin_link, f.destination_link, f.profile)
+         for f in scenario.flows],
+        Router(scenario.network),
+        seed=0,
+    )
+    sim = Simulation(scenario.network, demand, scenario.phase_plans)
+    horizon = int(demand.end_time)
+    while sim.time < max_ticks and not (sim.time > horizon and sim.is_drained()):
+        for node_id, program in programs.items():
+            sim.set_phase(node_id, program.phase_at(sim.time))
+        sim.step()
+    return average_travel_time(sim)
+
+
+def _run():
+    scenario = build_arterial(
+        intersections=5, main_rate=800.0, cross_rate=150.0, duration=600.0
+    )
+    wave = _run_programs(scenario, scenario.green_wave_programs())
+    flat = _run_programs(scenario, scenario.uncoordinated_programs())
+    env = TrafficSignalEnv(
+        scenario.network,
+        scenario.phase_plans,
+        scenario.flows,
+        EnvConfig(horizon_ticks=600, max_ticks=4000, drain=True),
+    )
+    adaptive = evaluate(MaxPressureSystem(env), env, episodes=1, seed=0)
+    return wave, flat, adaptive.average_travel_time
+
+
+def test_fig1_coordination_effect(once):
+    wave, flat, adaptive = once(_run)
+    lines = [
+        "Coordination effect on a 5-intersection arterial (800 veh/h main road)",
+        "",
+        f"{'Controller':<28} {'avg travel time':>16}",
+        f"{'Green-wave (coordinated)':<28} {wave:>14.1f} s",
+        f"{'Same plans, no offsets':<28} {flat:>14.1f} s",
+        f"{'MaxPressure (adaptive)':<28} {adaptive:>14.1f} s",
+        "",
+        "Paper Fig. 1: aligning greens along the corridor lets platoons "
+        "flow through every intersection — the motivation for coordinated "
+        "multi-intersection control.",
+    ]
+    record_result("fig1_coordination", "\n".join(lines))
+
+    # The motivating claim: coordination beats identical uncoordinated plans.
+    assert wave < flat
+    assert np.isfinite(adaptive)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Communication analysis: overhead accounting and bandwidth ablation.
+
+Part 1 reproduces the paper's Table IV — bits of information each model
+receives from other intersections per decision step — computed from the
+live agent configurations.
+
+Part 2 reproduces the Fig. 11 experiment: training PairUpLight with a
+1-element vs a 2-element message and showing that more bandwidth does
+not help (the paper's counter-intuitive finding).
+
+Run:
+    python examples/communication_analysis.py [--episodes N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.agents import (
+    CoLightSystem,
+    FixedTimeSystem,
+    MA2CSystem,
+    PairUpLightConfig,
+    PairUpLightSystem,
+    SingleAgentSystem,
+)
+from repro.env import EnvConfig, TrafficSignalEnv
+from repro.eval import formatted_overhead_table, overhead_table
+from repro.rl import train
+from repro.scenarios import build_grid, flow_pattern
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    grid = build_grid(3, 3)
+    flows = flow_pattern(grid, 1, peak_rate=600.0, t_peak=150.0)
+    env = TrafficSignalEnv(
+        grid.network, grid.phase_plans, flows,
+        EnvConfig(horizon_ticks=450, max_ticks=3600), seed=args.seed,
+    )
+
+    print("=" * 72)
+    print("Part 1 — communication overhead per intersection per step (Table IV)")
+    print("=" * 72)
+    agents = [
+        MA2CSystem(env, seed=args.seed),
+        CoLightSystem(env, seed=args.seed),
+        PairUpLightSystem(env, seed=args.seed),
+        SingleAgentSystem(env, seed=args.seed),
+        FixedTimeSystem(env),
+    ]
+    print(formatted_overhead_table(overhead_table(agents, env)))
+
+    print()
+    print("=" * 72)
+    print("Part 2 — message bandwidth ablation (Fig. 11)")
+    print("=" * 72)
+    trained = {}
+    for message_dim in (1, 2):
+        agent = PairUpLightSystem(
+            env, PairUpLightConfig(message_dim=message_dim), seed=args.seed
+        )
+        history = train(agent, env, episodes=args.episodes, seed=args.seed)
+        trained[message_dim] = agent
+        curve = history.wait_curve
+        print(f"message_dim={message_dim} ({message_dim * 32:>3} bits): "
+              f"first={curve[0]:7.1f} s  best={curve.min():7.1f} s  "
+              f"final-5-mean={curve[-5:].mean():7.1f} s")
+    print("\nExpected shape: the 32-bit (1-element) message trains at least "
+          "as well as the 64-bit one — extra bandwidth does not improve "
+          "coordination (paper Fig. 11).")
+
+    print()
+    print("=" * 72)
+    print("Part 3 — what does the learned message encode?")
+    print("=" * 72)
+    from repro.eval.message_analysis import analyse, probe_messages
+
+    log = probe_messages(trained[1], env, episodes=1, seed=args.seed + 50)
+    print(analyse(log).formatted())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Heterogeneous city study (the paper's Monaco experiment, Section VI-D).
+
+Builds the synthetic Monaco-style network — 30 signalized intersections
+with irregular topology, mixed 1-/2-lane streets, and per-intersection
+phase sets — and trains PairUpLight WITHOUT parameter sharing (impossible
+here, exactly as the paper notes), comparing its training curve against
+MA2C and the fixed-time reference.
+
+Run:
+    python examples/heterogeneous_city.py [--episodes N] [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.agents import FixedTimeSystem, MA2CSystem, PairUpLightConfig, PairUpLightSystem
+from repro.env import EnvConfig, TrafficSignalEnv
+from repro.rl import run_episode, train
+from repro.rl.ppo import PPOConfig
+from repro.scenarios import MonacoScenario, MonacoSpec
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=15)
+    parser.add_argument("--fast", action="store_true", help="tiny 2x3 network")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    if args.fast:
+        spec = MonacoSpec(rows=2, cols=3, seed=args.seed, t_peak=120.0)
+        episodes = min(args.episodes, 5)
+        horizon = 240
+    else:
+        spec = MonacoSpec(seed=args.seed, t_peak=300.0)
+        episodes = args.episodes
+        horizon = 900
+
+    scenario = MonacoScenario(spec)
+    print(f"Built heterogeneous network: "
+          f"{len(scenario.network.signalized_nodes())} signalized intersections, "
+          f"{len(scenario.network.links)} links, {len(scenario.flows)} OD flows "
+          f"(peak {spec.peak_rate:.0f} veh/h)")
+    phase_counts = sorted(p.num_phases for p in scenario.phase_plans.values())
+    print(f"Phase-set sizes across intersections: min={phase_counts[0]} "
+          f"max={phase_counts[-1]} (heterogeneous -> no parameter sharing)\n")
+
+    def make_env(seed_offset: int) -> TrafficSignalEnv:
+        return TrafficSignalEnv(
+            scenario.network,
+            scenario.phase_plans,
+            scenario.flows,
+            EnvConfig(horizon_ticks=horizon, max_ticks=horizon * 8),
+            seed=args.seed + seed_offset,
+        )
+
+    # Fixed-time reference (no training needed): one episode's average wait.
+    env = make_env(0)
+    ft_wait, _, _ = run_episode(FixedTimeSystem(env), env, training=False, seed=0)
+    print(f"Fixedtime reference average wait: {ft_wait:.1f} s\n")
+
+    results = {}
+    pul_env = make_env(1)
+    pairuplight = PairUpLightSystem(
+        pul_env,
+        PairUpLightConfig(
+            parameter_sharing=False,
+            ppo=PPOConfig(epochs=2, minibatch_agents=10),
+        ),
+        seed=args.seed,
+    )
+    print(f"Training PairUpLight (independent networks) for {episodes} episodes...")
+    results["PairUpLight"] = train(
+        pairuplight, pul_env, episodes=episodes, seed=args.seed,
+        log_every=max(1, episodes // 5),
+    )
+
+    print(f"\nTraining MA2C for {episodes} episodes...")
+    ma2c_env = make_env(2)
+    results["MA2C"] = train(
+        MA2CSystem(ma2c_env, seed=args.seed), ma2c_env,
+        episodes=episodes, seed=args.seed, log_every=max(1, episodes // 5),
+    )
+
+    print("\nTraining-curve summary (average waiting time, seconds):")
+    print(f"{'Model':<14} {'first ep':>9} {'best':>9} {'final':>9}")
+    print(f"{'Fixedtime':<14} {ft_wait:>9.1f} {ft_wait:>9.1f} {ft_wait:>9.1f}")
+    for name, history in results.items():
+        curve = history.wait_curve
+        print(f"{name:<14} {curve[0]:>9.1f} {curve.min():>9.1f} {curve[-1]:>9.1f}")
+
+    pul = results["PairUpLight"].wait_curve
+    if pul[-1] < pul[0]:
+        print("\nPairUpLight improved during training despite heterogeneity "
+              "(the Fig. 10 shape).")
+
+
+if __name__ == "__main__":
+    main()

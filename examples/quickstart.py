@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: train PairUpLight on a small grid and beat fixed-time control.
+
+Builds a 3x3 grid with the paper's congested flow pattern 1 (scaled down
+so everything finishes in about a minute), trains PairUpLight with
+PPO+GAE, and compares average travel time against the fixed-time
+baseline in drain-mode evaluation.
+
+Run:
+    python examples/quickstart.py [--episodes N] [--rows R] [--cols C]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.agents import FixedTimeSystem, PairUpLightConfig, PairUpLightSystem
+from repro.env import EnvConfig, TrafficSignalEnv
+from repro.rl import evaluate, train
+from repro.scenarios import build_grid, flow_pattern
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=60, help="training episodes")
+    parser.add_argument("--rows", type=int, default=3)
+    parser.add_argument("--cols", type=int, default=3)
+    parser.add_argument("--peak-rate", type=float, default=600.0, help="peak veh/h per OD")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"Building a {args.rows}x{args.cols} grid "
+          f"(200 m blocks, shared lanes, 50 m detectors)...")
+    grid = build_grid(args.rows, args.cols)
+    flows = flow_pattern(grid, pattern=1, peak_rate=args.peak_rate, t_peak=150.0)
+
+    train_env = TrafficSignalEnv(
+        grid.network,
+        grid.phase_plans,
+        flows,
+        EnvConfig(horizon_ticks=450, max_ticks=3600),
+        seed=args.seed,
+    )
+    eval_env = TrafficSignalEnv(
+        grid.network,
+        grid.phase_plans,
+        flows,
+        EnvConfig(horizon_ticks=450, max_ticks=3600, drain=True),
+        seed=args.seed + 1000,
+    )
+
+    print(f"Training PairUpLight for {args.episodes} episodes "
+          f"({len(train_env.agent_ids)} agents, parameter-shared)...")
+    agent = PairUpLightSystem(train_env, PairUpLightConfig(), seed=args.seed)
+    history = train(agent, train_env, episodes=args.episodes, seed=args.seed,
+                    log_every=max(1, args.episodes // 6))
+    best = history.best_episode()
+    print(f"Best training episode: #{best.episode} "
+          f"with average waiting time {best.avg_wait:.2f} s")
+
+    print("\nEvaluating (greedy policies, drain mode)...")
+    rl_result = evaluate(agent, eval_env, episodes=2, seed=args.seed + 2000)
+    ft_result = evaluate(FixedTimeSystem(eval_env), eval_env, episodes=2,
+                         seed=args.seed + 2000)
+
+    print(f"\n{'Controller':<14} {'Avg travel time':>16} {'Completion':>11}")
+    for result in (ft_result, rl_result):
+        print(f"{result.agent_name:<14} {result.average_travel_time:>14.1f} s "
+              f"{result.completion_rate:>10.0%}")
+    improvement = 1 - rl_result.average_travel_time / ft_result.average_travel_time
+    print(f"\nPairUpLight reduces average travel time by {improvement:.0%} "
+          f"vs fixed-time control.")
+
+
+if __name__ == "__main__":
+    main()

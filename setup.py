@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Packaging metadata lives in ``setup.cfg``; this file exists so that
+``pip install -e .`` works on environments without the ``wheel`` package
+(pip falls back to the legacy ``setup.py develop`` editable path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""Agent-system interface and shared checkpoint plumbing.
+
+An *agent system* controls every signalized intersection in the
+environment at once (one logical policy per intersection, possibly with
+shared parameters or inter-agent communication).  The training runner
+(:mod:`repro.rl.runner`) drives any implementation of this interface,
+which keeps Fixedtime, SingleAgentRL, MA2C, CoLight and PairUpLight
+interchangeable in experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.tsc_env import StepResult, TrafficSignalEnv
+
+
+class AgentSystem:
+    """Base class for all controllers (learning or not)."""
+
+    #: Human-readable name used in experiment tables.
+    name: str = "base"
+
+    def begin_episode(self, env: TrafficSignalEnv, training: bool) -> None:
+        """Reset per-episode state (hidden states, messages, buffers)."""
+
+    def act(
+        self,
+        observations: dict[str, np.ndarray],
+        env: TrafficSignalEnv,
+        training: bool,
+    ) -> dict[str, int]:
+        """Choose a phase index for every agent."""
+        raise NotImplementedError
+
+    def observe(self, result: StepResult, env: TrafficSignalEnv) -> None:
+        """Record a transition during training (no-op for static agents)."""
+
+    def end_episode(self, env: TrafficSignalEnv, training: bool) -> dict:
+        """Run learning updates at episode end; returns diagnostics."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # Introspection used by the communication-overhead analysis
+    # ------------------------------------------------------------------
+    def communication_bits_per_step(self, env: TrafficSignalEnv) -> int:
+        """Bits of information received from *other* intersections per
+        agent per decision step during execution (Table IV)."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # Checkpointing (default implementation over named networks)
+    # ------------------------------------------------------------------
+    def _checkpoint_modules(self) -> dict:
+        """Named networks to persist; override in learning systems."""
+        return {}
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat weight map over all :meth:`_checkpoint_modules` networks."""
+        state: dict[str, np.ndarray] = {}
+        for module_name, module in self._checkpoint_modules().items():
+            for name, value in module.state_dict().items():
+                state[f"{module_name}.{name}"] = value
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`state_dict`."""
+        for module_name, module in self._checkpoint_modules().items():
+            prefix = f"{module_name}."
+            module.load_state_dict(
+                {
+                    key[len(prefix):]: value
+                    for key, value in state.items()
+                    if key.startswith(prefix)
+                }
+            )
+
+    def save(self, path) -> None:
+        """Persist all network weights to an ``.npz`` archive."""
+        state = self.state_dict()
+        if not state:
+            raise ValueError(f"{self.name} has no weights to save")
+        np.savez(path, **state)
+
+    def load(self, path) -> None:
+        """Load weights written by :meth:`save`."""
+        with np.load(path) as archive:
+            self.load_state_dict({name: archive[name] for name in archive.files})

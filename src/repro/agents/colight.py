@@ -1,0 +1,232 @@
+"""CoLight baseline (Wei et al., 2019, as described in paper Section VI-B).
+
+A parameter-shared Deep Q-Network whose state encoder applies multi-head
+graph attention over each intersection's neighbourhood (itself plus its
+adjacent intersections), so the Q-values of every agent are informed by
+a learned weighting of neighbour observations.  Standard DQN training:
+epsilon-greedy behaviour, uniform replay, target network, Huber loss.
+
+Requires homogeneous intersections (shared network) — the paper notes
+CoLight cannot be applied to the heterogeneous Monaco network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.agents.base import AgentSystem
+from repro.env.tsc_env import StepResult, TrafficSignalEnv
+from repro.errors import ConfigError
+from repro.nn.attention import GraphAttention
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.rl.dqn import DQNConfig, DQNUpdater
+
+#: Neighbourhood size: the agent itself + up to four neighbours.
+NEIGHBOURHOOD = 5
+
+
+class CoLightNetwork(Module):
+    """Observation embedding -> graph attention -> per-phase Q-values."""
+
+    def __init__(
+        self,
+        obs_dim: int,
+        num_phases: int,
+        embed_dim: int,
+        num_heads: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.obs_dim = obs_dim
+        self.num_phases = num_phases
+        self.embed_dim = embed_dim
+        self.embed = Linear(obs_dim, embed_dim, rng, init="he", gain=1.0)
+        self.attention = GraphAttention(embed_dim, num_heads, rng)
+        self.q_head = Linear(embed_dim, num_phases, rng, gain=0.1)
+
+    def forward(
+        self, self_obs: np.ndarray, neighbourhood_obs: np.ndarray, mask: np.ndarray
+    ) -> Tensor:
+        """Q-values ``(B, num_phases)``.
+
+        ``self_obs`` is ``(B, obs_dim)``; ``neighbourhood_obs`` is
+        ``(B, K, obs_dim)`` with the agent itself in slot 0; ``mask`` is
+        ``(B, K)`` with ``False`` marking padding.
+        """
+        batch, k, _ = neighbourhood_obs.shape
+        self_embed = self.embed(Tensor.ensure(self_obs)).relu()
+        flat = Tensor.ensure(neighbourhood_obs.reshape(batch * k, -1))
+        neigh_embed = self.embed(flat).relu().reshape(batch, k, self.embed_dim)
+        attended = self.attention(self_embed, neigh_embed, mask)
+        return self.q_head(attended)
+
+
+@dataclass
+class CoLightConfig:
+    """Hyperparameters of the CoLight baseline."""
+
+    embed_dim: int = 64
+    num_heads: int = 4
+    lr: float = 1e-3
+    update_interval: int = 5  # decision steps between TD updates
+    dqn: DQNConfig = field(default_factory=DQNConfig)
+
+    def __post_init__(self) -> None:
+        if self.update_interval <= 0:
+            raise ConfigError("update_interval must be positive")
+
+
+class CoLightSystem(AgentSystem):
+    """Parameter-shared GAT-DQN controller."""
+
+    name = "CoLight"
+
+    def __init__(
+        self,
+        env: TrafficSignalEnv,
+        config: CoLightConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not env.homogeneous:
+            raise ConfigError(
+                "CoLight shares one Q-network and requires homogeneous "
+                "intersections (the paper makes the same observation for Monaco)"
+            )
+        self.config = config or CoLightConfig()
+        self._rng = np.random.default_rng(seed)
+        self.agent_ids = list(env.agent_ids)
+        self.num_agents = len(self.agent_ids)
+        obs_dim = env.observation_spaces[self.agent_ids[0]].dim
+        num_phases = env.action_spaces[self.agent_ids[0]].n
+        net_rng = np.random.default_rng(seed + 1)
+        self.online = CoLightNetwork(
+            obs_dim, num_phases, self.config.embed_dim, self.config.num_heads, net_rng
+        )
+        self.target = CoLightNetwork(
+            obs_dim, num_phases, self.config.embed_dim, self.config.num_heads, net_rng
+        )
+        params = list(self.online.parameters())
+        self.updater = DQNUpdater(
+            params,
+            Adam(params, lr=self.config.lr),
+            self.online,
+            self.target,
+            self.config.dqn,
+            seed=seed + 2,
+        )
+        # Static neighbourhoods: self in slot 0, then up to 4 neighbours.
+        self.neighbourhoods: dict[str, list[str | None]] = {}
+        for agent_id in self.agent_ids:
+            members: list[str | None] = [agent_id] + list(env.neighbours(agent_id))
+            members = members[:NEIGHBOURHOOD]
+            while len(members) < NEIGHBOURHOOD:
+                members.append(None)
+            self.neighbourhoods[agent_id] = members
+        self._obs_dim = obs_dim
+        self._pending: dict | None = None
+        self._decision_count = 0
+
+    # ------------------------------------------------------------------
+    def _gather(
+        self, observations: dict[str, np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stack (self_obs, neighbourhood_obs, mask) for all agents."""
+        self_obs = np.stack([observations[a] for a in self.agent_ids])
+        neigh = np.zeros((self.num_agents, NEIGHBOURHOOD, self._obs_dim))
+        mask = np.zeros((self.num_agents, NEIGHBOURHOOD), dtype=bool)
+        for index, agent_id in enumerate(self.agent_ids):
+            for slot, member in enumerate(self.neighbourhoods[agent_id]):
+                if member is None:
+                    continue
+                neigh[index, slot] = observations[member]
+                mask[index, slot] = True
+        return self_obs, neigh, mask
+
+    def begin_episode(self, env: TrafficSignalEnv, training: bool) -> None:
+        self._pending = None
+
+    def act(
+        self,
+        observations: dict[str, np.ndarray],
+        env: TrafficSignalEnv,
+        training: bool,
+    ) -> dict[str, int]:
+        self_obs, neigh, mask = self._gather(observations)
+        q_values = self.online(self_obs, neigh, mask).data
+        actions = np.argmax(q_values, axis=1).astype(np.int64)
+        if training:
+            epsilon = self.updater.current_epsilon()
+            explore = self._rng.random(self.num_agents) < epsilon
+            random_actions = self._rng.integers(
+                q_values.shape[1], size=self.num_agents
+            )
+            actions = np.where(explore, random_actions, actions)
+            self._pending = {
+                "self_obs": self_obs,
+                "neigh": neigh,
+                "mask": mask,
+                "actions": actions.copy(),
+            }
+            self.updater.record_step()
+        return {a: int(actions[i]) for i, a in enumerate(self.agent_ids)}
+
+    def observe(self, result: StepResult, env: TrafficSignalEnv) -> None:
+        if self._pending is None:
+            return
+        next_self, next_neigh, next_mask = self._gather(result.observations)
+        pending = self._pending
+        self._pending = None
+        for index, agent_id in enumerate(self.agent_ids):
+            self.updater.replay.add(
+                {
+                    "self_obs": pending["self_obs"][index],
+                    "neigh": pending["neigh"][index],
+                    "mask": pending["mask"][index],
+                    "action": int(pending["actions"][index]),
+                    "reward": float(result.rewards[agent_id]),
+                    "next_self_obs": next_self[index],
+                    "next_neigh": next_neigh[index],
+                    "next_mask": next_mask[index],
+                    "done": bool(result.done),
+                }
+            )
+        self._decision_count += 1
+        if self._decision_count % self.config.update_interval == 0:
+            self.updater.update(self._q_batch, self._target_q_batch)
+
+    def end_episode(self, env: TrafficSignalEnv, training: bool) -> dict:
+        if not training:
+            return {}
+        stats = self.updater.update(self._q_batch, self._target_q_batch)
+        if stats is None:
+            return {}
+        return {"loss": stats.loss, "mean_q": stats.mean_q}
+
+    # ------------------------------------------------------------------
+    def _checkpoint_modules(self) -> dict:
+        return {"online": self.online}
+
+    def _q_batch(self, batch: list[dict]) -> Tensor:
+        self_obs = np.stack([t["self_obs"] for t in batch])
+        neigh = np.stack([t["neigh"] for t in batch])
+        mask = np.stack([t["mask"] for t in batch])
+        return self.online(self_obs, neigh, mask)
+
+    def _target_q_batch(self, batch: list[dict]) -> np.ndarray:
+        self_obs = np.stack([t["next_self_obs"] for t in batch])
+        neigh = np.stack([t["next_neigh"] for t in batch])
+        mask = np.stack([t["next_mask"] for t in batch])
+        return self.target(self_obs, neigh, mask).data
+
+    # ------------------------------------------------------------------
+    def communication_bits_per_step(self, env: TrafficSignalEnv) -> int:
+        """Link-level observations from up to four neighbours (Table IV)."""
+        neighbours = [
+            m for m in self.neighbourhoods[self.agent_ids[0]][1:] if m is not None
+        ]
+        return len(neighbours) * self._obs_dim * 32

@@ -1,0 +1,45 @@
+"""Fixed-time baseline (paper Section VI-B).
+
+Cycles through each intersection's phases on a predetermined schedule
+(by default the paper's plan: every phase gets ``stage_seconds`` = 5 s of
+green, with the simulator inserting 2 s of yellow at each switch).  No
+adaptation, no communication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agents.base import AgentSystem
+from repro.env.tsc_env import TrafficSignalEnv
+from repro.errors import ConfigError
+from repro.sim.signal import FixedTimeProgram
+
+
+class FixedTimeSystem(AgentSystem):
+    """Cyclic fixed-time controller for every intersection."""
+
+    name = "Fixedtime"
+
+    def __init__(self, env: TrafficSignalEnv, stage_seconds: int = 5) -> None:
+        if stage_seconds <= 0:
+            raise ConfigError("stage_seconds must be positive")
+        self.stage_seconds = stage_seconds
+        self.programs: dict[str, FixedTimeProgram] = {}
+        for node_id in env.agent_ids:
+            num_phases = env.action_spaces[node_id].n
+            stages = [(index, stage_seconds) for index in range(num_phases)]
+            self.programs[node_id] = FixedTimeProgram(stages)
+
+    def act(
+        self,
+        observations: dict[str, np.ndarray],
+        env: TrafficSignalEnv,
+        training: bool,
+    ) -> dict[str, int]:
+        assert env.sim is not None
+        now = env.sim.time
+        return {
+            node_id: program.phase_at(now)
+            for node_id, program in self.programs.items()
+        }

@@ -1,0 +1,141 @@
+"""Independent Q-Learning baseline (extension beyond the paper).
+
+IQL is the simplest deep MARL TSC baseline: a parameter-shared DQN over
+*local observations only* — i.e. CoLight with the graph-attention
+encoder removed.  Comparing CoLight against IQL isolates the
+contribution of neighbourhood attention, which complements the paper's
+comparison of CoLight against PairUpLight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.agents.base import AgentSystem
+from repro.env.tsc_env import StepResult, TrafficSignalEnv
+from repro.errors import ConfigError
+from repro.nn.linear import MLP
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.rl.dqn import DQNConfig, DQNUpdater
+
+
+class IQLNetwork(Module):
+    """Plain MLP Q-network over the local observation."""
+
+    def __init__(
+        self, obs_dim: int, num_phases: int, hidden: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.obs_dim = obs_dim
+        self.body = MLP(obs_dim, [hidden, hidden], num_phases, rng,
+                        activation="relu", init="he", out_gain=0.1)
+
+    def forward(self, obs) -> Tensor:
+        return self.body(Tensor.ensure(obs))
+
+
+@dataclass
+class IQLConfig:
+    """Hyperparameters of the IQL baseline."""
+
+    hidden: int = 64
+    lr: float = 1e-3
+    update_interval: int = 5
+    dqn: DQNConfig = field(default_factory=DQNConfig)
+
+    def __post_init__(self) -> None:
+        if self.update_interval <= 0:
+            raise ConfigError("update_interval must be positive")
+
+
+class IQLSystem(AgentSystem):
+    """Parameter-shared local DQN, one action per intersection."""
+
+    name = "IQL"
+
+    def __init__(
+        self,
+        env: TrafficSignalEnv,
+        config: IQLConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not env.homogeneous:
+            raise ConfigError("IQL shares one Q-network; needs homogeneous nodes")
+        self.config = config or IQLConfig()
+        self._rng = np.random.default_rng(seed)
+        self.agent_ids = list(env.agent_ids)
+        self.num_agents = len(self.agent_ids)
+        obs_dim = env.observation_spaces[self.agent_ids[0]].dim
+        num_phases = env.action_spaces[self.agent_ids[0]].n
+        net_rng = np.random.default_rng(seed + 1)
+        self.online = IQLNetwork(obs_dim, num_phases, self.config.hidden, net_rng)
+        self.target = IQLNetwork(obs_dim, num_phases, self.config.hidden, net_rng)
+        params = list(self.online.parameters())
+        self.updater = DQNUpdater(
+            params, Adam(params, lr=self.config.lr), self.online, self.target,
+            self.config.dqn, seed=seed + 2,
+        )
+        self._pending: dict | None = None
+        self._decisions = 0
+
+    def begin_episode(self, env: TrafficSignalEnv, training: bool) -> None:
+        self._pending = None
+
+    def act(
+        self,
+        observations: dict[str, np.ndarray],
+        env: TrafficSignalEnv,
+        training: bool,
+    ) -> dict[str, int]:
+        obs = np.stack([observations[a] for a in self.agent_ids])
+        q_values = self.online(obs).data
+        actions = np.argmax(q_values, axis=1).astype(np.int64)
+        if training:
+            epsilon = self.updater.current_epsilon()
+            explore = self._rng.random(self.num_agents) < epsilon
+            random_actions = self._rng.integers(q_values.shape[1], size=self.num_agents)
+            actions = np.where(explore, random_actions, actions)
+            self._pending = {"obs": obs, "actions": actions.copy()}
+            self.updater.record_step()
+        return {a: int(actions[i]) for i, a in enumerate(self.agent_ids)}
+
+    def observe(self, result: StepResult, env: TrafficSignalEnv) -> None:
+        if self._pending is None:
+            return
+        next_obs = np.stack([result.observations[a] for a in self.agent_ids])
+        pending = self._pending
+        self._pending = None
+        for index, agent_id in enumerate(self.agent_ids):
+            self.updater.replay.add(
+                {
+                    "obs": pending["obs"][index],
+                    "action": int(pending["actions"][index]),
+                    "reward": float(result.rewards[agent_id]),
+                    "next_obs": next_obs[index],
+                    "done": bool(result.done),
+                }
+            )
+        self._decisions += 1
+        if self._decisions % self.config.update_interval == 0:
+            self.updater.update(self._q_batch, self._target_q_batch)
+
+    def end_episode(self, env: TrafficSignalEnv, training: bool) -> dict:
+        if not training:
+            return {}
+        stats = self.updater.update(self._q_batch, self._target_q_batch)
+        if stats is None:
+            return {}
+        return {"loss": stats.loss, "mean_q": stats.mean_q}
+
+    def _checkpoint_modules(self) -> dict:
+        return {"online": self.online}
+
+    def _q_batch(self, batch: list[dict]) -> Tensor:
+        return self.online(np.stack([t["obs"] for t in batch]))
+
+    def _target_q_batch(self, batch: list[dict]) -> np.ndarray:
+        return self.target(np.stack([t["next_obs"] for t in batch])).data

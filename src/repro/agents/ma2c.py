@@ -1,0 +1,313 @@
+"""MA2C baseline (Chu et al., 2019, as described in paper Section VI-B).
+
+Independent advantage actor-critic agents — **no parameter sharing** —
+whose inputs augment the local observation with:
+
+* neighbours' observations, scaled by a spatial discount ``alpha``,
+* neighbours' *fingerprints*: the policy distributions they produced at
+  the previous step (the mechanism Chu et al. use to fight
+  non-stationarity).
+
+Rewards are also spatially discounted: each agent optimises
+``r_i + alpha * sum of neighbour rewards``.  Training is one A2C
+gradient step per agent per episode with full-episode returns and a
+bootstrap value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.agents.base import AgentSystem
+from repro.env.tsc_env import StepResult, TrafficSignalEnv
+from repro.errors import ConfigError
+from repro.nn import functional as F
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTMCell
+from repro.nn.module import Module
+from repro.nn.optim import RMSProp
+from repro.nn.tensor import Tensor, stack
+from repro.rl.a2c import A2CConfig, A2CUpdater
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.gae import compute_gae
+
+#: Neighbour slots considered by each agent (grid: N/E/S/W).
+NEIGHBOUR_SLOTS = 4
+
+
+class MA2CNetwork(Module):
+    """Per-agent recurrent actor-critic with a shared body."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_phases: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.input_dim = input_dim
+        self.num_phases = num_phases
+        self.encoder = Linear(input_dim, hidden_size, rng, init="xavier", gain=1.0)
+        self.lstm = LSTMCell(hidden_size, hidden_size, rng)
+        self.policy_head = Linear(hidden_size, num_phases, rng, gain=0.01)
+        self.value_head = Linear(hidden_size, 1, rng, gain=1.0)
+
+    def initial_state(self, batch: int = 1):
+        return self.lstm.initial_state(batch)
+
+    def forward(self, features, state):
+        hidden = self.encoder(Tensor.ensure(features)).relu()
+        hidden, new_state = self.lstm(hidden, state)
+        logits = self.policy_head(hidden)
+        value = self.value_head(hidden)
+        return logits, value.reshape(value.shape[0]), new_state
+
+
+@dataclass
+class MA2CConfig:
+    """Hyperparameters of the MA2C baseline."""
+
+    alpha: float = 0.75  # spatial discount factor
+    hidden_size: int = 64
+    lr: float = 5e-4
+    gamma: float = 0.95
+    a2c: A2CConfig = field(default_factory=A2CConfig)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ConfigError("alpha must lie in [0, 1]")
+
+
+class MA2CSystem(AgentSystem):
+    """Independent communicating A2C agents (one network per node)."""
+
+    name = "MA2C"
+
+    def __init__(
+        self,
+        env: TrafficSignalEnv,
+        config: MA2CConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or MA2CConfig()
+        self._rng = np.random.default_rng(seed)
+        self.agent_ids = list(env.agent_ids)
+        self.num_agents = len(self.agent_ids)
+        self._index = {a: i for i, a in enumerate(self.agent_ids)}
+        # Static neighbour lists (padded to NEIGHBOUR_SLOTS or more).
+        self.neighbour_map: dict[str, list[str | None]] = {}
+        for agent_id in self.agent_ids:
+            neighbours = env.neighbours(agent_id)
+            padded: list[str | None] = list(neighbours)
+            while len(padded) < NEIGHBOUR_SLOTS:
+                padded.append(None)
+            self.neighbour_map[agent_id] = padded
+
+        net_rng = np.random.default_rng(seed + 1)
+        self.networks: dict[str, MA2CNetwork] = {}
+        self.updaters: dict[str, A2CUpdater] = {}
+        self._input_dims: dict[str, int] = {}
+        for agent_id in self.agent_ids:
+            input_dim = self._compute_input_dim(env, agent_id)
+            self._input_dims[agent_id] = input_dim
+            network = MA2CNetwork(
+                input_dim,
+                env.action_spaces[agent_id].n,
+                self.config.hidden_size,
+                net_rng,
+            )
+            self.networks[agent_id] = network
+            params = list(network.parameters())
+            self.updaters[agent_id] = A2CUpdater(
+                params, [RMSProp(params, lr=self.config.lr)], self.config.a2c
+            )
+
+        self.buffer = RolloutBuffer()
+        self._states: dict[str, tuple] = {}
+        self._fingerprints: dict[str, np.ndarray] = {}
+        self._pending: dict | None = None
+        self._final_features: dict[str, np.ndarray] = {}
+
+    def _compute_input_dim(self, env: TrafficSignalEnv, agent_id: str) -> int:
+        own = env.observation_spaces[agent_id].dim
+        total = own
+        for neighbour in self.neighbour_map[agent_id]:
+            if neighbour is None:
+                # Padding slots sized like the agent's own spaces.
+                total += own + env.action_spaces[agent_id].n
+            else:
+                total += (
+                    env.observation_spaces[neighbour].dim
+                    + env.action_spaces[neighbour].n
+                )
+        return total
+
+    # ------------------------------------------------------------------
+    def begin_episode(self, env: TrafficSignalEnv, training: bool) -> None:
+        self.buffer.clear()
+        self._pending = None
+        for agent_id in self.agent_ids:
+            self._states[agent_id] = self.networks[agent_id].initial_state(1)
+            self._fingerprints[agent_id] = (
+                np.ones(env.action_spaces[agent_id].n)
+                / env.action_spaces[agent_id].n
+            )
+
+    def _build_features(
+        self, env: TrafficSignalEnv, agent_id: str, observations: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """Own obs + alpha-discounted neighbour obs + fingerprints."""
+        cfg = self.config
+        own = observations[agent_id]
+        parts = [own]
+        for neighbour in self.neighbour_map[agent_id]:
+            if neighbour is None:
+                parts.append(np.zeros(own.shape[0]))
+                parts.append(np.zeros(env.action_spaces[agent_id].n))
+            else:
+                parts.append(cfg.alpha * observations[neighbour])
+                parts.append(self._fingerprints[neighbour])
+        return np.concatenate(parts)
+
+    def act(
+        self,
+        observations: dict[str, np.ndarray],
+        env: TrafficSignalEnv,
+        training: bool,
+    ) -> dict[str, int]:
+        actions: dict[str, int] = {}
+        features_all: dict[str, np.ndarray] = {}
+        logprobs = np.zeros(self.num_agents)
+        values = np.zeros(self.num_agents)
+        action_arr = np.zeros(self.num_agents, dtype=np.int64)
+        new_fingerprints: dict[str, np.ndarray] = {}
+        for index, agent_id in enumerate(self.agent_ids):
+            features = self._build_features(env, agent_id, observations)
+            features_all[agent_id] = features
+            logits, value, new_state = self.networks[agent_id](
+                features.reshape(1, -1), self._states[agent_id]
+            )
+            self._states[agent_id] = (new_state[0].detach(), new_state[1].detach())
+            row = logits.data[0]
+            probs = np.exp(row - row.max())
+            probs /= probs.sum()
+            new_fingerprints[agent_id] = probs.copy()
+            if training:
+                action = F.categorical_sample(probs, self._rng)
+            else:
+                action = int(np.argmax(probs))
+            actions[agent_id] = action
+            action_arr[index] = action
+            logprobs[index] = math.log(max(probs[action], 1e-12))
+            values[index] = float(value.data[0])
+        self._fingerprints = new_fingerprints
+        if training:
+            width = max(f.shape[0] for f in features_all.values())
+            feats = np.zeros((self.num_agents, width))
+            for index, agent_id in enumerate(self.agent_ids):
+                feat = features_all[agent_id]
+                feats[index, : feat.shape[0]] = feat
+            self._pending = {
+                "features": feats,
+                "action": action_arr,
+                "logprob": logprobs,
+                "value": values,
+            }
+        return actions
+
+    def _spatial_rewards(self, rewards: dict[str, float]) -> np.ndarray:
+        """Spatially discounted reward: own + alpha * neighbours."""
+        out = np.zeros(self.num_agents)
+        for index, agent_id in enumerate(self.agent_ids):
+            total = rewards[agent_id]
+            for neighbour in self.neighbour_map[agent_id]:
+                if neighbour is not None:
+                    total += self.config.alpha * rewards[neighbour]
+            out[index] = total
+        return out
+
+    def observe(self, result: StepResult, env: TrafficSignalEnv) -> None:
+        if self._pending is None:
+            return
+        self.buffer.add(
+            rewards=self._spatial_rewards(result.rewards), **self._pending
+        )
+        self._pending = None
+        self._final_features = {
+            agent_id: self._build_features(env, agent_id, result.observations)
+            for agent_id in self.agent_ids
+        }
+
+    def end_episode(self, env: TrafficSignalEnv, training: bool) -> dict:
+        if not training or len(self.buffer) == 0:
+            return {}
+        data = self.buffer.stacked()
+        stats: dict[str, float] = {"policy_loss": 0.0, "value_loss": 0.0}
+        for index, agent_id in enumerate(self.agent_ids):
+            network = self.networks[agent_id]
+            final = self._final_features[agent_id]
+            _, bootstrap, _ = network(
+                final.reshape(1, -1), self._states[agent_id]
+            )
+            advantages, returns = compute_gae(
+                data["rewards"][:, index : index + 1],
+                data["value"][:, index : index + 1],
+                float(bootstrap.data[0]),
+                gamma=self.config.gamma,
+                lam=1.0,  # plain n-step returns (A2C)
+            )
+            result = self.updaters[agent_id].update(
+                lambda aid=agent_id, idx=index: self._evaluate(data, aid, idx),
+                advantages,
+                returns,
+            )
+            stats["policy_loss"] += result.policy_loss / self.num_agents
+            stats["value_loss"] += result.value_loss / self.num_agents
+        self.buffer.clear()
+        return stats
+
+    def _checkpoint_modules(self) -> dict:
+        return {f"net.{agent_id}": net for agent_id, net in self.networks.items()}
+
+    def _evaluate(self, data: dict[str, np.ndarray], agent_id: str, index: int):
+        network = self.networks[agent_id]
+        input_dim = self._input_dims[agent_id]
+        horizon = data["features"].shape[0]
+        state = network.initial_state(1)
+        logprob_steps, entropy_steps, value_steps = [], [], []
+        for t in range(horizon):
+            features = data["features"][t, index, :input_dim].reshape(1, -1)
+            logits, value, state = network(features, state)
+            log_probs = F.log_softmax(logits)
+            probs = F.softmax(logits)
+            logprob_steps.append(
+                F.gather(log_probs, data["action"][t, index : index + 1])
+            )
+            entropy_steps.append(F.entropy(probs))
+            value_steps.append(value)
+        return (
+            stack(logprob_steps, axis=0),
+            stack(entropy_steps, axis=0),
+            stack(value_steps, axis=0),
+        )
+
+    # ------------------------------------------------------------------
+    def communication_bits_per_step(self, env: TrafficSignalEnv) -> int:
+        """Neighbour observations + fingerprints from up to four
+        neighbours, 32 bits per element (Table IV)."""
+        agent_id = self.agent_ids[0]
+        per_neighbour = 0
+        count = 0
+        for neighbour in self.neighbour_map[agent_id]:
+            if neighbour is None:
+                continue
+            per_neighbour += (
+                env.observation_spaces[neighbour].dim
+                + env.action_spaces[neighbour].n
+            )
+            count += 1
+        return per_neighbour * 32

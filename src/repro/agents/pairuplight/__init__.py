@@ -1,0 +1,26 @@
+"""PairUpLight: coordinated actor + centralized critic + message channel."""
+
+from repro.agents.pairuplight.actor import CoordinatedActor
+from repro.agents.pairuplight.agent import (
+    BITS_PER_MESSAGE_ELEMENT,
+    PairUpLightConfig,
+    PairUpLightSystem,
+)
+from repro.agents.pairuplight.critic import CentralizedCritic, CriticFeatureBuilder
+from repro.agents.pairuplight.messaging import (
+    MessageBoard,
+    MessageRegularizer,
+    select_partner,
+)
+
+__all__ = [
+    "BITS_PER_MESSAGE_ELEMENT",
+    "CentralizedCritic",
+    "CoordinatedActor",
+    "CriticFeatureBuilder",
+    "MessageBoard",
+    "MessageRegularizer",
+    "PairUpLightConfig",
+    "PairUpLightSystem",
+    "select_partner",
+]

@@ -1,0 +1,71 @@
+"""Coordinated actor network (paper Fig. 5, upper half; Eq. 8).
+
+Input: local observation (Eq. 5) concatenated with the incoming message
+from the communication partner.  Body: dense layer -> tanh -> LSTM.
+Heads: a phase-logit head (the action probability distribution) and a
+message head (the raw outgoing message mean).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTMCell
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, concat
+
+
+class CoordinatedActor(Module):
+    """PairUpLight's recurrent communicating policy network."""
+
+    def __init__(
+        self,
+        obs_dim: int,
+        num_phases: int,
+        message_dim: int = 1,
+        hidden_size: int = 64,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.obs_dim = obs_dim
+        self.num_phases = num_phases
+        self.message_dim = message_dim
+        self.hidden_size = hidden_size
+        self.encoder = Linear(obs_dim + message_dim, hidden_size, rng)
+        self.lstm = LSTMCell(hidden_size, hidden_size, rng)
+        # Small-gain heads: near-uniform initial policy, near-zero messages.
+        self.policy_head = Linear(hidden_size, num_phases, rng, gain=0.01)
+        self.message_head = Linear(hidden_size, message_dim, rng, gain=0.01)
+
+    def initial_state(self, batch: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        return self.lstm.initial_state(batch)
+
+    def forward(
+        self,
+        obs: Tensor | np.ndarray,
+        incoming_message: Tensor | np.ndarray,
+        state: tuple,
+    ) -> tuple[Tensor, Tensor, tuple[Tensor, Tensor]]:
+        """One decision step.
+
+        Parameters
+        ----------
+        obs:
+            ``(batch, obs_dim)`` local observations.
+        incoming_message:
+            ``(batch, message_dim)`` regularized messages from partners.
+        state:
+            LSTM ``(h, c)``.
+
+        Returns
+        -------
+        ``(logits, message_mean, new_state)``.
+        """
+        obs = Tensor.ensure(obs)
+        incoming_message = Tensor.ensure(incoming_message)
+        x = concat([obs, incoming_message], axis=-1)
+        encoded = self.encoder(x).tanh()
+        hidden, new_state = self.lstm(encoded, state)
+        return self.policy_head(hidden), self.message_head(hidden), new_state

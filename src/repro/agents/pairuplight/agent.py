@@ -1,0 +1,478 @@
+"""The PairUpLight agent system (paper Section V, Algorithm 1).
+
+Combines the coordinated actor (local observation + one incoming
+message -> phase distribution + outgoing message), the noisy-logistic
+message channel, upstream-congestion partner selection, and the
+centralized two-hop critic, all trained with PPO + GAE under CTDE with
+optional parameter sharing.
+
+Execution-time information flow per decision step ``t``:
+
+1. every agent reads the regularized message its partner posted at
+   ``t - 1`` (zero at episode start — Algorithm 1 line 4),
+2. the actor consumes ``(o_t, m_hat_{t-1})`` and produces phase logits
+   and a raw outgoing message mean,
+3. the channel regularizes the outgoing message and posts it for step
+   ``t + 1``.
+
+The critic runs only during training (CTDE): its value estimates are
+stored during rollout and re-evaluated during the PPO epochs.
+
+With parameter sharing (homogeneous grids) the agents form a batch
+dimension through one shared actor/critic pair, which keeps both acting
+and the PPO re-evaluation fully vectorised; heterogeneous networks fall
+back to per-agent networks (paper Section V-A).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.agents.base import AgentSystem
+from repro.agents.pairuplight.actor import CoordinatedActor
+from repro.agents.pairuplight.critic import CentralizedCritic, CriticFeatureBuilder
+from repro.agents.pairuplight.messaging import (
+    MessageBoard,
+    MessageRegularizer,
+    select_partner,
+)
+from repro.env.tsc_env import StepResult, TrafficSignalEnv
+from repro.errors import ConfigError
+from repro.nn import functional as F
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, stack
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.gae import compute_gae
+from repro.rl.ppo import PPOConfig, PPOUpdater
+
+#: Bits on the wire per transmitted message element (32-bit value,
+#: Table IV's accounting unit).
+BITS_PER_MESSAGE_ELEMENT = 32
+
+
+@dataclass
+class PairUpLightConfig:
+    """Hyperparameters of the full PairUpLight system."""
+
+    message_dim: int = 1
+    hidden_size: int = 64
+    sigma: float = 0.25
+    epsilon: float = 0.05
+    lr: float = 1e-3
+    parameter_sharing: bool = True
+    communicate: bool = True
+    #: Partner-selection strategy (see messaging.select_partner):
+    #: "upstream" (paper), "self", "random", or "fixed".
+    partner_strategy: str = "upstream"
+    #: Whether the critic sees one-/two-hop neighbour pressures (paper)
+    #: or only the local observation (ablation).
+    centralized_critic: bool = True
+    ppo: PPOConfig = field(default_factory=PPOConfig)
+
+    def __post_init__(self) -> None:
+        if self.message_dim <= 0:
+            raise ConfigError("message_dim must be positive")
+        if not 0.0 <= self.epsilon < 1.0:
+            raise ConfigError("epsilon must lie in [0, 1)")
+        if self.sigma <= 0:
+            raise ConfigError("sigma must be positive")
+        if self.partner_strategy not in ("upstream", "self", "random", "fixed"):
+            raise ConfigError(f"unknown partner strategy {self.partner_strategy!r}")
+
+
+class PairUpLightSystem(AgentSystem):
+    """Controller for every intersection using the PairUpLight model."""
+
+    name = "PairUpLight"
+
+    def __init__(
+        self,
+        env: TrafficSignalEnv,
+        config: PairUpLightConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or PairUpLightConfig()
+        if not self.config.communicate:
+            self.name = "PairUpLight-NoComm"
+        self._rng = np.random.default_rng(seed)
+        self.agent_ids = list(env.agent_ids)
+        self.num_agents = len(self.agent_ids)
+        self.feature_builder = CriticFeatureBuilder(
+            env, centralized=self.config.centralized_critic
+        )
+        cfg = self.config
+
+        if cfg.parameter_sharing and not env.homogeneous:
+            raise ConfigError(
+                "parameter sharing requires homogeneous intersections; "
+                "set parameter_sharing=False for this network"
+            )
+        net_rng = np.random.default_rng(seed + 1)
+        if cfg.parameter_sharing:
+            obs_dim = env.observation_spaces[self.agent_ids[0]].dim
+            num_phases = env.action_spaces[self.agent_ids[0]].n
+            feat_dim = self.feature_builder.feature_dim(self.agent_ids[0])
+            self.shared_actor: CoordinatedActor | None = CoordinatedActor(
+                obs_dim, num_phases, cfg.message_dim, cfg.hidden_size, net_rng
+            )
+            self.shared_critic: CentralizedCritic | None = CentralizedCritic(
+                feat_dim, cfg.hidden_size, net_rng
+            )
+            self._unique_actors = [self.shared_actor]
+            self._unique_critics = [self.shared_critic]
+            self.actors = {a: self.shared_actor for a in self.agent_ids}
+            self.critics = {a: self.shared_critic for a in self.agent_ids}
+        else:
+            self.shared_actor = None
+            self.shared_critic = None
+            self.actors = {}
+            self.critics = {}
+            for agent_id in self.agent_ids:
+                self.actors[agent_id] = CoordinatedActor(
+                    env.observation_spaces[agent_id].dim,
+                    env.action_spaces[agent_id].n,
+                    cfg.message_dim,
+                    cfg.hidden_size,
+                    net_rng,
+                )
+                self.critics[agent_id] = CentralizedCritic(
+                    self.feature_builder.feature_dim(agent_id), cfg.hidden_size, net_rng
+                )
+            self._unique_actors = [self.actors[a] for a in self.agent_ids]
+            self._unique_critics = [self.critics[a] for a in self.agent_ids]
+
+        params = [
+            p
+            for net in self._unique_actors + self._unique_critics
+            for p in net.parameters()
+        ]
+        self._optimizer = Adam(params, lr=cfg.lr)
+        self._ppo = PPOUpdater(
+            params, [self._optimizer], cfg.ppo, rng=np.random.default_rng(seed + 2)
+        )
+        self.regularizer = MessageRegularizer(cfg.sigma, seed=seed + 3)
+        self.board = MessageBoard(self.agent_ids, cfg.message_dim)
+        self.buffer = RolloutBuffer()
+        # Recurrent state: batched (h, c) arrays in shared mode, per-agent
+        # dictionaries otherwise.
+        self._actor_state: tuple | dict[str, tuple] | None = None
+        self._critic_state: tuple | dict[str, tuple] | None = None
+        self._pending: dict | None = None
+        self._final_obs: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Episode lifecycle
+    # ------------------------------------------------------------------
+    def begin_episode(self, env: TrafficSignalEnv, training: bool) -> None:
+        self.board.reset()
+        self.buffer.clear()
+        self._pending = None
+        if self.config.parameter_sharing:
+            self._actor_state = self.shared_actor.initial_state(self.num_agents)
+            self._critic_state = self.shared_critic.initial_state(self.num_agents)
+        else:
+            self._actor_state = {
+                a: self.actors[a].initial_state(1) for a in self.agent_ids
+            }
+            self._critic_state = {
+                a: self.critics[a].initial_state(1) for a in self.agent_ids
+            }
+
+    # ------------------------------------------------------------------
+    # Acting
+    # ------------------------------------------------------------------
+    def _read_incoming(self, env: TrafficSignalEnv) -> np.ndarray:
+        """Gather each agent's incoming message (previous-step postings)."""
+        cfg = self.config
+        incoming = np.zeros((self.num_agents, cfg.message_dim))
+        if cfg.communicate:
+            for index, agent_id in enumerate(self.agent_ids):
+                partner = select_partner(
+                    env, agent_id, strategy=cfg.partner_strategy, rng=self._rng
+                )
+                incoming[index] = self.board.read(partner)
+        return incoming
+
+    def _sample_actions(
+        self, probs_rows: list[np.ndarray], training: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Epsilon-greedy / categorical sampling (Algorithm 1 lines 13-14)."""
+        cfg = self.config
+        actions = np.zeros(len(probs_rows), dtype=np.int64)
+        logprobs = np.zeros(len(probs_rows))
+        for index, probs in enumerate(probs_rows):
+            if training and self._rng.random() < cfg.epsilon:
+                action = int(self._rng.integers(len(probs)))
+            elif training:
+                action = F.categorical_sample(probs, self._rng)
+            else:
+                action = int(np.argmax(probs))
+            actions[index] = action
+            logprobs[index] = math.log(max(probs[action], 1e-12))
+        return actions, logprobs
+
+    def act(
+        self,
+        observations: dict[str, np.ndarray],
+        env: TrafficSignalEnv,
+        training: bool,
+    ) -> dict[str, int]:
+        cfg = self.config
+        incoming = self._read_incoming(env)
+        obs_rows = [observations[a] for a in self.agent_ids]
+
+        if cfg.parameter_sharing:
+            obs = np.stack(obs_rows)
+            logits_t, msg_mean_t, new_state = self.shared_actor(
+                obs, incoming, self._actor_state
+            )
+            self._actor_state = (new_state[0].detach(), new_state[1].detach())
+            logits = logits_t.data
+            msg_means = msg_mean_t.data
+        else:
+            logits_rows = []
+            msg_rows = []
+            for index, agent_id in enumerate(self.agent_ids):
+                logit, msg_mean, new_state = self.actors[agent_id](
+                    obs_rows[index].reshape(1, -1),
+                    incoming[index].reshape(1, -1),
+                    self._actor_state[agent_id],
+                )
+                self._actor_state[agent_id] = (
+                    new_state[0].detach(),
+                    new_state[1].detach(),
+                )
+                logits_rows.append(logit.data[0])
+                msg_rows.append(msg_mean.data[0])
+            logits = logits_rows
+            msg_means = np.stack(msg_rows)
+
+        probs_rows = [_softmax_1d(np.asarray(row)) for row in logits]
+        actions, action_logprobs = self._sample_actions(probs_rows, training)
+        m_hat, raw_msg, msg_logprobs = self.regularizer.transmit(msg_means, training)
+        logprobs = action_logprobs + (msg_logprobs if cfg.communicate else 0.0)
+
+        for index, agent_id in enumerate(self.agent_ids):
+            self.board.post(agent_id, m_hat[index])
+
+        if training:
+            critic_feats = np.stack(
+                [
+                    _pad(self.feature_builder.build(a, observations[a]), self._feat_width())
+                    for a in self.agent_ids
+                ]
+            )
+            values = self._critic_values(critic_feats, advance_state=True)
+            self._pending = {
+                "obs": np.stack([_pad(o, self._obs_width()) for o in obs_rows]),
+                "msg_in": incoming,
+                "action": actions,
+                "raw_msg": raw_msg,
+                "logprob": logprobs,
+                "value": values,
+                "critic_feat": critic_feats,
+            }
+        return {
+            agent_id: int(actions[index])
+            for index, agent_id in enumerate(self.agent_ids)
+        }
+
+    def _obs_width(self) -> int:
+        return max(self.actors[a].obs_dim for a in self.agent_ids)
+
+    def _feat_width(self) -> int:
+        return max(self.critics[a].feature_dim for a in self.agent_ids)
+
+    def _critic_values(self, feats: np.ndarray, advance_state: bool) -> np.ndarray:
+        """Critic forward over all agents; optionally updates LSTM state."""
+        if self.config.parameter_sharing:
+            values_t, new_state = self.shared_critic(feats, self._critic_state)
+            if advance_state:
+                self._critic_state = (new_state[0].detach(), new_state[1].detach())
+            return values_t.data.copy()
+        values = np.zeros(self.num_agents)
+        for index, agent_id in enumerate(self.agent_ids):
+            critic = self.critics[agent_id]
+            value_t, new_state = critic(
+                feats[index, : critic.feature_dim].reshape(1, -1),
+                self._critic_state[agent_id],
+            )
+            if advance_state:
+                self._critic_state[agent_id] = (
+                    new_state[0].detach(),
+                    new_state[1].detach(),
+                )
+            values[index] = float(value_t.data[0])
+        return values
+
+    def observe(self, result: StepResult, env: TrafficSignalEnv) -> None:
+        if self._pending is None:
+            return
+        rewards = np.asarray(
+            [result.rewards[a] for a in self.agent_ids], dtype=np.float64
+        )
+        self.buffer.add(rewards=rewards, **self._pending)
+        self._pending = None
+        self._final_obs = {a: result.observations[a] for a in self.agent_ids}
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def end_episode(self, env: TrafficSignalEnv, training: bool) -> dict:
+        if not training or len(self.buffer) == 0:
+            return {}
+        data = self.buffer.stacked()
+        final_feats = np.stack(
+            [
+                _pad(self.feature_builder.build(a, self._final_obs[a]), self._feat_width())
+                for a in self.agent_ids
+            ]
+        )
+        bootstrap = self._critic_values(final_feats, advance_state=False)
+        advantages, returns = compute_gae(
+            data["rewards"],
+            data["value"],
+            bootstrap,
+            gamma=self.config.ppo.gamma,
+            lam=self.config.ppo.lam,
+        )
+        stats = self._ppo.update(
+            lambda batch: self._evaluate(data, batch),
+            data["logprob"],
+            advantages,
+            returns,
+            old_values=data["value"],
+        )
+        self.buffer.clear()
+        return {
+            "policy_loss": stats.policy_loss,
+            "value_loss": stats.value_loss,
+            "entropy": stats.entropy,
+            "approx_kl": stats.approx_kl,
+            "clip_fraction": stats.clip_fraction,
+        }
+
+    def _evaluate(
+        self, data: dict[str, np.ndarray], batch: np.ndarray
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        """PPO re-evaluation over stored sequences (see module docstring)."""
+        if self.config.parameter_sharing:
+            return self._evaluate_shared(data, batch)
+        columns = [self._evaluate_single(data, int(index)) for index in batch]
+        logprobs = stack([c[0] for c in columns], axis=1)
+        entropies = stack([c[1] for c in columns], axis=1)
+        values = stack([c[2] for c in columns], axis=1)
+        return logprobs, entropies, values
+
+    def _evaluate_shared(
+        self, data: dict[str, np.ndarray], batch: np.ndarray
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        cfg = self.config
+        horizon = data["obs"].shape[0]
+        actor = self.shared_actor
+        critic = self.shared_critic
+        batch = np.asarray(batch, dtype=np.int64)
+        a_state = actor.initial_state(len(batch))
+        c_state = critic.initial_state(len(batch))
+        logprob_steps: list[Tensor] = []
+        entropy_steps: list[Tensor] = []
+        value_steps: list[Tensor] = []
+        for t in range(horizon):
+            logits, msg_mean, a_state = actor(
+                data["obs"][t, batch], data["msg_in"][t, batch], a_state
+            )
+            log_probs = F.log_softmax(logits)
+            probs = F.softmax(logits)
+            step_logprob = F.gather(log_probs, data["action"][t, batch])
+            if cfg.communicate:
+                step_logprob = step_logprob + _gaussian_logprob(
+                    data["raw_msg"][t, batch], msg_mean, cfg.sigma
+                )
+            logprob_steps.append(step_logprob)
+            entropy_steps.append(F.entropy(probs))
+            value, c_state = critic(data["critic_feat"][t, batch], c_state)
+            value_steps.append(value)
+        return (
+            stack(logprob_steps, axis=0),
+            stack(entropy_steps, axis=0),
+            stack(value_steps, axis=0),
+        )
+
+    def _evaluate_single(
+        self, data: dict[str, np.ndarray], index: int
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        cfg = self.config
+        agent_id = self.agent_ids[index]
+        actor = self.actors[agent_id]
+        critic = self.critics[agent_id]
+        horizon = data["obs"].shape[0]
+        a_state = actor.initial_state(1)
+        c_state = critic.initial_state(1)
+        logprob_steps: list[Tensor] = []
+        entropy_steps: list[Tensor] = []
+        value_steps: list[Tensor] = []
+        for t in range(horizon):
+            obs = data["obs"][t, index, : actor.obs_dim].reshape(1, -1)
+            msg_in = data["msg_in"][t, index].reshape(1, -1)
+            logits, msg_mean, a_state = actor(obs, msg_in, a_state)
+            log_probs = F.log_softmax(logits)
+            probs = F.softmax(logits)
+            step_logprob = F.gather(log_probs, data["action"][t, index : index + 1])
+            if cfg.communicate:
+                raw = data["raw_msg"][t, index].reshape(1, -1)
+                step_logprob = step_logprob + _gaussian_logprob(raw, msg_mean, cfg.sigma)
+            logprob_steps.append(step_logprob[0])
+            entropy_steps.append(F.entropy(probs)[0])
+            feat = data["critic_feat"][t, index, : critic.feature_dim].reshape(1, -1)
+            value, c_state = critic(feat, c_state)
+            value_steps.append(value[0])
+        return (
+            stack(logprob_steps, axis=0),
+            stack(entropy_steps, axis=0),
+            stack(value_steps, axis=0),
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see AgentSystem.save / AgentSystem.load)
+    # ------------------------------------------------------------------
+    def _checkpoint_modules(self) -> dict:
+        if self.config.parameter_sharing:
+            return {"actor": self.shared_actor, "critic": self.shared_critic}
+        modules: dict = {}
+        for agent_id in self.agent_ids:
+            modules[f"actor.{agent_id}"] = self.actors[agent_id]
+            modules[f"critic.{agent_id}"] = self.critics[agent_id]
+        return modules
+
+    # ------------------------------------------------------------------
+    def communication_bits_per_step(self, env: TrafficSignalEnv) -> int:
+        """One message of ``message_dim`` 32-bit elements from one neighbour."""
+        if not self.config.communicate:
+            return 0
+        return self.config.message_dim * BITS_PER_MESSAGE_ELEMENT
+
+
+def _softmax_1d(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+def _pad(vector: np.ndarray, width: int) -> np.ndarray:
+    """Zero-pad a 1-D vector to ``width`` (heterogeneous stacking)."""
+    if vector.shape[0] == width:
+        return vector
+    padded = np.zeros(width)
+    padded[: vector.shape[0]] = vector
+    return padded
+
+
+def _gaussian_logprob(raw: np.ndarray, mean: Tensor, sigma: float) -> Tensor:
+    """Differentiable Gaussian log-density of stored draws w.r.t. ``mean``."""
+    raw_t = Tensor(np.asarray(raw, dtype=np.float64))
+    diff = (raw_t - mean) * (1.0 / sigma)
+    per_dim = diff * diff * -0.5 - (math.log(sigma) + 0.5 * math.log(2 * math.pi))
+    return per_dim.sum(axis=-1)

@@ -1,0 +1,141 @@
+"""Message channel: regularizer and partner selection.
+
+Two pieces of PairUpLight's communication protocol live here:
+
+* **Message regularizer** (Algorithm 1 line 16): the actor emits a raw
+  real-valued message ``m``; the channel transmits
+  ``Logistic(N(m, sigma))`` during training and the deterministic
+  ``Logistic(m)`` during execution.  We treat the noisy draw as a
+  *continuous action*: the Gaussian is the exploration distribution and
+  its log-density joins the phase log-probability in the PPO objective,
+  which is how the message head receives learning signal.
+* **Partner selection** (Section V-B): each intersection pairs up with
+  the *most congested upstream* neighbouring intersection — the one whose
+  congestion will arrive next — falling back to itself when no upstream
+  neighbour is congested.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.env.tsc_env import TrafficSignalEnv
+from repro.errors import ConfigError
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return np.where(
+        x >= 0, 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500))),
+        np.exp(np.clip(x, -500, 500)) / (1.0 + np.exp(np.clip(x, -500, 500))),
+    )
+
+
+class MessageRegularizer:
+    """Noisy-logistic message channel (DIAL-style discretisation noise)."""
+
+    def __init__(self, sigma: float = 0.25, seed: int = 0) -> None:
+        if sigma <= 0:
+            raise ConfigError("message noise sigma must be positive")
+        self.sigma = sigma
+        self._rng = np.random.default_rng(seed)
+
+    def transmit(
+        self, message_mean: np.ndarray, training: bool
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Produce the transmitted message.
+
+        Returns ``(m_hat, raw_sample, logprob)`` where ``m_hat`` is the
+        squashed message handed to the partner, ``raw_sample`` is the
+        pre-squash Gaussian draw (stored for PPO re-evaluation), and
+        ``logprob`` is the per-message Gaussian log-density summed over
+        message dimensions.
+        """
+        mean = np.asarray(message_mean, dtype=np.float64)
+        if training:
+            raw = self._rng.normal(mean, self.sigma)
+        else:
+            raw = mean.copy()
+        logprob = self.logprob(raw, mean)
+        return _sigmoid(raw), raw, logprob
+
+    def logprob(self, raw: np.ndarray, mean: np.ndarray) -> np.ndarray:
+        """Gaussian log-density of ``raw`` under ``N(mean, sigma)``,
+        summed over the trailing (message-dim) axis."""
+        z = (np.asarray(raw) - np.asarray(mean)) / self.sigma
+        per_dim = -0.5 * (z**2) - math.log(self.sigma) - 0.5 * _LOG_2PI
+        return per_dim.sum(axis=-1)
+
+
+def select_partner(
+    env: TrafficSignalEnv,
+    node_id: str,
+    strategy: str = "upstream",
+    rng: np.random.Generator | None = None,
+) -> str:
+    """Choose the communication partner for ``node_id``.
+
+    ``strategy`` selects between the paper's design and its ablations:
+
+    * ``"upstream"`` (paper, Section V-B) — the most congested *upstream*
+      neighbour; congestion is ranked by observed halted/approaching
+      vehicles on each candidate's incoming links.  When every upstream
+      neighbour is calmer than the agent itself, the agent listens to its
+      own previous message (self-loop), matching the paper's "from either
+      the current agent itself or one of its neighbouring agents".
+    * ``"self"`` — always the self-loop (no inter-agent information).
+    * ``"random"`` — a uniformly random upstream neighbour each step
+      (requires ``rng``); isolates the value of congestion-aware pairing.
+    * ``"fixed"`` — the first upstream neighbour in topological order,
+      i.e. a static pairing that never reacts to traffic.
+    """
+    if strategy == "self":
+        return node_id
+    upstream = env.upstream_neighbours(node_id)
+    if not upstream:
+        return node_id
+    if strategy == "random":
+        if rng is None:
+            raise ConfigError("random partner strategy requires an rng")
+        return upstream[int(rng.integers(len(upstream)))]
+    if strategy == "fixed":
+        return upstream[0]
+    if strategy != "upstream":
+        raise ConfigError(f"unknown partner strategy {strategy!r}")
+    best = node_id
+    best_score = env.congestion_score(node_id)
+    for neighbour in upstream:
+        score = env.congestion_score(neighbour)
+        if score > best_score:
+            best, best_score = neighbour, score
+    return best
+
+
+class MessageBoard:
+    """Per-step mailbox holding each agent's latest outgoing message."""
+
+    def __init__(self, agent_ids: list[str], message_dim: int) -> None:
+        if message_dim <= 0:
+            raise ConfigError("message_dim must be positive")
+        self.message_dim = message_dim
+        self._messages: dict[str, np.ndarray] = {
+            agent_id: np.zeros(message_dim) for agent_id in agent_ids
+        }
+
+    def post(self, agent_id: str, message: np.ndarray) -> None:
+        message = np.asarray(message, dtype=np.float64)
+        if message.shape != (self.message_dim,):
+            raise ConfigError(
+                f"message shape {message.shape} != ({self.message_dim},)"
+            )
+        self._messages[agent_id] = message
+
+    def read(self, agent_id: str) -> np.ndarray:
+        return self._messages[agent_id].copy()
+
+    def reset(self) -> None:
+        for agent_id in self._messages:
+            self._messages[agent_id] = np.zeros(self.message_dim)

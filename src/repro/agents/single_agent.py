@@ -1,0 +1,232 @@
+"""SingleAgentRL baseline (paper Section VI-B).
+
+One PPO policy trained on local observations only and applied uniformly
+to every intersection: no communication, no neighbour information, and a
+*local* critic (unlike PairUpLight's centralized one).  Training batches
+all intersections' experience through the single shared network, which
+is what "its learned policy is uniformly applied to all intersections"
+amounts to in a homogeneous grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.agents.base import AgentSystem
+from repro.env.tsc_env import StepResult, TrafficSignalEnv
+from repro.errors import ConfigError
+from repro.nn import functional as F
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTMCell
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, stack
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.gae import compute_gae
+from repro.rl.ppo import PPOConfig, PPOUpdater
+
+
+class LocalActor(Module):
+    """Recurrent policy over local observations only."""
+
+    def __init__(
+        self,
+        obs_dim: int,
+        num_phases: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.obs_dim = obs_dim
+        self.encoder = Linear(obs_dim, hidden_size, rng)
+        self.lstm = LSTMCell(hidden_size, hidden_size, rng)
+        self.policy_head = Linear(hidden_size, num_phases, rng, gain=0.01)
+
+    def initial_state(self, batch: int = 1):
+        return self.lstm.initial_state(batch)
+
+    def forward(self, obs, state):
+        hidden = self.encoder(Tensor.ensure(obs)).tanh()
+        hidden, new_state = self.lstm(hidden, state)
+        return self.policy_head(hidden), new_state
+
+
+class LocalCritic(Module):
+    """Recurrent value function over local observations only."""
+
+    def __init__(self, obs_dim: int, hidden_size: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.obs_dim = obs_dim
+        self.encoder = Linear(obs_dim, hidden_size, rng)
+        self.lstm = LSTMCell(hidden_size, hidden_size, rng)
+        self.value_head = Linear(hidden_size, 1, rng, gain=1.0)
+
+    def initial_state(self, batch: int = 1):
+        return self.lstm.initial_state(batch)
+
+    def forward(self, obs, state):
+        hidden = self.encoder(Tensor.ensure(obs)).tanh()
+        hidden, new_state = self.lstm(hidden, state)
+        value = self.value_head(hidden)
+        return value.reshape(value.shape[0]), new_state
+
+
+@dataclass
+class SingleAgentConfig:
+    """Hyperparameters for the SingleAgentRL baseline."""
+
+    hidden_size: int = 64
+    epsilon: float = 0.05
+    lr: float = 1e-3
+    ppo: PPOConfig = field(default_factory=PPOConfig)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.epsilon < 1.0:
+            raise ConfigError("epsilon must lie in [0, 1)")
+
+
+class SingleAgentSystem(AgentSystem):
+    """Shared local PPO policy applied uniformly to all intersections."""
+
+    name = "SingleAgent"
+
+    def __init__(
+        self,
+        env: TrafficSignalEnv,
+        config: SingleAgentConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not env.homogeneous:
+            raise ConfigError(
+                "SingleAgentRL applies one policy uniformly and requires "
+                "homogeneous intersections"
+            )
+        self.config = config or SingleAgentConfig()
+        self._rng = np.random.default_rng(seed)
+        self.agent_ids = list(env.agent_ids)
+        self.num_agents = len(self.agent_ids)
+        net_rng = np.random.default_rng(seed + 1)
+        obs_dim = env.observation_spaces[self.agent_ids[0]].dim
+        num_phases = env.action_spaces[self.agent_ids[0]].n
+        self.actor = LocalActor(obs_dim, num_phases, self.config.hidden_size, net_rng)
+        self.critic = LocalCritic(obs_dim, self.config.hidden_size, net_rng)
+        params = list(self.actor.parameters()) + list(self.critic.parameters())
+        self._optimizer = Adam(params, lr=self.config.lr)
+        self._ppo = PPOUpdater(
+            params,
+            [self._optimizer],
+            self.config.ppo,
+            rng=np.random.default_rng(seed + 2),
+        )
+        self.buffer = RolloutBuffer()
+        self._actor_state = None
+        self._critic_state = None
+        self._pending: dict | None = None
+        self._final_obs: np.ndarray | None = None
+
+    def begin_episode(self, env: TrafficSignalEnv, training: bool) -> None:
+        self.buffer.clear()
+        self._pending = None
+        self._actor_state = self.actor.initial_state(self.num_agents)
+        self._critic_state = self.critic.initial_state(self.num_agents)
+
+    def act(
+        self,
+        observations: dict[str, np.ndarray],
+        env: TrafficSignalEnv,
+        training: bool,
+    ) -> dict[str, int]:
+        cfg = self.config
+        obs = np.stack([observations[a] for a in self.agent_ids])
+        logits_t, new_state = self.actor(obs, self._actor_state)
+        self._actor_state = (new_state[0].detach(), new_state[1].detach())
+        actions = np.zeros(self.num_agents, dtype=np.int64)
+        logprobs = np.zeros(self.num_agents)
+        for index in range(self.num_agents):
+            row = logits_t.data[index]
+            probs = np.exp(row - row.max())
+            probs /= probs.sum()
+            if training and self._rng.random() < cfg.epsilon:
+                action = int(self._rng.integers(len(probs)))
+            elif training:
+                action = F.categorical_sample(probs, self._rng)
+            else:
+                action = int(np.argmax(probs))
+            actions[index] = action
+            logprobs[index] = math.log(max(probs[action], 1e-12))
+        if training:
+            values_t, new_cstate = self.critic(obs, self._critic_state)
+            self._critic_state = (new_cstate[0].detach(), new_cstate[1].detach())
+            self._pending = {
+                "obs": obs,
+                "action": actions,
+                "logprob": logprobs,
+                "value": values_t.data.copy(),
+            }
+        return {a: int(actions[i]) for i, a in enumerate(self.agent_ids)}
+
+    def observe(self, result: StepResult, env: TrafficSignalEnv) -> None:
+        if self._pending is None:
+            return
+        rewards = np.asarray(
+            [result.rewards[a] for a in self.agent_ids], dtype=np.float64
+        )
+        self.buffer.add(rewards=rewards, **self._pending)
+        self._pending = None
+        self._final_obs = np.stack(
+            [result.observations[a] for a in self.agent_ids]
+        )
+
+    def end_episode(self, env: TrafficSignalEnv, training: bool) -> dict:
+        if not training or len(self.buffer) == 0:
+            return {}
+        data = self.buffer.stacked()
+        bootstrap_t, _ = self.critic(self._final_obs, self._critic_state)
+        advantages, returns = compute_gae(
+            data["rewards"],
+            data["value"],
+            bootstrap_t.data.copy(),
+            gamma=self.config.ppo.gamma,
+            lam=self.config.ppo.lam,
+        )
+        stats = self._ppo.update(
+            lambda batch: self._evaluate(data, batch),
+            data["logprob"],
+            advantages,
+            returns,
+            old_values=data["value"],
+        )
+        self.buffer.clear()
+        return {
+            "policy_loss": stats.policy_loss,
+            "value_loss": stats.value_loss,
+            "entropy": stats.entropy,
+            "approx_kl": stats.approx_kl,
+        }
+
+    def _checkpoint_modules(self) -> dict:
+        return {"actor": self.actor, "critic": self.critic}
+
+    def _evaluate(self, data: dict[str, np.ndarray], batch: np.ndarray):
+        horizon = data["obs"].shape[0]
+        batch = np.asarray(batch, dtype=np.int64)
+        a_state = self.actor.initial_state(len(batch))
+        c_state = self.critic.initial_state(len(batch))
+        logprob_steps, entropy_steps, value_steps = [], [], []
+        for t in range(horizon):
+            obs = data["obs"][t, batch]
+            logits, a_state = self.actor(obs, a_state)
+            log_probs = F.log_softmax(logits)
+            probs = F.softmax(logits)
+            logprob_steps.append(F.gather(log_probs, data["action"][t, batch]))
+            entropy_steps.append(F.entropy(probs))
+            value, c_state = self.critic(obs, c_state)
+            value_steps.append(value)
+        return (
+            stack(logprob_steps, axis=0),
+            stack(entropy_steps, axis=0),
+            stack(value_steps, axis=0),
+        )

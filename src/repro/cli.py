@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``train``
+    Train one model on a grid scenario, report the training curve, and
+    optionally save the learned actor weights and a JSON history.
+``evaluate``
+    Train briefly (or not at all, for static controllers) and report
+    drain-mode average travel time across chosen flow patterns.
+``compare``
+    Run the Table II / Table III pipelines at a configurable scale.
+``overhead``
+    Print the Table IV communication-overhead analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.agents.base import AgentSystem
+from repro.env.tsc_env import TrafficSignalEnv
+from repro.errors import ConfigError
+from repro.eval.comm_overhead import formatted_overhead_table, overhead_table
+from repro.eval.comparison import default_model_factories, run_table2, run_table3
+from repro.eval.harness import ExperimentScale, GridExperiment
+from repro.rl.runner import evaluate, train
+
+MODEL_CHOICES = (
+    "PairUpLight",
+    "SingleAgent",
+    "MA2C",
+    "CoLight",
+    "IQL",
+    "Fixedtime",
+    "MaxPressure",
+    "LongestQueue",
+)
+
+
+def _build_agent(name: str, env: TrafficSignalEnv, seed: int) -> AgentSystem:
+    from repro.agents import (
+        CoLightSystem,
+        FixedTimeSystem,
+        IQLSystem,
+        LongestQueueSystem,
+        MA2CSystem,
+        MaxPressureSystem,
+        PairUpLightSystem,
+        SingleAgentSystem,
+    )
+
+    factories = {
+        "PairUpLight": lambda: PairUpLightSystem(env, seed=seed),
+        "SingleAgent": lambda: SingleAgentSystem(env, seed=seed),
+        "MA2C": lambda: MA2CSystem(env, seed=seed),
+        "CoLight": lambda: CoLightSystem(env, seed=seed),
+        "IQL": lambda: IQLSystem(env, seed=seed),
+        "Fixedtime": lambda: FixedTimeSystem(env),
+        "MaxPressure": lambda: MaxPressureSystem(env),
+        "LongestQueue": lambda: LongestQueueSystem(),
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ConfigError(f"unknown model {name!r}; choose from {MODEL_CHOICES}")
+
+
+def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    return ExperimentScale(
+        rows=args.rows,
+        cols=args.cols,
+        peak_rate=args.peak_rate,
+        t_peak=args.t_peak,
+        light_duration=2 * args.t_peak,
+        horizon_ticks=args.horizon,
+        max_ticks=args.horizon * 8,
+        train_episodes=args.episodes,
+    )
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rows", type=int, default=3)
+    parser.add_argument("--cols", type=int, default=3)
+    parser.add_argument("--peak-rate", type=float, default=600.0)
+    parser.add_argument("--t-peak", type=float, default=150.0)
+    parser.add_argument("--horizon", type=int, default=450)
+    parser.add_argument("--episodes", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    experiment = GridExperiment(scale, seed=args.seed)
+    env = experiment.train_env(args.pattern)
+    agent = _build_agent(args.model, env, args.seed)
+    history = train(agent, env, episodes=args.episodes, seed=args.seed,
+                    log_every=args.log_every)
+    curve = history.wait_curve
+    print(f"\n{args.model} trained {args.episodes} episodes on pattern {args.pattern}")
+    print(f"wait: first-5 {curve[:5].mean():.2f} s, best {curve.min():.2f} s, "
+          f"final-5 {curve[-5:].mean():.2f} s")
+    if args.history_out:
+        payload = {
+            "model": args.model,
+            "pattern": args.pattern,
+            "episodes": args.episodes,
+            "wait_curve": curve.tolist(),
+            "reward_curve": history.reward_curve.tolist(),
+        }
+        with open(args.history_out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"history written to {args.history_out}")
+    if args.weights_out:
+        try:
+            agent.save(args.weights_out)
+            print(f"weights written to {args.weights_out}")
+        except ValueError:
+            print("model has no saveable networks; skipping --weights-out")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    experiment = GridExperiment(scale, seed=args.seed)
+    env = experiment.train_env(args.pattern)
+    agent = _build_agent(args.model, env, args.seed)
+    if args.episodes > 0:
+        train(agent, env, episodes=args.episodes, seed=args.seed)
+    print(f"{'Pattern':>8} {'Avg travel time':>16} {'Completion':>11}")
+    for pattern in args.eval_patterns:
+        result = experiment.evaluate_agent(agent, pattern)
+        print(f"{pattern:>8} {result.average_travel_time:>14.1f} s "
+              f"{result.completion_rate:>10.0%}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    factories = default_model_factories(seed=args.seed)
+    if args.models:
+        factories = {k: v for k, v in factories.items() if k in args.models}
+        if not factories:
+            raise ConfigError(f"no known models among {args.models}")
+    if args.table == 2:
+        table = run_table2(scale, factories, seed=args.seed)
+        print(table.formatted("Table II — avg travel time (s), trained on pattern 1"))
+    else:
+        table = run_table3(scale, factories, seed=args.seed)
+        print(table.formatted("Table III — light traffic avg travel time (s)"))
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    experiment = GridExperiment(scale, seed=args.seed)
+    env = experiment.train_env(1)
+    agents = [
+        _build_agent(name, env, args.seed)
+        for name in ("MA2C", "CoLight", "PairUpLight", "SingleAgent", "Fixedtime")
+    ]
+    print(formatted_overhead_table(overhead_table(agents, env)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PairUpLight reproduction toolkit"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_train = subparsers.add_parser("train", help="train one model")
+    _add_scale_args(p_train)
+    p_train.add_argument("--model", choices=MODEL_CHOICES, default="PairUpLight")
+    p_train.add_argument("--pattern", type=int, default=1, choices=range(1, 6))
+    p_train.add_argument("--log-every", type=int, default=10)
+    p_train.add_argument("--history-out", type=str, default="")
+    p_train.add_argument("--weights-out", type=str, default="")
+    p_train.set_defaults(func=cmd_train)
+
+    p_eval = subparsers.add_parser("evaluate", help="train then evaluate")
+    _add_scale_args(p_eval)
+    p_eval.add_argument("--model", choices=MODEL_CHOICES, default="PairUpLight")
+    p_eval.add_argument("--pattern", type=int, default=1, choices=range(1, 6))
+    p_eval.add_argument(
+        "--eval-patterns", type=int, nargs="+", default=[1, 2, 3, 4, 5]
+    )
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_compare = subparsers.add_parser("compare", help="Table II / III pipelines")
+    _add_scale_args(p_compare)
+    p_compare.add_argument("--table", type=int, choices=(2, 3), default=2)
+    p_compare.add_argument("--models", nargs="*", default=[])
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_overhead = subparsers.add_parser("overhead", help="Table IV analysis")
+    _add_scale_args(p_overhead)
+    p_overhead.set_defaults(func=cmd_overhead)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Multi-agent RL environment over the traffic simulator."""
+
+from repro.env.observation import (
+    DEFAULT_APPROACH_SLOTS,
+    FEATURES_PER_APPROACH,
+    ObservationBuilder,
+    approach_slots,
+)
+from repro.env.reward import DEFAULT_REWARD_SCALE, all_rewards, intersection_reward
+from repro.env.spaces import BoxSpace, DiscreteSpace
+from repro.env.tsc_env import EnvConfig, StepResult, TrafficSignalEnv
+
+__all__ = [
+    "BoxSpace",
+    "DEFAULT_APPROACH_SLOTS",
+    "DEFAULT_REWARD_SCALE",
+    "DiscreteSpace",
+    "EnvConfig",
+    "FEATURES_PER_APPROACH",
+    "ObservationBuilder",
+    "StepResult",
+    "TrafficSignalEnv",
+    "all_rewards",
+    "approach_slots",
+    "intersection_reward",
+]

@@ -1,0 +1,127 @@
+"""State construction (paper Eq. 5).
+
+The local observation of intersection *i* at time *t* is the link-level
+pressure and head-vehicle waiting time of its input links, both measured
+through range-limited detectors:
+
+    o_{t,i} = pressure_t(L, M), wait_t(L, M)
+
+Links are arranged in a fixed compass order (N, E, S, W approach slots)
+and missing approaches are zero-padded so that homogeneous intersections
+share one observation layout — the precondition for parameter sharing.
+Heterogeneous nodes with more approaches get wider vectors; parameter
+sharing is then disabled by the caller (paper Section V-A).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.sim.detectors import DetectorSuite
+from repro.sim.network import RoadNetwork
+
+#: Normalisation constants: pressures are divided by the number of
+#: detector slots, waits by a 5-minute horizon.  Keeping observations
+#: roughly in [-1, 1] stabilises the small MLP+LSTM networks.
+WAIT_NORMALISER = 300.0
+
+#: Default number of approach slots (N, E, S, W).
+DEFAULT_APPROACH_SLOTS = 4
+
+#: Features per approach slot: (pressure, head wait).
+FEATURES_PER_APPROACH = 2
+
+
+def _approach_bearing(network: RoadNetwork, link_id: str) -> float:
+    """Bearing (degrees, 0 = from north, clockwise) of an incoming link.
+
+    Computed from the direction the link *arrives from*, so a link whose
+    traffic flows southward arrives from the north (bearing 0).
+    """
+    hx, hy = network.link_heading(link_id)
+    # Arrival direction is the reverse of the heading.
+    ax, ay = -hx, -hy
+    angle = math.degrees(math.atan2(ax, ay))  # 0 = north, 90 = east
+    return angle % 360.0
+
+
+def approach_slots(
+    network: RoadNetwork, node_id: str, num_slots: int = DEFAULT_APPROACH_SLOTS
+) -> list[str | None]:
+    """Assign each incoming link of a node to a compass slot.
+
+    Returns a list of ``num_slots`` link ids (or ``None`` for empty
+    slots).  When a node has more incoming links than slots, the slot
+    count is grown to fit (heterogeneous nodes); collisions within a slot
+    fall back to order-of-bearing assignment into free slots.
+    """
+    node = network.nodes[node_id]
+    incoming = sorted(node.incoming, key=lambda l: _approach_bearing(network, l))
+    slots_needed = max(num_slots, len(incoming))
+    slots: list[str | None] = [None] * slots_needed
+    unplaced: list[str] = []
+    width = 360.0 / num_slots
+    for link_id in incoming:
+        index = int(((_approach_bearing(network, link_id) + width / 2) % 360.0) // width)
+        if index < slots_needed and slots[index] is None:
+            slots[index] = link_id
+        else:
+            unplaced.append(link_id)
+    for link_id in unplaced:
+        free = slots.index(None)
+        slots[free] = link_id
+    return slots
+
+
+class ObservationBuilder:
+    """Builds Eq. 5 observation vectors from detector readings."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        num_slots: int = DEFAULT_APPROACH_SLOTS,
+        wait_normaliser: float = WAIT_NORMALISER,
+    ) -> None:
+        self.network = network
+        self.num_slots = num_slots
+        self.wait_normaliser = wait_normaliser
+        self._slots: dict[str, list[str | None]] = {
+            node_id: approach_slots(network, node_id, num_slots)
+            for node_id in network.signalized_nodes()
+        }
+
+    def slots_for(self, node_id: str) -> list[str | None]:
+        return list(self._slots[node_id])
+
+    def obs_dim(self, node_id: str) -> int:
+        return len(self._slots[node_id]) * FEATURES_PER_APPROACH
+
+    def pressure_normaliser(self, detectors: DetectorSuite) -> float:
+        """Scale factor so observed pressures land roughly in [-1, 1]."""
+        from repro.sim.network import VEHICLE_SPACE_M
+
+        return max(1.0, detectors.coverage / VEHICLE_SPACE_M)
+
+    def build(self, detectors: DetectorSuite, node_id: str) -> np.ndarray:
+        """Observation vector for one intersection at the current tick."""
+        norm_p = self.pressure_normaliser(detectors)
+        features: list[float] = []
+        for link_id in self._slots[node_id]:
+            if link_id is None:
+                features.extend((0.0, 0.0))
+                continue
+            pressure = detectors.link_pressure(link_id) / norm_p
+            wait = detectors.head_wait(link_id) / self.wait_normaliser
+            features.extend((pressure, wait))
+        return np.asarray(features, dtype=np.float64)
+
+    def link_pressures(self, detectors: DetectorSuite, node_id: str) -> np.ndarray:
+        """Per-slot link pressures only (used for critic neighbour input)."""
+        norm_p = self.pressure_normaliser(detectors)
+        values = [
+            0.0 if link_id is None else detectors.link_pressure(link_id) / norm_p
+            for link_id in self._slots[node_id]
+        ]
+        return np.asarray(values, dtype=np.float64)

@@ -1,0 +1,32 @@
+"""Lightweight space descriptors for the multi-agent environment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DiscreteSpace:
+    """A discrete action space of ``n`` choices (signal phases)."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ConfigError("discrete space needs at least one action")
+
+    def contains(self, action: int) -> bool:
+        return isinstance(action, (int,)) and 0 <= action < self.n
+
+
+@dataclass(frozen=True)
+class BoxSpace:
+    """A flat continuous observation space of dimension ``dim``."""
+
+    dim: int
+
+    def __post_init__(self) -> None:
+        if self.dim <= 0:
+            raise ConfigError("box space needs positive dimension")

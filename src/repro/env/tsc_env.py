@@ -1,0 +1,233 @@
+"""Multi-agent traffic-signal-control environment.
+
+Gym-style interface over the mesoscopic simulator: one agent per
+signalized intersection, actions are phase choices executed for
+``delta_t`` seconds (plus yellow on switches), observations follow
+paper Eq. 5 and rewards Eq. 6.
+
+Two episode modes:
+
+* **training** (``drain=False``) — the episode ends at ``horizon_ticks``.
+* **evaluation** (``drain=True``) — after the demand horizon the episode
+  continues until the network empties or ``max_ticks`` is reached, so
+  that average travel time accounts for every emitted vehicle (how the
+  paper's Table II numbers exceed the simulation horizon under
+  congestion collapse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.env.observation import ObservationBuilder
+from repro.env.reward import DEFAULT_REWARD_SCALE, all_rewards
+from repro.env.spaces import BoxSpace, DiscreteSpace
+from repro.sim.demand import DemandGenerator, Flow
+from repro.sim.detectors import DEFAULT_COVERAGE_M, DetectorSuite
+from repro.sim.engine import (
+    DEFAULT_SATURATION_RATE,
+    DEFAULT_STARTUP_LOST_TIME,
+    Simulation,
+)
+from repro.sim.metrics import average_travel_time, network_average_wait
+from repro.sim.network import RoadNetwork
+from repro.sim.routing import Router
+from repro.sim.signal import PhasePlan
+
+
+@dataclass
+class EnvConfig:
+    """Environment parameters (paper Section VI-A defaults)."""
+
+    delta_t: int = 5
+    yellow_time: int = 2
+    coverage: float = DEFAULT_COVERAGE_M
+    horizon_ticks: int = 2700
+    max_ticks: int = 14400
+    drain: bool = False
+    reward_scale: float = DEFAULT_REWARD_SCALE
+    saturation_rate: float = DEFAULT_SATURATION_RATE
+    startup_lost_time: float = DEFAULT_STARTUP_LOST_TIME
+    stochastic_demand: bool = True
+
+    def __post_init__(self) -> None:
+        if self.delta_t <= 0:
+            raise ConfigError("delta_t must be positive")
+        if self.horizon_ticks <= 0 or self.max_ticks < self.horizon_ticks:
+            raise ConfigError("need 0 < horizon_ticks <= max_ticks")
+
+
+@dataclass
+class StepResult:
+    """Outcome of one environment step (all keyed by agent/node id)."""
+
+    observations: dict[str, np.ndarray]
+    rewards: dict[str, float]
+    done: bool
+    info: dict = field(default_factory=dict)
+
+
+class TrafficSignalEnv:
+    """The multi-agent TSC environment.
+
+    Parameters
+    ----------
+    network:
+        Validated road network.
+    phase_plans:
+        Phase plan per signalized node.
+    flows:
+        Demand flows (copied fresh each reset).
+    config:
+        Environment parameters.
+    seed:
+        Base seed; episode ``k`` after construction uses ``seed + k`` for
+        demand randomisation unless ``reset(seed=...)`` overrides it.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        phase_plans: dict[str, PhasePlan],
+        flows: list[Flow],
+        config: EnvConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.network = network
+        self.phase_plans = phase_plans
+        self.flows = flows
+        self.config = config or EnvConfig()
+        self._base_seed = seed
+        self._episode_count = 0
+        self.router = Router(network)
+        self.agent_ids: list[str] = sorted(network.signalized_nodes())
+        self.obs_builder = ObservationBuilder(network)
+        self.observation_spaces: dict[str, BoxSpace] = {
+            node_id: BoxSpace(self.obs_builder.obs_dim(node_id))
+            for node_id in self.agent_ids
+        }
+        self.action_spaces: dict[str, DiscreteSpace] = {
+            node_id: DiscreteSpace(phase_plans[node_id].num_phases)
+            for node_id in self.agent_ids
+        }
+        self.sim: Simulation | None = None
+        self.detectors: DetectorSuite | None = None
+        self._pressure_cache_time = -1
+        self._pressure_cache: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Topology helpers used by coordinated agents
+    # ------------------------------------------------------------------
+    def neighbours(self, node_id: str) -> list[str]:
+        return self.network.neighbours(node_id)
+
+    def upstream_neighbours(self, node_id: str) -> list[str]:
+        return self.network.upstream_neighbours(node_id)
+
+    def two_hop_neighbours(self, node_id: str) -> list[str]:
+        return self.network.two_hop_neighbours(node_id)
+
+    @property
+    def homogeneous(self) -> bool:
+        """Whether all agents share observation/action space shapes."""
+        obs_dims = {space.dim for space in self.observation_spaces.values()}
+        act_dims = {space.n for space in self.action_spaces.values()}
+        return len(obs_dims) == 1 and len(act_dims) == 1
+
+    # ------------------------------------------------------------------
+    # Episode control
+    # ------------------------------------------------------------------
+    def reset(self, seed: int | None = None) -> dict[str, np.ndarray]:
+        """Start a fresh episode and return initial observations."""
+        if seed is None:
+            seed = self._base_seed + self._episode_count
+        self._episode_count += 1
+        demand = DemandGenerator(
+            [Flow(f.name, f.origin_link, f.destination_link, f.profile) for f in self.flows],
+            self.router,
+            seed=seed,
+            stochastic=self.config.stochastic_demand,
+        )
+        self.sim = Simulation(
+            self.network,
+            demand,
+            self.phase_plans,
+            yellow_time=self.config.yellow_time,
+            saturation_rate=self.config.saturation_rate,
+            startup_lost_time=self.config.startup_lost_time,
+        )
+        self.detectors = DetectorSuite(self.sim, coverage=self.config.coverage)
+        return self._observe_all()
+
+    def step(self, actions: dict[str, int]) -> StepResult:
+        """Apply one phase decision per agent and advance ``delta_t`` s."""
+        if self.sim is None:
+            raise ConfigError("call reset() before step()")
+        for node_id, action in actions.items():
+            if not self.action_spaces[node_id].contains(int(action)):
+                raise ConfigError(
+                    f"invalid action {action!r} for agent {node_id!r} "
+                    f"({self.action_spaces[node_id].n} phases)"
+                )
+            self.sim.set_phase(node_id, int(action))
+        self.sim.step(self.config.delta_t)
+        observations = self._observe_all()
+        rewards = all_rewards(self.sim, self.agent_ids, self.config.reward_scale)
+        done = self._is_done()
+        info = {
+            "time": self.sim.time,
+            "vehicles_in_network": self.sim.vehicles_in_network(),
+            "pending_insertions": self.sim.pending_insertions(),
+            "average_wait": network_average_wait(self.sim),
+        }
+        if done:
+            info["average_travel_time"] = average_travel_time(self.sim)
+            info["finished_vehicles"] = len(self.sim.finished_vehicles)
+            info["total_created"] = self.sim.total_created
+        return StepResult(observations, rewards, done, info)
+
+    def _is_done(self) -> bool:
+        assert self.sim is not None
+        if self.config.drain:
+            if self.sim.time >= self.config.max_ticks:
+                return True
+            return self.sim.time >= self.config.horizon_ticks and self.sim.is_drained()
+        return self.sim.time >= self.config.horizon_ticks
+
+    # ------------------------------------------------------------------
+    # Observation plumbing
+    # ------------------------------------------------------------------
+    def _observe_all(self) -> dict[str, np.ndarray]:
+        assert self.detectors is not None
+        return {
+            node_id: self.obs_builder.build(self.detectors, node_id)
+            for node_id in self.agent_ids
+        }
+
+    def link_pressures(self, node_id: str) -> np.ndarray:
+        """Per-approach pressures of one intersection (critic input).
+
+        Cached per tick: centralized critics query overlapping
+        neighbourhoods, so each node's pressures are computed once.
+        """
+        assert self.detectors is not None and self.sim is not None
+        if self._pressure_cache_time != self.sim.time:
+            self._pressure_cache_time = self.sim.time
+            self._pressure_cache = {}
+        cached = self._pressure_cache.get(node_id)
+        if cached is None:
+            cached = self.obs_builder.link_pressures(self.detectors, node_id)
+            self._pressure_cache[node_id] = cached
+        return cached
+
+    def congestion_score(self, node_id: str) -> float:
+        """Observed congestion at a node (partner-selection ranking)."""
+        assert self.detectors is not None
+        return self.detectors.intersection_congestion(node_id)
+
+    def average_travel_time(self) -> float:
+        assert self.sim is not None
+        return average_travel_time(self.sim)

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class NetworkError(ReproError):
+    """Raised for malformed road-network definitions."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulation engine reaches an invalid state."""
+
+
+class DemandError(ReproError):
+    """Raised for invalid traffic-demand specifications."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid experiment / agent configuration."""

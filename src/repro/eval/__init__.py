@@ -1,0 +1,63 @@
+"""Experiment pipelines reproducing the paper's tables and figures."""
+
+from repro.eval.comm_overhead import (
+    OverheadRow,
+    formatted_overhead_table,
+    overhead_row,
+    overhead_table,
+)
+from repro.eval.comparison import (
+    ALL_PATTERNS,
+    ComparisonTable,
+    default_model_factories,
+    run_table2,
+    run_table3,
+    train_agent_on_pattern,
+)
+from repro.eval.harness import (
+    AgentFactory,
+    ExperimentScale,
+    GridExperiment,
+)
+from repro.eval.message_analysis import (
+    MessageLog,
+    MessageReport,
+    analyse,
+    probe_messages,
+)
+from repro.eval.multiseed import MultiSeedResult, SeedRun, run_multiseed
+from repro.eval.reporting import (
+    ascii_chart,
+    export_comparison_csv,
+    export_history_csv,
+    sparkline,
+    training_report,
+)
+
+__all__ = [
+    "ALL_PATTERNS",
+    "AgentFactory",
+    "ComparisonTable",
+    "ExperimentScale",
+    "GridExperiment",
+    "MessageLog",
+    "MessageReport",
+    "MultiSeedResult",
+    "OverheadRow",
+    "SeedRun",
+    "analyse",
+    "ascii_chart",
+    "default_model_factories",
+    "export_comparison_csv",
+    "export_history_csv",
+    "formatted_overhead_table",
+    "overhead_row",
+    "overhead_table",
+    "probe_messages",
+    "run_multiseed",
+    "run_table2",
+    "run_table3",
+    "sparkline",
+    "train_agent_on_pattern",
+    "training_report",
+]

@@ -1,0 +1,114 @@
+"""Table II / Table III pipelines: cross-pattern model comparison.
+
+:func:`run_table2` trains every model on flow pattern 1 and evaluates on
+patterns 1-5; :func:`run_table3` trains *and* evaluates on the light
+uniform pattern 5.  Both return :class:`ComparisonTable` objects that
+print in the paper's row/column layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.base import AgentSystem
+from repro.eval.harness import AgentFactory, ExperimentScale, GridExperiment
+from repro.rl.runner import TrainingHistory
+
+ALL_PATTERNS = (1, 2, 3, 4, 5)
+
+
+@dataclass
+class ComparisonTable:
+    """Average travel time per (model, pattern) — the paper's Table II."""
+
+    patterns: tuple[int, ...]
+    rows: dict[str, dict[int, float]] = field(default_factory=dict)
+    histories: dict[str, TrainingHistory] = field(default_factory=dict)
+
+    def add(self, model: str, pattern: int, travel_time: float) -> None:
+        self.rows.setdefault(model, {})[pattern] = travel_time
+
+    def value(self, model: str, pattern: int) -> float:
+        return self.rows[model][pattern]
+
+    def winner(self, pattern: int) -> str:
+        """Model with the lowest average travel time for a pattern."""
+        return min(self.rows, key=lambda model: self.rows[model].get(pattern, float("inf")))
+
+    def formatted(self, title: str = "Average travel time (seconds)") -> str:
+        header = ["Model".ljust(18)] + [f"Pattern {p}".rjust(11) for p in self.patterns]
+        lines = [title, " | ".join(header)]
+        lines.append("-" * len(lines[1]))
+        for model, cells in self.rows.items():
+            row = [model.ljust(18)]
+            for pattern in self.patterns:
+                value = cells.get(pattern)
+                row.append("—".rjust(11) if value is None else f"{value:11.2f}")
+            lines.append(" | ".join(row))
+        return "\n".join(lines)
+
+
+def default_model_factories(seed: int = 0) -> dict[str, AgentFactory]:
+    """The paper's five models (Section VI-B), keyed by table row name."""
+    from repro.agents.colight import CoLightSystem
+    from repro.agents.fixed_time import FixedTimeSystem
+    from repro.agents.ma2c import MA2CSystem
+    from repro.agents.pairuplight import PairUpLightSystem
+    from repro.agents.single_agent import SingleAgentSystem
+
+    return {
+        "Fixedtime": lambda env: FixedTimeSystem(env),
+        "SingleAgent": lambda env: SingleAgentSystem(env, seed=seed),
+        "MA2C": lambda env: MA2CSystem(env, seed=seed),
+        "CoLight": lambda env: CoLightSystem(env, seed=seed),
+        "PairUpLight": lambda env: PairUpLightSystem(env, seed=seed),
+    }
+
+
+def run_table2(
+    scale: ExperimentScale,
+    factories: dict[str, AgentFactory] | None = None,
+    seed: int = 0,
+    train_pattern: int = 1,
+    eval_patterns: tuple[int, ...] = ALL_PATTERNS,
+) -> ComparisonTable:
+    """Train each model on ``train_pattern``, evaluate across patterns."""
+    factories = factories or default_model_factories(seed)
+    experiment = GridExperiment(scale, seed=seed)
+    table = ComparisonTable(patterns=eval_patterns)
+    for name, factory in factories.items():
+        agent, history = experiment.train_agent(factory, pattern=train_pattern)
+        table.histories[name] = history
+        for pattern in eval_patterns:
+            result = experiment.evaluate_agent(agent, pattern)
+            table.add(name, pattern, result.average_travel_time)
+    return table
+
+
+def run_table3(
+    scale: ExperimentScale,
+    factories: dict[str, AgentFactory] | None = None,
+    seed: int = 0,
+) -> ComparisonTable:
+    """Light-traffic study: train and evaluate on pattern 5 only."""
+    factories = factories or default_model_factories(seed)
+    experiment = GridExperiment(scale, seed=seed)
+    table = ComparisonTable(patterns=(5,))
+    for name, factory in factories.items():
+        agent, history = experiment.train_agent(factory, pattern=5)
+        table.histories[name] = history
+        result = experiment.evaluate_agent(agent, 5)
+        table.add(name, 5, result.average_travel_time)
+    return table
+
+
+def train_agent_on_pattern(
+    scale: ExperimentScale,
+    factory: AgentFactory,
+    pattern: int = 1,
+    seed: int = 0,
+    episodes: int | None = None,
+) -> tuple[AgentSystem, TrainingHistory]:
+    """Convenience wrapper used by the figure benchmarks."""
+    experiment = GridExperiment(scale, seed=seed)
+    return experiment.train_agent(factory, pattern=pattern, episodes=episodes)

@@ -1,0 +1,145 @@
+"""Experiment harness: scenario construction + train/eval protocols.
+
+The paper's evaluation protocol (Section VI-C) is:
+
+1. build the 6x6 grid with its five flow patterns,
+2. train every learning model on **pattern 1 only**,
+3. evaluate the frozen policies on all five patterns in drain mode,
+   reporting average travel time.
+
+Everything here is parameterised by an :class:`ExperimentScale` so the
+same pipeline runs at paper scale (6x6, 2700 s demand, hundreds of
+episodes) or at CI scale (small grids, short horizons, few episodes)
+while preserving the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.agents.base import AgentSystem
+from repro.env.tsc_env import EnvConfig, TrafficSignalEnv
+from repro.errors import ConfigError
+from repro.rl.runner import EvaluationResult, TrainingHistory, evaluate, train
+from repro.scenarios.flows import flow_pattern
+from repro.scenarios.grid import GridScenario, build_grid
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size/duration knobs for the grid experiments.
+
+    ``paper()`` gives the full published configuration; ``ci()`` gives a
+    configuration small enough for test suites and benchmarks.
+    """
+
+    rows: int = 6
+    cols: int = 6
+    peak_rate: float = 500.0
+    t_peak: float = 900.0
+    light_duration: float = 1800.0
+    horizon_ticks: int = 2700
+    max_ticks: int = 14400
+    train_episodes: int = 200
+    eval_episodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.train_episodes < 0 or self.eval_episodes <= 0:
+            raise ConfigError("episode counts must be positive")
+
+    @staticmethod
+    def paper() -> "ExperimentScale":
+        return ExperimentScale()
+
+    @staticmethod
+    def ci() -> "ExperimentScale":
+        """Small configuration preserving the protocol shape."""
+        return ExperimentScale(
+            rows=3,
+            cols=3,
+            peak_rate=500.0,
+            t_peak=200.0,
+            light_duration=400.0,
+            horizon_ticks=600,
+            max_ticks=4000,
+            train_episodes=8,
+            eval_episodes=1,
+        )
+
+    def with_episodes(self, train_episodes: int) -> "ExperimentScale":
+        return replace(self, train_episodes=train_episodes)
+
+
+AgentFactory = Callable[[TrafficSignalEnv], AgentSystem]
+"""Builds a fresh agent system bound to the given environment."""
+
+
+class GridExperiment:
+    """One grid scenario with train/eval environment construction."""
+
+    def __init__(self, scale: ExperimentScale, seed: int = 0) -> None:
+        self.scale = scale
+        self.seed = seed
+        self.scenario: GridScenario = build_grid(scale.rows, scale.cols)
+
+    def _flows(self, pattern: int):
+        return flow_pattern(
+            self.scenario,
+            pattern,
+            peak_rate=self.scale.peak_rate,
+            t_peak=self.scale.t_peak,
+            light_duration=self.scale.light_duration,
+        )
+
+    def train_env(self, pattern: int) -> TrafficSignalEnv:
+        """Fixed-horizon training environment for one flow pattern."""
+        config = EnvConfig(
+            horizon_ticks=self.scale.horizon_ticks,
+            max_ticks=self.scale.max_ticks,
+            drain=False,
+        )
+        return TrafficSignalEnv(
+            self.scenario.network,
+            self.scenario.phase_plans,
+            self._flows(pattern),
+            config,
+            seed=self.seed,
+        )
+
+    def eval_env(self, pattern: int) -> TrafficSignalEnv:
+        """Drain-mode evaluation environment for one flow pattern."""
+        config = EnvConfig(
+            horizon_ticks=self.scale.horizon_ticks,
+            max_ticks=self.scale.max_ticks,
+            drain=True,
+        )
+        return TrafficSignalEnv(
+            self.scenario.network,
+            self.scenario.phase_plans,
+            self._flows(pattern),
+            config,
+            seed=self.seed + 500,
+        )
+
+    def train_agent(
+        self,
+        factory: AgentFactory,
+        pattern: int = 1,
+        episodes: int | None = None,
+    ) -> tuple[AgentSystem, TrainingHistory]:
+        """Train a fresh agent on one pattern (paper: pattern 1)."""
+        env = self.train_env(pattern)
+        agent = factory(env)
+        episodes = self.scale.train_episodes if episodes is None else episodes
+        history = train(agent, env, episodes=episodes, seed=self.seed)
+        return agent, history
+
+    def evaluate_agent(
+        self, agent: AgentSystem, pattern: int
+    ) -> EvaluationResult:
+        """Evaluate a (trained) agent on one pattern in drain mode."""
+        env = self.eval_env(pattern)
+        return evaluate(
+            agent, env, episodes=self.scale.eval_episodes, seed=self.seed + 900
+        )

@@ -1,0 +1,105 @@
+"""Multi-seed experiment aggregation.
+
+RL training curves are noisy; the paper's Fig. 7 shades variance across
+runs.  This module repeats train/evaluate pipelines over several seeds
+and reports mean +- std for both the training curves and the final
+evaluation metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.agents.base import AgentSystem
+from repro.env.tsc_env import TrafficSignalEnv
+from repro.errors import ConfigError
+from repro.eval.harness import ExperimentScale, GridExperiment
+
+SeededAgentFactory = Callable[[TrafficSignalEnv, int], AgentSystem]
+"""Builds an agent bound to the environment, seeded per run."""
+
+
+@dataclass
+class SeedRun:
+    """One seed's outcome."""
+
+    seed: int
+    wait_curve: np.ndarray
+    eval_travel_time: float
+    completion_rate: float
+
+
+@dataclass
+class MultiSeedResult:
+    """Aggregate over seeds for one model / pattern combination."""
+
+    model: str
+    pattern: int
+    runs: list[SeedRun] = field(default_factory=list)
+
+    @property
+    def curve_mean(self) -> np.ndarray:
+        return np.mean([run.wait_curve for run in self.runs], axis=0)
+
+    @property
+    def curve_std(self) -> np.ndarray:
+        return np.std([run.wait_curve for run in self.runs], axis=0)
+
+    @property
+    def travel_time_mean(self) -> float:
+        return float(np.mean([run.eval_travel_time for run in self.runs]))
+
+    @property
+    def travel_time_std(self) -> float:
+        return float(np.std([run.eval_travel_time for run in self.runs]))
+
+    @property
+    def completion_mean(self) -> float:
+        return float(np.mean([run.completion_rate for run in self.runs]))
+
+    def summary(self) -> str:
+        return (
+            f"{self.model} on pattern {self.pattern} over {len(self.runs)} seeds: "
+            f"travel time {self.travel_time_mean:.1f} +- {self.travel_time_std:.1f} s, "
+            f"completion {self.completion_mean:.0%}"
+        )
+
+
+def run_multiseed(
+    scale: ExperimentScale,
+    factory: SeededAgentFactory,
+    model_name: str,
+    seeds: list[int],
+    train_pattern: int = 1,
+    eval_pattern: int | None = None,
+) -> MultiSeedResult:
+    """Train/evaluate the same configuration under several seeds.
+
+    ``factory(env, seed)`` builds a fresh agent per run; per-seed
+    variation covers network init, exploration noise, and demand
+    randomisation (via the experiment seed).
+    """
+    if not seeds:
+        raise ConfigError("need at least one seed")
+    eval_pattern = train_pattern if eval_pattern is None else eval_pattern
+    result = MultiSeedResult(model=model_name, pattern=eval_pattern)
+    for seed in seeds:
+        experiment = GridExperiment(scale, seed=seed)
+
+        def seeded_factory(environment, s=seed):
+            return factory(environment, s)
+
+        agent, history = experiment.train_agent(seeded_factory, pattern=train_pattern)
+        evaluation = experiment.evaluate_agent(agent, eval_pattern)
+        result.runs.append(
+            SeedRun(
+                seed=seed,
+                wait_curve=history.wait_curve,
+                eval_travel_time=evaluation.average_travel_time,
+                completion_rate=evaluation.completion_rate,
+            )
+        )
+    return result

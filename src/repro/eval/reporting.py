@@ -1,0 +1,130 @@
+"""Result reporting: CSV export and terminal (ASCII) charts.
+
+The paper's figures are line charts of average waiting time per episode.
+This module renders those series directly in the terminal and exports
+them as CSV so they can be re-plotted with any external tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.rl.runner import TrainingHistory
+
+#: Characters used for vertical resolution inside one text row.
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line character chart of a series (resampled to ``width``)."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ConfigError("cannot chart an empty series")
+    if data.size > width:
+        # Average-pool down to the target width.
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.array([data[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+    lo, hi = float(data.min()), float(data.max())
+    span = hi - lo
+    if span == 0:
+        return _BLOCKS[0] * data.size
+    levels = ((data - lo) / span * (len(_BLOCKS) - 1)).round().astype(int)
+    return "".join(_BLOCKS[level] for level in levels)
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 64,
+    title: str = "",
+) -> str:
+    """Multi-series ASCII line chart with a shared y-axis.
+
+    Each series gets a distinct plot character; lower is better for the
+    waiting-time curves this is used on.
+    """
+    if not series:
+        raise ConfigError("ascii_chart needs at least one series")
+    markers = "ox+*#@%&"
+    resampled: dict[str, np.ndarray] = {}
+    for name, values in series.items():
+        data = np.asarray(list(values), dtype=np.float64)
+        if data.size == 0:
+            raise ConfigError(f"series {name!r} is empty")
+        if data.size > width:
+            edges = np.linspace(0, data.size, width + 1).astype(int)
+            data = np.array([data[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+        resampled[name] = data
+    all_values = np.concatenate(list(resampled.values()))
+    lo, hi = float(all_values.min()), float(all_values.max())
+    span = hi - lo or 1.0
+
+    canvas_width = max(len(d) for d in resampled.values())
+    canvas = [[" "] * canvas_width for _ in range(height)]
+    for index, (name, data) in enumerate(resampled.items()):
+        marker = markers[index % len(markers)]
+        for x, value in enumerate(data):
+            y = int(round((hi - value) / span * (height - 1)))
+            canvas[y][x] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:9.1f} +" + "".join(canvas[0]))
+    for row in canvas[1:-1]:
+        lines.append(" " * 9 + " |" + "".join(row))
+    lines.append(f"{lo:9.1f} +" + "".join(canvas[-1]))
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(resampled)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def export_history_csv(history: TrainingHistory, path: str | os.PathLike) -> None:
+    """Write one training history as CSV (episode, avg_wait, total_reward)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["episode", "avg_wait_s", "total_reward", "duration_s"])
+        for log in history.episodes:
+            writer.writerow(
+                [log.episode, f"{log.avg_wait:.4f}", f"{log.total_reward:.4f}",
+                 f"{log.duration_s:.4f}"]
+            )
+
+
+def export_comparison_csv(
+    curves: Mapping[str, Sequence[float]], path: str | os.PathLike
+) -> None:
+    """Write several training curves side by side (episode, <model>...)."""
+    if not curves:
+        raise ConfigError("nothing to export")
+    names = list(curves)
+    length = max(len(list(values)) for values in curves.values())
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["episode"] + names)
+        for episode in range(length):
+            row: list[str] = [str(episode)]
+            for name in names:
+                values = list(curves[name])
+                row.append(f"{values[episode]:.4f}" if episode < len(values) else "")
+            writer.writerow(row)
+
+
+def training_report(history: TrainingHistory, width: int = 60) -> str:
+    """Compact text report of one training run."""
+    curve = history.wait_curve
+    best = history.best_episode()
+    lines = [
+        f"model: {history.agent_name}  episodes: {len(curve)}",
+        f"wait: first {curve[0]:.1f}s  best {best.avg_wait:.1f}s "
+        f"(episode {best.episode})  final {curve[-1]:.1f}s",
+        sparkline(curve, width=width),
+    ]
+    return "\n".join(lines)

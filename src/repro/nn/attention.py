@@ -1,0 +1,98 @@
+"""Graph attention layer (used by the CoLight baseline).
+
+CoLight (Wei et al., 2019) embeds each intersection's observation and then
+applies multi-head scaled dot-product attention over the intersection's
+neighbourhood (itself + adjacent intersections) to produce a cooperation-
+aware representation.  This module implements that neighbourhood attention
+with masking so that edge intersections, which have fewer neighbours, are
+handled uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, concat
+
+
+class GraphAttention(Module):
+    """Multi-head attention of each node over its (masked) neighbourhood.
+
+    Parameters
+    ----------
+    embed_dim:
+        Dimension of node embeddings (input and output).
+    num_heads:
+        Number of attention heads; ``embed_dim`` must divide evenly.
+    rng:
+        Random generator for weight init.
+    """
+
+    def __init__(self, embed_dim: int, num_heads: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if embed_dim % num_heads != 0:
+            raise ValueError("embed_dim must be divisible by num_heads")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.query = Linear(embed_dim, embed_dim, rng, gain=1.0)
+        self.key = Linear(embed_dim, embed_dim, rng, gain=1.0)
+        self.value = Linear(embed_dim, embed_dim, rng, gain=1.0)
+        self.output = Linear(embed_dim, embed_dim, rng, gain=1.0)
+
+    def forward(
+        self,
+        nodes: Tensor,
+        neighbours: Tensor,
+        mask: np.ndarray,
+    ) -> Tensor:
+        """Attend each node over its neighbourhood.
+
+        Parameters
+        ----------
+        nodes:
+            ``(n, embed_dim)`` embeddings of the focal nodes.
+        neighbours:
+            ``(n, k, embed_dim)`` embeddings of up to ``k`` neighbourhood
+            members per node (conventionally including the node itself in
+            slot 0).
+        mask:
+            ``(n, k)`` boolean array; ``False`` marks padding slots.
+
+        Returns
+        -------
+        ``(n, embed_dim)`` attended representations.
+        """
+        nodes = Tensor.ensure(nodes)
+        neighbours = Tensor.ensure(neighbours)
+        mask = np.asarray(mask, dtype=bool)
+        n, k, d = neighbours.shape
+        if d != self.embed_dim:
+            raise ValueError(f"expected embed dim {self.embed_dim}, got {d}")
+        if mask.shape != (n, k):
+            raise ValueError(f"mask shape {mask.shape} != {(n, k)}")
+        if not mask.any(axis=1).all():
+            raise ValueError("every node needs at least one unmasked neighbour")
+
+        q = self.query(nodes)  # (n, d)
+        k_proj = self.key(neighbours.reshape(n * k, d)).reshape(n, k, d)
+        v_proj = self.value(neighbours.reshape(n * k, d)).reshape(n, k, d)
+
+        head_outputs = []
+        scale = 1.0 / np.sqrt(self.head_dim)
+        penalty = np.where(mask, 0.0, -1e9)
+        for head in range(self.num_heads):
+            lo, hi = head * self.head_dim, (head + 1) * self.head_dim
+            q_h = q[:, lo:hi].reshape(n, 1, self.head_dim)  # (n, 1, hd)
+            k_h = k_proj[:, :, lo:hi]  # (n, k, hd)
+            v_h = v_proj[:, :, lo:hi]  # (n, k, hd)
+            scores = (q_h * k_h).sum(axis=-1) * scale + penalty  # (n, k)
+            shifted = scores - Tensor(scores.data.max(axis=-1, keepdims=True))
+            weights = shifted.exp()
+            weights = weights / weights.sum(axis=-1, keepdims=True)
+            attended = (weights.reshape(n, k, 1) * v_h).sum(axis=1)  # (n, hd)
+            head_outputs.append(attended)
+        merged = concat(head_outputs, axis=-1)
+        return self.output(merged).relu()

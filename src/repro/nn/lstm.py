@@ -1,0 +1,86 @@
+"""LSTM cell used by the PairUpLight actor and critic.
+
+Both networks in Fig. 5 of the paper carry a recurrent hidden state
+(`h_{t,pi}` for the actor, `h_{t,V}` for the critic); this module provides
+the single-step cell those networks need.  Sequences are unrolled by the
+caller (the PPO update re-runs the cell over stored rollout steps), so only
+a step interface is exposed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import initialize
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, concat
+
+
+class LSTMCell(Module):
+    """Standard LSTM cell with a fused gate projection.
+
+    Gates are computed as ``[i, f, g, o] = [x, h] @ W + b`` with the forget
+    bias initialized to 1.0 (standard trick for gradient flow early in
+    training).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+        init: str = "orthogonal",
+    ) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("LSTMCell sizes must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight = Parameter(
+            initialize(init, (input_size + hidden_size, 4 * hidden_size), rng, gain=1.0)
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget-gate bias
+        self.bias = Parameter(bias)
+
+    def initial_state(self, batch: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """Zero ``(h, c)`` arrays for a fresh episode (Algorithm 1, line 4)."""
+        return (
+            np.zeros((batch, self.hidden_size)),
+            np.zeros((batch, self.hidden_size)),
+        )
+
+    def forward(
+        self,
+        x: Tensor,
+        state: tuple[Tensor | np.ndarray, Tensor | np.ndarray],
+    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        """One recurrent step.
+
+        Parameters
+        ----------
+        x:
+            ``(batch, input_size)`` input.
+        state:
+            ``(h, c)`` pair, each ``(batch, hidden_size)``.
+
+        Returns
+        -------
+        ``(h_new, (h_new, c_new))`` — hidden output plus the new state.
+        """
+        x = Tensor.ensure(x)
+        h_prev = Tensor.ensure(state[0])
+        c_prev = Tensor.ensure(state[1])
+        if x.shape[-1] != self.input_size:
+            raise ValueError(f"LSTMCell expected input {self.input_size}, got {x.shape[-1]}")
+
+        gates = concat([x, h_prev], axis=-1) @ self.weight + self.bias
+        hs = self.hidden_size
+        i_gate = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f_gate = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g_gate = gates[:, 2 * hs : 3 * hs].tanh()
+        o_gate = gates[:, 3 * hs : 4 * hs].sigmoid()
+
+        c_new = f_gate * c_prev + i_gate * g_gate
+        h_new = o_gate * c_new.tanh()
+        return h_new, (h_new, c_new)

@@ -1,0 +1,26 @@
+"""Checkpoint save / load for :class:`repro.nn.module.Module` state dicts.
+
+Checkpoints are plain ``.npz`` archives so they stay portable and
+inspectable without this library.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state(module: Module, path: str | os.PathLike) -> None:
+    """Write ``module.state_dict()`` to an ``.npz`` archive."""
+    state = module.state_dict()
+    np.savez(path, **state)
+
+
+def load_state(module: Module, path: str | os.PathLike) -> None:
+    """Load an archive written by :func:`save_state` into ``module``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,51 @@
+"""Reinforcement-learning algorithms: PPO+GAE, A2C, DQN, and the runner."""
+
+from repro.rl.a2c import A2CConfig, A2CStats, A2CUpdater
+from repro.rl.buffer import ReplayBuffer, RolloutBuffer
+from repro.rl.dqn import DQNConfig, DQNStats, DQNUpdater
+from repro.rl.gae import compute_gae, discounted_returns, normalize_advantages
+from repro.rl.normalize import (
+    ObservationNormalizer,
+    ReturnNormalizer,
+    RunningMeanStd,
+)
+from repro.rl.ppo import PPOConfig, PPOStats, PPOUpdater
+from repro.rl.runner import (
+    EpisodeLog,
+    EvaluationResult,
+    TrainingHistory,
+    evaluate,
+    run_episode,
+    train,
+    train_with_eval,
+)
+from repro.rl.schedules import ExponentialSchedule, LinearSchedule
+
+__all__ = [
+    "A2CConfig",
+    "A2CStats",
+    "A2CUpdater",
+    "DQNConfig",
+    "DQNStats",
+    "DQNUpdater",
+    "EpisodeLog",
+    "EvaluationResult",
+    "ExponentialSchedule",
+    "LinearSchedule",
+    "ObservationNormalizer",
+    "PPOConfig",
+    "PPOStats",
+    "PPOUpdater",
+    "ReplayBuffer",
+    "ReturnNormalizer",
+    "RolloutBuffer",
+    "RunningMeanStd",
+    "TrainingHistory",
+    "compute_gae",
+    "discounted_returns",
+    "evaluate",
+    "normalize_advantages",
+    "run_episode",
+    "train",
+    "train_with_eval",
+]

@@ -1,0 +1,87 @@
+"""Advantage Actor-Critic update (backbone of the MA2C baseline).
+
+MA2C (Chu et al., 2019) trains independent actor-critic agents with a
+single gradient step per batch (no surrogate clipping, no epochs): the
+policy loss is ``-log pi(a|s) * A`` with an entropy bonus, the value loss
+is mean squared error against n-step returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.nn.optim import Optimizer, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class A2CConfig:
+    """Hyperparameters of the A2C update."""
+
+    value_coef: float = 0.5
+    entropy_coef: float = 0.01
+    max_grad_norm: float = 40.0
+    gamma: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.value_coef < 0 or self.entropy_coef < 0:
+            raise ConfigError("loss coefficients must be non-negative")
+
+
+@dataclass
+class A2CStats:
+    policy_loss: float
+    value_loss: float
+    entropy: float
+
+
+class A2CUpdater:
+    """One-shot actor-critic gradient step over an episode batch."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        optimizers: Sequence[Optimizer],
+        config: A2CConfig | None = None,
+    ) -> None:
+        self.parameters = list(parameters)
+        self.optimizers = list(optimizers)
+        if not self.optimizers:
+            raise ConfigError("A2C needs at least one optimizer")
+        self.config = config or A2CConfig()
+
+    def update(
+        self,
+        evaluate: Callable[[], tuple[Tensor, Tensor, Tensor]],
+        advantages: np.ndarray,
+        returns: np.ndarray,
+    ) -> A2CStats:
+        """Single gradient step.
+
+        ``evaluate`` re-runs the episode and returns ``(logprobs,
+        entropies, values)`` Tensors shaped like ``advantages``.
+        """
+        cfg = self.config
+        logprobs, entropy, values = evaluate()
+        adv = Tensor(np.asarray(advantages, dtype=np.float64))
+        policy_loss = -(logprobs * adv).mean()
+        entropy_bonus = entropy.mean()
+        value_error = values - Tensor(np.asarray(returns, dtype=np.float64))
+        value_loss = (value_error * value_error).mean()
+        total = policy_loss + cfg.value_coef * value_loss - cfg.entropy_coef * entropy_bonus
+        for optimizer in self.optimizers:
+            optimizer.zero_grad()
+        total.backward()
+        clip_grad_norm(self.parameters, cfg.max_grad_norm)
+        for optimizer in self.optimizers:
+            optimizer.step()
+        return A2CStats(
+            policy_loss=float(policy_loss.data),
+            value_loss=float(value_loss.data),
+            entropy=float(entropy_bonus.data),
+        )

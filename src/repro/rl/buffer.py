@@ -1,0 +1,75 @@
+"""Experience storage for on-policy (rollout) and off-policy (replay) RL."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class RolloutBuffer:
+    """Episode storage for on-policy algorithms (PPO / A2C).
+
+    Usage: call :meth:`add` once per environment step with arbitrary
+    keyword fields (obs, actions, rewards, values, ...); every call must
+    use the same field names.  :meth:`stacked` returns each field as a
+    numpy array with the step dimension first, e.g. ``(T, n_agents, ...)``
+    when per-step values are ``(n_agents, ...)`` arrays.
+    """
+
+    def __init__(self) -> None:
+        self._fields: dict[str, list[np.ndarray]] = {}
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def add(self, **fields) -> None:
+        if self._length == 0 and not self._fields:
+            for name in fields:
+                self._fields[name] = []
+        if set(fields) != set(self._fields):
+            raise ConfigError(
+                f"rollout fields changed: expected {sorted(self._fields)}, "
+                f"got {sorted(fields)}"
+            )
+        for name, value in fields.items():
+            self._fields[name].append(np.asarray(value))
+        self._length += 1
+
+    def stacked(self) -> dict[str, np.ndarray]:
+        """All fields stacked along a leading time axis."""
+        if self._length == 0:
+            raise ConfigError("rollout buffer is empty")
+        return {name: np.stack(values) for name, values in self._fields.items()}
+
+    def clear(self) -> None:
+        self._fields = {}
+        self._length = 0
+
+
+class ReplayBuffer:
+    """Uniform-sampling FIFO replay buffer for DQN-style algorithms."""
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ConfigError("replay capacity must be positive")
+        self.capacity = capacity
+        self._storage: deque[dict] = deque(maxlen=capacity)
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def add(self, transition: dict) -> None:
+        self._storage.append(transition)
+
+    def sample(self, batch_size: int) -> list[dict]:
+        if batch_size <= 0:
+            raise ConfigError("batch size must be positive")
+        if len(self._storage) == 0:
+            raise ConfigError("cannot sample from an empty replay buffer")
+        indices = self._rng.integers(0, len(self._storage), size=batch_size)
+        return [self._storage[int(i)] for i in indices]

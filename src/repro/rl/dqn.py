@@ -1,0 +1,123 @@
+"""Deep Q-learning machinery (backbone of the CoLight baseline).
+
+CoLight (Wei et al., 2019) trains a parameter-shared Q-network with a
+graph-attention state encoder using standard DQN: epsilon-greedy
+exploration, uniform replay, a periodically-synchronised target network,
+and Huber TD-error regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn import functional as F
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import Optimizer, clip_grad_norm
+from repro.nn.tensor import Tensor
+from repro.rl.buffer import ReplayBuffer
+from repro.rl.schedules import LinearSchedule
+
+
+@dataclass
+class DQNConfig:
+    """Hyperparameters of the DQN update."""
+
+    gamma: float = 0.95
+    batch_size: int = 64
+    replay_capacity: int = 50_000
+    learning_starts: int = 200
+    target_sync_interval: int = 20
+    max_grad_norm: float = 10.0
+    epsilon_start: float = 1.0
+    epsilon_end: float = 0.05
+    epsilon_decay_steps: int = 5_000
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0 or self.replay_capacity <= 0:
+            raise ConfigError("batch_size and replay_capacity must be positive")
+
+    def epsilon_schedule(self) -> LinearSchedule:
+        return LinearSchedule(
+            self.epsilon_start, self.epsilon_end, self.epsilon_decay_steps
+        )
+
+
+@dataclass
+class DQNStats:
+    loss: float
+    mean_q: float
+
+
+class DQNUpdater:
+    """TD-regression update shared by all DQN-family agents.
+
+    The agent supplies two callables: ``q_fn(batch) -> Tensor (B, A)``
+    evaluating the online network on a list of stored transitions, and
+    ``target_q_fn(batch) -> np.ndarray (B, A)`` evaluating the frozen
+    target network on the successor states.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        optimizer: Optimizer,
+        online: Module,
+        target: Module,
+        config: DQNConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.parameters = list(parameters)
+        self.optimizer = optimizer
+        self.online = online
+        self.target = target
+        self.config = config or DQNConfig()
+        self.replay = ReplayBuffer(self.config.replay_capacity, seed=seed)
+        self.epsilon = self.config.epsilon_schedule()
+        self._updates = 0
+        self._env_steps = 0
+        self.target.copy_from(self.online)
+
+    # ------------------------------------------------------------------
+    def record_step(self) -> None:
+        """Note one environment step (drives the epsilon schedule)."""
+        self._env_steps += 1
+
+    def current_epsilon(self) -> float:
+        return self.epsilon.value(self._env_steps)
+
+    def ready(self) -> bool:
+        return len(self.replay) >= max(self.config.learning_starts, self.config.batch_size)
+
+    def update(
+        self,
+        q_fn: Callable[[list[dict]], Tensor],
+        target_q_fn: Callable[[list[dict]], np.ndarray],
+    ) -> DQNStats | None:
+        """One minibatch TD update; returns None until the replay warms up."""
+        if not self.ready():
+            return None
+        cfg = self.config
+        batch = self.replay.sample(cfg.batch_size)
+        actions = np.asarray([t["action"] for t in batch], dtype=np.int64)
+        rewards = np.asarray([t["reward"] for t in batch], dtype=np.float64)
+        dones = np.asarray([t.get("done", False) for t in batch], dtype=bool)
+
+        next_q = target_q_fn(batch)  # (B, A)
+        targets = rewards + cfg.gamma * np.where(dones, 0.0, next_q.max(axis=1))
+
+        q_values = q_fn(batch)  # Tensor (B, A)
+        chosen = F.gather(q_values, actions)
+        loss = F.huber_loss(chosen, Tensor(targets))
+        self.optimizer.zero_grad()
+        loss.backward()
+        clip_grad_norm(self.parameters, cfg.max_grad_norm)
+        self.optimizer.step()
+
+        self._updates += 1
+        if self._updates % cfg.target_sync_interval == 0:
+            self.target.copy_from(self.online)
+        return DQNStats(loss=float(loss.data), mean_q=float(q_values.data.mean()))

@@ -1,0 +1,84 @@
+"""Generalized Advantage Estimation (Schulman et al., 2016).
+
+The paper's backbone is PPO with GAE (Eq. 7 and Algorithm 1 line 27):
+advantages are the exponentially-weighted sum of TD residuals, and the
+regression targets ("reward-to-go", line 28) are ``advantage + value``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def compute_gae(
+    rewards: np.ndarray,
+    values: np.ndarray,
+    bootstrap_value: np.ndarray | float,
+    gamma: float = 0.99,
+    lam: float = 0.95,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute GAE advantages and reward-to-go targets.
+
+    Parameters
+    ----------
+    rewards:
+        ``(T, ...)`` per-step rewards (trailing dims broadcast, e.g. one
+        column per agent).
+    values:
+        ``(T, ...)`` value estimates aligned with ``rewards``.
+    bootstrap_value:
+        Value estimate of the state *after* the last step (0 for terminal
+        episodes — Algorithm 1 lines 23-25).
+    gamma, lam:
+        Discount and GAE trace-decay factors.
+
+    Returns
+    -------
+    ``(advantages, returns)`` with the same shape as ``rewards``.
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if rewards.shape != values.shape:
+        raise ConfigError(
+            f"rewards shape {rewards.shape} != values shape {values.shape}"
+        )
+    if not 0.0 <= gamma <= 1.0 or not 0.0 <= lam <= 1.0:
+        raise ConfigError("gamma and lam must lie in [0, 1]")
+    horizon = rewards.shape[0]
+    if horizon == 0:
+        raise ConfigError("cannot compute GAE over an empty trajectory")
+    advantages = np.zeros_like(rewards)
+    next_value = np.broadcast_to(
+        np.asarray(bootstrap_value, dtype=np.float64), rewards.shape[1:]
+    ).copy()
+    carry = np.zeros(rewards.shape[1:], dtype=np.float64)
+    for t in range(horizon - 1, -1, -1):
+        delta = rewards[t] + gamma * next_value - values[t]
+        carry = delta + gamma * lam * carry
+        advantages[t] = carry
+        next_value = values[t]
+    returns = advantages + values
+    return advantages, returns
+
+
+def normalize_advantages(advantages: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+    """Standard per-batch advantage normalisation."""
+    flat = np.asarray(advantages, dtype=np.float64)
+    return (flat - flat.mean()) / (flat.std() + eps)
+
+
+def discounted_returns(
+    rewards: np.ndarray, gamma: float, bootstrap_value: np.ndarray | float = 0.0
+) -> np.ndarray:
+    """Plain discounted reward-to-go (used by the A2C baseline)."""
+    rewards = np.asarray(rewards, dtype=np.float64)
+    returns = np.zeros_like(rewards)
+    carry = np.broadcast_to(
+        np.asarray(bootstrap_value, dtype=np.float64), rewards.shape[1:]
+    ).copy()
+    for t in range(rewards.shape[0] - 1, -1, -1):
+        carry = rewards[t] + gamma * carry
+        returns[t] = carry
+    return returns

@@ -1,0 +1,112 @@
+"""Running normalisation utilities.
+
+Standard PPO plumbing: a numerically-stable running mean/variance
+(Welford / parallel-variance updates) and observation / return
+normalisers built on it.  The PairUpLight observations are already
+hand-scaled (see :mod:`repro.env.observation`), so these are optional —
+useful when experimenting with richer raw states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class RunningMeanStd:
+    """Tracks mean and variance of a stream of vectors."""
+
+    def __init__(self, shape: tuple[int, ...] = ()) -> None:
+        self.mean = np.zeros(shape, dtype=np.float64)
+        self.var = np.ones(shape, dtype=np.float64)
+        self.count = 0.0
+
+    def update(self, batch: np.ndarray) -> None:
+        """Fold a batch (leading axis = samples) into the statistics."""
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim == len(self.mean.shape):
+            batch = batch[None, ...]
+        batch_count = batch.shape[0]
+        if batch_count == 0:
+            return
+        batch_mean = batch.mean(axis=0)
+        batch_var = batch.var(axis=0)
+        delta = batch_mean - self.mean
+        total = self.count + batch_count
+        self.mean = self.mean + delta * batch_count / total
+        m_a = self.var * self.count
+        m_b = batch_var * batch_count
+        m2 = m_a + m_b + delta**2 * self.count * batch_count / total
+        self.var = m2 / total
+        self.count = total
+
+    @property
+    def std(self) -> np.ndarray:
+        return np.sqrt(self.var)
+
+
+class ObservationNormalizer:
+    """Normalises observation vectors to approximately zero-mean/unit-std.
+
+    During training, statistics update continuously; freeze with
+    ``frozen=True`` (e.g. for evaluation) to stop adaptation.
+    """
+
+    def __init__(self, dim: int, clip: float = 10.0, eps: float = 1e-8) -> None:
+        if dim <= 0:
+            raise ConfigError("normalizer dimension must be positive")
+        if clip <= 0:
+            raise ConfigError("clip must be positive")
+        self._stats = RunningMeanStd((dim,))
+        self.clip = clip
+        self.eps = eps
+        self.frozen = False
+
+    def __call__(self, observation: np.ndarray, update: bool = True) -> np.ndarray:
+        observation = np.asarray(observation, dtype=np.float64)
+        if update and not self.frozen:
+            self._stats.update(observation)
+        normalised = (observation - self._stats.mean) / (self._stats.std + self.eps)
+        return np.clip(normalised, -self.clip, self.clip)
+
+    def state(self) -> dict[str, np.ndarray]:
+        return {
+            "mean": self._stats.mean.copy(),
+            "var": self._stats.var.copy(),
+            "count": np.asarray(self._stats.count),
+        }
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        self._stats.mean = np.asarray(state["mean"], dtype=np.float64).copy()
+        self._stats.var = np.asarray(state["var"], dtype=np.float64).copy()
+        self._stats.count = float(state["count"])
+
+
+class ReturnNormalizer:
+    """Scales rewards by the running std of the discounted return.
+
+    Keeps value-loss magnitudes stable across demand levels without
+    shifting the reward's sign (mean is *not* subtracted).
+    """
+
+    def __init__(self, gamma: float = 0.99, eps: float = 1e-8) -> None:
+        if not 0.0 <= gamma <= 1.0:
+            raise ConfigError("gamma must lie in [0, 1]")
+        self.gamma = gamma
+        self.eps = eps
+        self._stats = RunningMeanStd(())
+        self._carry: np.ndarray | None = None
+
+    def __call__(self, rewards: np.ndarray) -> np.ndarray:
+        """Normalise a vector of per-agent rewards for one step."""
+        rewards = np.asarray(rewards, dtype=np.float64)
+        if self._carry is None or self._carry.shape != rewards.shape:
+            self._carry = np.zeros_like(rewards)
+        self._carry = self.gamma * self._carry + rewards
+        self._stats.update(self._carry.reshape(-1, *self._stats.mean.shape))
+        return rewards / (self._stats.std + self.eps)
+
+    def reset(self) -> None:
+        """Clear the per-episode discounted-return carry."""
+        self._carry = None

@@ -1,0 +1,207 @@
+"""Training and evaluation orchestration.
+
+Implements the experiment protocols of Section VI:
+
+* :func:`train` — run N training episodes, recording the per-episode
+  average waiting time (the y-axis of Figs. 7, 8 and 10).
+* :func:`evaluate` — run drain-mode episodes with greedy policies and
+  report average travel time (the Table II / III metric).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.agents.base import AgentSystem
+from repro.env.tsc_env import TrafficSignalEnv
+
+
+@dataclass
+class EpisodeLog:
+    """Diagnostics of one training episode."""
+
+    episode: int
+    avg_wait: float
+    total_reward: float
+    duration_s: float
+    update_stats: dict = field(default_factory=dict)
+
+
+@dataclass
+class TrainingHistory:
+    """Complete record of a training run."""
+
+    agent_name: str
+    episodes: list[EpisodeLog] = field(default_factory=list)
+
+    @property
+    def wait_curve(self) -> np.ndarray:
+        """Per-episode average waiting time (Fig. 7/8/10 series)."""
+        return np.asarray([log.avg_wait for log in self.episodes])
+
+    @property
+    def reward_curve(self) -> np.ndarray:
+        return np.asarray([log.total_reward for log in self.episodes])
+
+    def best_episode(self) -> EpisodeLog:
+        return min(self.episodes, key=lambda log: log.avg_wait)
+
+    def smoothed_wait_curve(self, window: int = 10) -> np.ndarray:
+        """Moving average of the wait curve (how the figures are drawn)."""
+        curve = self.wait_curve
+        if window <= 1 or len(curve) < 2:
+            return curve
+        kernel = np.ones(min(window, len(curve))) / min(window, len(curve))
+        return np.convolve(curve, kernel, mode="valid")
+
+
+def run_episode(
+    agent: AgentSystem,
+    env: TrafficSignalEnv,
+    training: bool,
+    seed: int | None = None,
+) -> tuple[float, float, dict]:
+    """Run one full episode; returns (avg_wait, total_reward, final_info)."""
+    observations = env.reset(seed=seed)
+    agent.begin_episode(env, training)
+    wait_samples: list[float] = []
+    total_reward = 0.0
+    info: dict = {}
+    done = False
+    while not done:
+        actions = agent.act(observations, env, training)
+        result = env.step(actions)
+        if training:
+            agent.observe(result, env)
+        observations = result.observations
+        wait_samples.append(result.info["average_wait"])
+        total_reward += float(sum(result.rewards.values()))
+        done = result.done
+        info = result.info
+    avg_wait = float(np.mean(wait_samples)) if wait_samples else 0.0
+    return avg_wait, total_reward, info
+
+
+def train(
+    agent: AgentSystem,
+    env: TrafficSignalEnv,
+    episodes: int,
+    seed: int = 0,
+    log_every: int = 0,
+) -> TrainingHistory:
+    """Train ``agent`` for ``episodes`` episodes on ``env``."""
+    history = TrainingHistory(agent_name=agent.name)
+    for episode in range(episodes):
+        started = time.perf_counter()
+        avg_wait, total_reward, _ = run_episode(
+            agent, env, training=True, seed=seed + episode
+        )
+        stats = agent.end_episode(env, training=True)
+        log = EpisodeLog(
+            episode=episode,
+            avg_wait=avg_wait,
+            total_reward=total_reward,
+            duration_s=time.perf_counter() - started,
+            update_stats=stats,
+        )
+        history.episodes.append(log)
+        if log_every and (episode + 1) % log_every == 0:
+            print(
+                f"[{agent.name}] episode {episode + 1}/{episodes} "
+                f"avg_wait={avg_wait:.2f}s reward={total_reward:.1f}"
+            )
+    return history
+
+
+def train_with_eval(
+    agent: AgentSystem,
+    train_env: TrafficSignalEnv,
+    eval_env: TrafficSignalEnv,
+    episodes: int,
+    eval_every: int,
+    seed: int = 0,
+    eval_episodes: int = 1,
+) -> tuple[TrainingHistory, list[tuple[int, "EvaluationResult"]]]:
+    """Train with periodic drain-mode evaluations.
+
+    Every ``eval_every`` episodes (and once more at the end) the agent is
+    frozen and evaluated greedily on ``eval_env``; the checkpoints let
+    you see *generalisation* progress, not just the training curve.
+    Returns ``(history, [(episode, evaluation), ...])``.
+    """
+    if eval_every <= 0:
+        raise ValueError("eval_every must be positive")
+    history = TrainingHistory(agent_name=agent.name)
+    checkpoints: list[tuple[int, EvaluationResult]] = []
+    for episode in range(episodes):
+        started = time.perf_counter()
+        avg_wait, total_reward, _ = run_episode(
+            agent, train_env, training=True, seed=seed + episode
+        )
+        stats = agent.end_episode(train_env, training=True)
+        history.episodes.append(
+            EpisodeLog(
+                episode=episode,
+                avg_wait=avg_wait,
+                total_reward=total_reward,
+                duration_s=time.perf_counter() - started,
+                update_stats=stats,
+            )
+        )
+        if (episode + 1) % eval_every == 0 or episode == episodes - 1:
+            result = evaluate(
+                agent, eval_env, episodes=eval_episodes, seed=seed + 10_000
+            )
+            checkpoints.append((episode, result))
+    return history, checkpoints
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of a drain-mode evaluation run."""
+
+    agent_name: str
+    average_travel_time: float
+    average_wait: float
+    finished_vehicles: int
+    total_created: int
+    episodes: int
+
+    @property
+    def completion_rate(self) -> float:
+        if self.total_created == 0:
+            return 1.0
+        return self.finished_vehicles / self.total_created
+
+
+def evaluate(
+    agent: AgentSystem,
+    env: TrafficSignalEnv,
+    episodes: int = 1,
+    seed: int = 10_000,
+) -> EvaluationResult:
+    """Evaluate with greedy policies; env should be in drain mode."""
+    travel_times: list[float] = []
+    waits: list[float] = []
+    finished = 0
+    created = 0
+    for episode in range(episodes):
+        avg_wait, _, info = run_episode(
+            agent, env, training=False, seed=seed + episode
+        )
+        agent.end_episode(env, training=False)
+        travel_times.append(info.get("average_travel_time", float("nan")))
+        waits.append(avg_wait)
+        finished += info.get("finished_vehicles", 0)
+        created += info.get("total_created", 0)
+    return EvaluationResult(
+        agent_name=agent.name,
+        average_travel_time=float(np.mean(travel_times)),
+        average_wait=float(np.mean(waits)),
+        finished_vehicles=finished,
+        total_created=created,
+        episodes=episodes,
+    )

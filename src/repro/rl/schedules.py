@@ -1,0 +1,44 @@
+"""Exploration / learning-rate schedules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LinearSchedule:
+    """Linear interpolation from ``start`` to ``end`` over ``steps``."""
+
+    start: float
+    end: float
+    steps: int
+
+    def __post_init__(self) -> None:
+        if self.steps <= 0:
+            raise ConfigError("schedule needs a positive step count")
+
+    def value(self, step: int) -> float:
+        if step >= self.steps:
+            return self.end
+        if step <= 0:
+            return self.start
+        frac = step / self.steps
+        return self.start + frac * (self.end - self.start)
+
+
+@dataclass(frozen=True)
+class ExponentialSchedule:
+    """Exponential decay ``start * decay**step`` floored at ``end``."""
+
+    start: float
+    end: float
+    decay: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.decay <= 1.0:
+            raise ConfigError("decay must lie in (0, 1]")
+
+    def value(self, step: int) -> float:
+        return max(self.end, self.start * self.decay**step)

@@ -1,0 +1,45 @@
+"""Evaluation scenarios: grids, flow patterns, Monaco-style net, arterials."""
+
+from repro.scenarios.arterial import (
+    ArterialScenario,
+    ArterialSpec,
+    OffsetProgram,
+    build_arterial,
+)
+from repro.scenarios.flows import (
+    PATTERN_GROUPS,
+    congested_pattern,
+    corridor_groups,
+    flow_pattern,
+    light_uniform_pattern,
+)
+from repro.scenarios.grid import (
+    GridScenario,
+    GridSpec,
+    build_grid,
+    intersection_id,
+    link_id,
+    terminal_id,
+)
+from repro.scenarios.monaco import MonacoScenario, MonacoSpec, build_monaco
+
+__all__ = [
+    "ArterialScenario",
+    "ArterialSpec",
+    "GridScenario",
+    "GridSpec",
+    "MonacoScenario",
+    "MonacoSpec",
+    "OffsetProgram",
+    "PATTERN_GROUPS",
+    "build_arterial",
+    "build_grid",
+    "build_monaco",
+    "congested_pattern",
+    "corridor_groups",
+    "flow_pattern",
+    "intersection_id",
+    "light_uniform_pattern",
+    "link_id",
+    "terminal_id",
+]

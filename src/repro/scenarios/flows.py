@@ -1,0 +1,182 @@
+"""The paper's five traffic-flow patterns (Section VI-A, Fig. 6).
+
+Patterns 1-4 are congested, time-varying scenarios built from two of four
+corridor *groups*.  A group is four parallel corridors; each corridor
+carries a *forward* flow (southbound / eastbound, loaded from t = 0,
+triangular peak of ``peak_rate`` veh/h at ``t_peak``) and a *reverse*
+flow (northbound / westbound, starting at ``t_peak`` and peaking at
+``2 * t_peak``).  With two groups active, 16 OD pairs coexist during the
+overlap window — the paper's headline congestion stressor.
+
+Pattern 5 is the light uniform pattern: 300 veh/h west-to-east on every
+row and 90 veh/h south-to-north on every column.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DemandError
+from repro.scenarios.grid import GridScenario
+from repro.sim.demand import Flow, RateProfile
+
+
+def _spread(indices_wanted: int, available: int) -> list[int]:
+    """Pick ``indices_wanted`` roughly-even indices out of ``available``."""
+    if available <= 0:
+        raise DemandError("grid has no corridors")
+    count = min(indices_wanted, available)
+    if count == available:
+        return list(range(available))
+    step = available / count
+    return sorted({min(available - 1, int(i * step + step / 2)) for i in range(count)})
+
+
+def corridor_groups(scenario: GridScenario) -> dict[str, list[tuple]]:
+    """The four corridor groups F1-F4 (paper Fig. 6).
+
+    Each group mixes both axes, like the paper's scenarios whose arrows
+    cross the grid in several directions:
+
+    * **F1** — two vertical + two horizontal straight corridors,
+    * **F2** — the alternate vertical/horizontal straight corridors,
+    * **F3** — four L-shaped (turning) routes, north-to-east and
+      west-to-south,
+    * **F4** — four L-shaped routes through the alternate corridors.
+
+    Entries are ``("col", c)``, ``("row", r)`` or ``("L", kind, c, r)``
+    tuples consumed by :func:`_corridor_links`.
+    """
+    cols = scenario.spec.cols
+    rows = scenario.spec.rows
+    col_idx = _spread(4, cols)
+    row_idx = _spread(4, rows)
+
+    def col(i: int) -> int:
+        return col_idx[i % len(col_idx)]
+
+    def row(i: int) -> int:
+        return row_idx[i % len(row_idx)]
+
+    return {
+        "F1": [("col", col(0)), ("col", col(2)), ("row", row(0)), ("row", row(2))],
+        "F2": [("col", col(1)), ("col", col(3)), ("row", row(1)), ("row", row(3))],
+        "F3": [
+            ("L", "n2e", col(0), row(3)),
+            ("L", "n2e", col(2), row(1)),
+            ("L", "w2s", col(1), row(0)),
+            ("L", "w2s", col(3), row(2)),
+        ],
+        "F4": [
+            ("L", "n2e", col(1), row(2)),
+            ("L", "n2e", col(3), row(0)),
+            ("L", "w2s", col(0), row(1)),
+            ("L", "w2s", col(2), row(3)),
+        ],
+    }
+
+
+#: Which two corridor groups compose each congested pattern.  Every
+#: pattern pairs one straight group with one L-shaped (turning) group —
+#: as in the paper's Fig. 6, where each scenario mixes straight and
+#: bending flows — so that all signal phases (including protected lefts)
+#: and both axes carry traffic in every pattern, while the *locations*
+#: of the loaded corridors differ between patterns.
+PATTERN_GROUPS = {
+    1: ("F1", "F3"),
+    2: ("F1", "F4"),
+    3: ("F2", "F3"),
+    4: ("F2", "F4"),
+}
+
+
+def _corridor_links(scenario: GridScenario, corridor: tuple, forward: bool) -> tuple[str, str]:
+    """Resolve a corridor-group entry to ``(origin_link, destination_link)``."""
+    axis = corridor[0]
+    if axis == "col":
+        return scenario.column_route_links(corridor[1], southbound=forward)
+    if axis == "row":
+        return scenario.row_route_links(corridor[1], eastbound=forward)
+    if axis == "L":
+        _, kind, col, row = corridor
+        south_in, south_out = scenario.column_route_links(col, southbound=True)
+        north_in, north_out = scenario.column_route_links(col, southbound=False)
+        east_in, east_out = scenario.row_route_links(row, eastbound=True)
+        west_in, west_out = scenario.row_route_links(row, eastbound=False)
+        if kind == "n2e":  # enter north, exit east; reverse enters east, exits north
+            return (south_in, east_out) if forward else (west_in, north_out)
+        if kind == "w2s":  # enter west, exit south; reverse enters south, exits west
+            return (east_in, south_out) if forward else (north_in, west_out)
+        raise DemandError(f"unknown L-route kind {kind!r}")
+    raise DemandError(f"unknown corridor axis {axis!r}")
+
+
+def congested_pattern(
+    scenario: GridScenario,
+    pattern: int,
+    peak_rate: float = 500.0,
+    t_peak: float = 900.0,
+) -> list[Flow]:
+    """Build flow pattern 1, 2, 3 or 4.
+
+    Forward flows ramp 0 -> ``peak_rate`` -> 0 over ``[0, 2*t_peak]``;
+    reverse flows over ``[t_peak, 3*t_peak]``.  Flow names encode the
+    corridor and direction for debugging.
+    """
+    if pattern not in PATTERN_GROUPS:
+        raise DemandError(f"congested pattern must be 1-4, got {pattern}")
+    if peak_rate <= 0 or t_peak <= 0:
+        raise DemandError("peak_rate and t_peak must be positive")
+    groups = corridor_groups(scenario)
+    forward_profile = RateProfile.triangular(0.0, t_peak, 2 * t_peak, peak_rate)
+    reverse_profile = RateProfile.triangular(t_peak, 2 * t_peak, 3 * t_peak, peak_rate)
+    flows: list[Flow] = []
+    for group_name in PATTERN_GROUPS[pattern]:
+        for slot, corridor in enumerate(groups[group_name]):
+            fwd_o, fwd_d = _corridor_links(scenario, corridor, forward=True)
+            rev_o, rev_d = _corridor_links(scenario, corridor, forward=False)
+            flows.append(
+                Flow(f"{group_name}-{slot}-fwd", fwd_o, fwd_d, forward_profile)
+            )
+            flows.append(
+                Flow(f"{group_name}-{slot}-rev", rev_o, rev_d, reverse_profile)
+            )
+    return flows
+
+
+def light_uniform_pattern(
+    scenario: GridScenario,
+    duration: float = 1800.0,
+    ew_rate: float = 300.0,
+    sn_rate: float = 90.0,
+) -> list[Flow]:
+    """Flow pattern 5: uniform light traffic.
+
+    300 veh/h west-to-east on every row, 90 veh/h south-to-north on every
+    column (paper Section VI-A).
+    """
+    if duration <= 0:
+        raise DemandError("duration must be positive")
+    flows: list[Flow] = []
+    ew_profile = RateProfile.constant(ew_rate, duration)
+    sn_profile = RateProfile.constant(sn_rate, duration)
+    for row in range(scenario.spec.rows):
+        origin, dest = scenario.row_route_links(row, eastbound=True)
+        flows.append(Flow(f"P5-row{row}-we", origin, dest, ew_profile))
+    for col in range(scenario.spec.cols):
+        origin, dest = scenario.column_route_links(col, southbound=False)
+        flows.append(Flow(f"P5-col{col}-sn", origin, dest, sn_profile))
+    return flows
+
+
+def flow_pattern(
+    scenario: GridScenario,
+    pattern: int,
+    peak_rate: float = 500.0,
+    t_peak: float = 900.0,
+    light_duration: float = 1800.0,
+) -> list[Flow]:
+    """Dispatch to one of the paper's five patterns by number."""
+    if pattern in PATTERN_GROUPS:
+        return congested_pattern(scenario, pattern, peak_rate, t_peak)
+    if pattern == 5:
+        return light_uniform_pattern(scenario, duration=light_duration)
+    raise DemandError(f"flow pattern must be 1-5, got {pattern}")

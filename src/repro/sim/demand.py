@@ -1,0 +1,165 @@
+"""Traffic demand: time-varying origin-destination flows.
+
+The paper's congestion-generation strategy (Section VI-A) staggers OD
+flows in time — eastbound/southbound first, reverse flows starting at
+t = 900 s, peaks of 500 veh/h — so the demand model here is a set of
+:class:`Flow` objects, each with a piecewise-linear rate profile.
+
+Vehicle emission supports two modes:
+
+* ``stochastic=True`` — Poisson arrivals (per-tick Bernoulli thinning of
+  the instantaneous rate), seeded; this mirrors SUMO's randomised depart
+  times.
+* ``stochastic=False`` — deterministic fractional-accumulator emission,
+  useful for exactly-reproducible tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DemandError
+from repro.sim.routing import Router
+
+
+@dataclass(frozen=True)
+class RateProfile:
+    """Piecewise-linear flow rate in vehicles/hour.
+
+    ``points`` is a sorted list of ``(time_s, rate_veh_per_hour)``; the
+    rate is linearly interpolated between points, constant before the
+    first point only if the first point is at t=0, and zero outside the
+    span.
+    """
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise DemandError("rate profile needs at least one point")
+        times = [t for t, _ in self.points]
+        if times != sorted(times):
+            raise DemandError("rate profile times must be non-decreasing")
+        if any(rate < 0 for _, rate in self.points):
+            raise DemandError("rates must be non-negative")
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous rate (veh/h) at time ``t`` seconds."""
+        pts = self.points
+        if t < pts[0][0] or t > pts[-1][0]:
+            return 0.0
+        for (t0, r0), (t1, r1) in zip(pts[:-1], pts[1:]):
+            if t0 <= t <= t1:
+                if t1 == t0:
+                    return r1
+                frac = (t - t0) / (t1 - t0)
+                return r0 + frac * (r1 - r0)
+        return pts[-1][1] if t == pts[-1][0] else 0.0
+
+    @property
+    def end_time(self) -> float:
+        return self.points[-1][0]
+
+    @property
+    def peak_rate(self) -> float:
+        return max(rate for _, rate in self.points)
+
+    @staticmethod
+    def constant(rate: float, duration: float) -> "RateProfile":
+        """Flat rate from t=0 to ``duration``."""
+        return RateProfile(((0.0, rate), (float(duration), rate)))
+
+    @staticmethod
+    def triangular(start: float, peak_time: float, end: float, peak_rate: float) -> "RateProfile":
+        """Ramp from 0 at ``start`` up to ``peak_rate`` at ``peak_time``, back to 0 at ``end``."""
+        if not start <= peak_time <= end:
+            raise DemandError("triangular profile requires start <= peak <= end")
+        return RateProfile(
+            ((float(start), 0.0), (float(peak_time), peak_rate), (float(end), 0.0))
+        )
+
+
+@dataclass
+class Flow:
+    """One OD flow: vehicles from ``origin_link`` to ``destination_link``."""
+
+    name: str
+    origin_link: str
+    destination_link: str
+    profile: RateProfile
+    _accumulator: float = field(default=0.0, repr=False)
+
+    def expected_vehicles(self) -> float:
+        """Integral of the rate profile (total expected emissions)."""
+        total = 0.0
+        pts = self.profile.points
+        for (t0, r0), (t1, r1) in zip(pts[:-1], pts[1:]):
+            total += (t1 - t0) * (r0 + r1) / 2.0 / 3600.0
+        return total
+
+
+class DemandGenerator:
+    """Turns a set of flows into per-tick vehicle emissions.
+
+    Call :meth:`emit` exactly once per simulation tick; it returns the
+    vehicles (with routes resolved) created during that second.
+    """
+
+    def __init__(
+        self,
+        flows: list[Flow],
+        router: Router,
+        seed: int = 0,
+        stochastic: bool = True,
+    ) -> None:
+        if not flows:
+            raise DemandError("demand needs at least one flow")
+        names = [flow.name for flow in flows]
+        if len(set(names)) != len(names):
+            raise DemandError("flow names must be unique")
+        self.flows = flows
+        self.router = router
+        self.stochastic = stochastic
+        self._rng = np.random.default_rng(seed)
+        self._next_vehicle_id = 0
+        # Resolve all routes eagerly so bad ODs fail fast.
+        self._routes = {
+            flow.name: router.route(flow.origin_link, flow.destination_link)
+            for flow in flows
+        }
+
+    @property
+    def end_time(self) -> float:
+        """Last second at which any flow emits."""
+        return max(flow.profile.end_time for flow in self.flows)
+
+    def route_for(self, flow_name: str) -> list[str]:
+        return list(self._routes[flow_name])
+
+    def emit(self, t: int) -> list[tuple[int, list[str]]]:
+        """Vehicles created at tick ``t`` as ``(vehicle_id, route)`` pairs."""
+        created: list[tuple[int, list[str]]] = []
+        for flow in self.flows:
+            per_second = flow.profile.rate_at(float(t)) / 3600.0
+            if per_second <= 0.0:
+                continue
+            if self.stochastic:
+                count = int(self._rng.poisson(per_second))
+            else:
+                flow._accumulator += per_second
+                count = int(flow._accumulator)
+                flow._accumulator -= count
+            for _ in range(count):
+                created.append((self._next_vehicle_id, list(self._routes[flow.name])))
+                self._next_vehicle_id += 1
+        return created
+
+    def reset(self, seed: int | None = None) -> None:
+        """Reset emission state for a fresh episode."""
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        self._next_vehicle_id = 0
+        for flow in self.flows:
+            flow._accumulator = 0.0

@@ -1,0 +1,151 @@
+"""Range-limited sensing: loop detectors / lane-area detectors / cameras.
+
+The paper stresses (Fig. 2 and Section IV-A) that real sensors only cover
+a finite stretch of road — 50 m in their 6x6 grid — and that states built
+from such partial observations must therefore use *pressure* rather than
+raw queue length.  This module computes exactly those observed
+quantities: vehicles visible within ``coverage`` metres of a stop line,
+per lane, per movement (with equal splitting for shared lanes), and the
+resulting link- and intersection-level pressures.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulation
+from repro.sim.network import VEHICLE_SPACE_M, Movement
+
+#: Detector coverage used by the paper's 6x6 grid (metres from stop line).
+DEFAULT_COVERAGE_M = 50.0
+
+
+class DetectorSuite:
+    """Computes observed traffic quantities for one simulation.
+
+    Parameters
+    ----------
+    sim:
+        The live simulation to observe.
+    coverage:
+        Sensing range in metres measured upstream from each stop line
+        (and downstream from each link entry, for outgoing observation).
+    """
+
+    def __init__(self, sim: Simulation, coverage: float = DEFAULT_COVERAGE_M) -> None:
+        if coverage <= 0:
+            raise SimulationError("detector coverage must be positive")
+        self.sim = sim
+        self.coverage = coverage
+
+    # ------------------------------------------------------------------
+    # Lane-level observation
+    # ------------------------------------------------------------------
+    def observed_queue(self, lane_id: str) -> int:
+        """Halted vehicles visible in a lane.
+
+        Queued vehicles stand ``VEHICLE_SPACE_M`` apart starting at the
+        stop line, so at most ``floor(coverage / VEHICLE_SPACE_M)`` are
+        visible regardless of the true queue length — the sensing
+        limitation the paper's Fig. 2 illustrates.
+        """
+        visible_slots = int(self.coverage // VEHICLE_SPACE_M)
+        return min(self.sim.queue_length(lane_id), visible_slots)
+
+    def observed_approaching(self, link_id: str) -> int:
+        """Running vehicles within ``coverage`` of the link's stop line."""
+        link = self.sim.network.links[link_id]
+        count = 0
+        for vehicle in self.sim.running[link_id]:
+            travelled = link.speed_limit * (self.sim.time - vehicle.run_start)
+            distance_to_stop = max(0.0, link.length - travelled)
+            if distance_to_stop <= self.coverage:
+                count += 1
+        return count
+
+    def observed_on_link(self, link_id: str) -> int:
+        """All vehicles visible on a link near its stop line."""
+        link = self.sim.network.links[link_id]
+        queued = sum(self.observed_queue(lane.lane_id) for lane in link.lanes)
+        return queued + self.observed_approaching(link_id)
+
+    def observed_downstream(self, link_id: str) -> int:
+        """Vehicles visible near the *entry* of a link (just discharged).
+
+        Used as the outgoing-side term of pressure: a congested receiving
+        link shows many vehicles still near its upstream end.
+        """
+        link = self.sim.network.links[link_id]
+        count = 0
+        for vehicle in self.sim.running[link_id]:
+            travelled = link.speed_limit * (self.sim.time - vehicle.run_start)
+            if travelled <= self.coverage:
+                count += 1
+        # A queue that has spilled back past (length - coverage) is visible too.
+        spillback_threshold = max(0.0, link.length - self.coverage) / VEHICLE_SPACE_M
+        for lane in link.lanes:
+            overflow = self.sim.queue_length(lane.lane_id) - spillback_threshold
+            if overflow > 0:
+                count += int(overflow)
+        return count
+
+    # ------------------------------------------------------------------
+    # Movement / link pressure (paper Eq. 5 and Fig. 2)
+    # ------------------------------------------------------------------
+    def movement_incoming_count(self, movement: Movement) -> float:
+        """Observed vehicles on the in-link attributable to a movement.
+
+        Vehicles in a shared lane are split equally across the movements
+        sharing that lane (paper Fig. 2: "If multiple movements share one
+        lane, it is equally distributed to link level").
+        """
+        network = self.sim.network
+        total = 0.0
+        for lane in network.lanes_for_movement(movement):
+            sharers = len(network.movements_for_lane(lane))
+            if sharers == 0:
+                continue
+            total += self.observed_queue(lane.lane_id) / sharers
+        # Approaching vehicles are attributed proportionally to lane shares.
+        link = network.links[movement.in_link]
+        movements_here = network.movements_from(movement.in_link)
+        if movements_here:
+            total += self.observed_approaching(movement.in_link) / len(movements_here)
+        return total
+
+    def movement_pressure(self, movement: Movement) -> float:
+        """Pressure of one movement: incoming minus outgoing observation,
+        normalized per lane of the receiving link."""
+        out_link = self.sim.network.links[movement.out_link]
+        outgoing = self.observed_downstream(movement.out_link) / out_link.num_lanes
+        return self.movement_incoming_count(movement) - outgoing
+
+    def link_pressure(self, link_id: str) -> float:
+        """Link-level pressure: sum of its movements' pressures."""
+        movements = self.sim.network.movements_from(link_id)
+        return sum(self.movement_pressure(m) for m in movements)
+
+    def intersection_pressure(self, node_id: str) -> float:
+        """Total absolute pressure at an intersection.
+
+        Used for congestion ranking when PairUpLight picks its
+        communication partner; absolute values so that both starved and
+        flooded approaches register as imbalance.
+        """
+        return sum(
+            abs(self.movement_pressure(m)) for m in self.sim.network.movements_at(node_id)
+        )
+
+    def intersection_congestion(self, node_id: str) -> float:
+        """Congestion score of an intersection: observed halted vehicles.
+
+        The paper pairs each intersection with "the most congested
+        upstream intersection"; this score ranks candidates.
+        """
+        node = self.sim.network.nodes[node_id]
+        return float(
+            sum(self.observed_on_link(link_id) for link_id in node.incoming)
+        )
+
+    def head_wait(self, link_id: str) -> int:
+        """Waiting time of the head vehicle on a link (paper's wait term)."""
+        return self.sim.link_head_wait(link_id)

@@ -1,0 +1,179 @@
+"""Scenario serialization: road networks, phase plans and demand as JSON.
+
+Lets downstream users define their own intersections in plain files
+instead of Python, and lets experiments be archived exactly.  The format
+is a single JSON document:
+
+.. code-block:: json
+
+    {
+      "nodes": [{"id": "A", "x": 0, "y": 0, "signalized": false}, ...],
+      "links": [{"id": "A->B", "from": "A", "to": "B", "length": 200,
+                 "speed_limit": 13.89,
+                 "lanes": [["through", "right"], ["left"]]}, ...],
+      "movements": [{"in": "A->B", "out": "B->C", "turn": "through"}, ...],
+      "phase_plans": {"B": [{"name": "go", "green": [["A->B", "B->C"]]}]},
+      "flows": [{"name": "f", "origin": "A->B", "destination": "B->C",
+                 "profile": [[0, 0], [900, 500], [1800, 0]]}]
+    }
+
+``movements`` entries may omit ``turn`` to use geometric classification;
+``lanes`` lists each lane's permitted turn names (leftmost lane first).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.errors import NetworkError
+from repro.sim.demand import Flow, RateProfile
+from repro.sim.network import RoadNetwork, TurnType
+from repro.sim.signal import Phase, PhasePlan
+
+_TURN_NAMES = {turn.value: turn for turn in TurnType}
+
+
+def network_to_dict(
+    network: RoadNetwork,
+    phase_plans: dict[str, PhasePlan] | None = None,
+    flows: list[Flow] | None = None,
+) -> dict[str, Any]:
+    """Serialise a scenario to a JSON-compatible dictionary."""
+    payload: dict[str, Any] = {
+        "nodes": [
+            {"id": node.node_id, "x": node.x, "y": node.y, "signalized": node.signalized}
+            for node in network.nodes.values()
+        ],
+        "links": [
+            {
+                "id": link.link_id,
+                "from": link.from_node,
+                "to": link.to_node,
+                "length": link.length,
+                "speed_limit": link.speed_limit,
+                "lanes": [
+                    sorted(turn.value for turn in lane.allowed_turns)
+                    for lane in link.lanes
+                ],
+            }
+            for link in network.links.values()
+        ],
+        "movements": [
+            {"in": movement.in_link, "out": movement.out_link, "turn": movement.turn.value}
+            for movement in network.movements.values()
+        ],
+    }
+    if phase_plans is not None:
+        payload["phase_plans"] = {
+            node_id: [
+                {
+                    "name": phase.name,
+                    "green": sorted(list(pair) for pair in phase.green_movements),
+                }
+                for phase in plan.phases
+            ]
+            for node_id, plan in phase_plans.items()
+        }
+    if flows is not None:
+        payload["flows"] = [
+            {
+                "name": flow.name,
+                "origin": flow.origin_link,
+                "destination": flow.destination_link,
+                "profile": [list(point) for point in flow.profile.points],
+            }
+            for flow in flows
+        ]
+    return payload
+
+
+def network_from_dict(
+    payload: dict[str, Any],
+) -> tuple[RoadNetwork, dict[str, PhasePlan], list[Flow]]:
+    """Rebuild ``(network, phase_plans, flows)`` from a dictionary.
+
+    ``phase_plans`` / ``flows`` are empty when absent from the payload.
+    The network is validated before returning.
+    """
+    network = RoadNetwork()
+    for node in payload.get("nodes", []):
+        network.add_node(
+            node["id"], node["x"], node["y"], bool(node.get("signalized", False))
+        )
+    for link in payload.get("links", []):
+        lanes = link.get("lanes")
+        lane_turns = None
+        if lanes is not None:
+            lane_turns = [
+                frozenset(_parse_turn(name) for name in lane) for lane in lanes
+            ]
+        network.add_link(
+            link["id"],
+            link["from"],
+            link["to"],
+            length=float(link["length"]),
+            num_lanes=len(lane_turns) if lane_turns else int(link.get("num_lanes", 1)),
+            speed_limit=float(link.get("speed_limit", 13.89)),
+            lane_turns=lane_turns,
+        )
+    for movement in payload.get("movements", []):
+        turn = movement.get("turn")
+        network.add_movement(
+            movement["in"],
+            movement["out"],
+            turn=_parse_turn(turn) if turn else None,
+        )
+    network.validate()
+
+    phase_plans: dict[str, PhasePlan] = {}
+    for node_id, phases in payload.get("phase_plans", {}).items():
+        parsed = [
+            Phase(
+                entry.get("name", f"phase{idx}"),
+                frozenset(tuple(pair) for pair in entry["green"]),
+            )
+            for idx, entry in enumerate(phases)
+        ]
+        phase_plans[node_id] = PhasePlan(node_id, parsed)
+
+    flows = [
+        Flow(
+            entry["name"],
+            entry["origin"],
+            entry["destination"],
+            RateProfile(tuple((float(t), float(r)) for t, r in entry["profile"])),
+        )
+        for entry in payload.get("flows", [])
+    ]
+    return network, phase_plans, flows
+
+
+def _parse_turn(name: str) -> TurnType:
+    try:
+        return _TURN_NAMES[name]
+    except KeyError:
+        raise NetworkError(
+            f"unknown turn type {name!r}; expected one of {sorted(_TURN_NAMES)}"
+        )
+
+
+def save_scenario(
+    path: str | os.PathLike,
+    network: RoadNetwork,
+    phase_plans: dict[str, PhasePlan] | None = None,
+    flows: list[Flow] | None = None,
+) -> None:
+    """Write a scenario JSON file."""
+    with open(path, "w") as handle:
+        json.dump(network_to_dict(network, phase_plans, flows), handle, indent=2)
+
+
+def load_scenario(
+    path: str | os.PathLike,
+) -> tuple[RoadNetwork, dict[str, PhasePlan], list[Flow]]:
+    """Read a scenario JSON file written by :func:`save_scenario`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return network_from_dict(payload)

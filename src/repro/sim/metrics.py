@@ -1,0 +1,110 @@
+"""Performance metrics: travel time and waiting time.
+
+Matches the paper's Section VI-C metric definitions:
+
+* **Average travel time** — mean travel time over all vehicles entering
+  and exiting the network.  Vehicles that have not exited when
+  measurement happens are charged their elapsed time (which is how
+  oversaturated scenarios report averages far above the horizon, as in
+  Table II).
+* **Average waiting time** — mean of the maximum waiting times across all
+  incoming lanes at every intersection (sampled per step and averaged
+  over the episode by the caller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.engine import Simulation
+
+
+@dataclass
+class TravelTimeStats:
+    """Summary statistics of vehicle travel times."""
+
+    count: int
+    finished: int
+    mean: float
+    median: float
+    p95: float
+    max: float
+
+    @staticmethod
+    def empty() -> "TravelTimeStats":
+        return TravelTimeStats(0, 0, 0.0, 0.0, 0.0, 0.0)
+
+
+def travel_time_stats(sim: Simulation, include_unfinished: bool = True) -> TravelTimeStats:
+    """Compute travel-time statistics at the simulation's current tick."""
+    times: list[int] = [v.travel_time(sim.time) for v in sim.finished_vehicles]
+    finished = len(times)
+    if include_unfinished:
+        for vehicle in sim.vehicles.values():
+            if vehicle.finished is None:
+                times.append(vehicle.travel_time(sim.time))
+    if not times:
+        return TravelTimeStats.empty()
+    arr = np.asarray(times, dtype=np.float64)
+    return TravelTimeStats(
+        count=len(times),
+        finished=finished,
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p95=float(np.percentile(arr, 95)),
+        max=float(arr.max()),
+    )
+
+
+def average_travel_time(sim: Simulation, include_unfinished: bool = True) -> float:
+    """Shorthand for the paper's headline metric."""
+    return travel_time_stats(sim, include_unfinished).mean
+
+
+def intersection_max_wait(sim: Simulation, node_id: str) -> int:
+    """Max head waiting time across all incoming lanes of an intersection."""
+    node = sim.network.nodes[node_id]
+    waits = [
+        sim.head_wait(lane.lane_id)
+        for link_id in node.incoming
+        for lane in sim.network.links[link_id].lanes
+    ]
+    return max(waits) if waits else 0
+
+
+def network_average_wait(sim: Simulation) -> float:
+    """Mean of per-intersection max waits (the paper's waiting-time metric)."""
+    nodes = sim.network.signalized_nodes()
+    if not nodes:
+        return 0.0
+    return float(np.mean([intersection_max_wait(sim, n) for n in nodes]))
+
+
+@dataclass
+class EpisodeRecorder:
+    """Accumulates per-step waiting samples over an episode.
+
+    Call :meth:`sample` once per decision interval; :meth:`summary` gives
+    the episode's average waiting time (Fig. 7/8/10 y-axis).
+    """
+
+    wait_samples: list[float] = field(default_factory=list)
+    queue_samples: list[float] = field(default_factory=list)
+
+    def sample(self, sim: Simulation) -> None:
+        self.wait_samples.append(network_average_wait(sim))
+        total_halting = sum(
+            sim.halting_count(link_id) for link_id in sim.network.links
+        )
+        self.queue_samples.append(float(total_halting))
+
+    def summary(self) -> dict[str, float]:
+        if not self.wait_samples:
+            return {"avg_wait": 0.0, "avg_queue": 0.0, "peak_queue": 0.0}
+        return {
+            "avg_wait": float(np.mean(self.wait_samples)),
+            "avg_queue": float(np.mean(self.queue_samples)),
+            "peak_queue": float(np.max(self.queue_samples)),
+        }

@@ -1,0 +1,66 @@
+"""Plain-text rendering of simulation state.
+
+Quick situational awareness for examples and debugging: a per-link
+occupancy table and, for grid networks, a compact ASCII map showing each
+intersection's active phase and total queued vehicles.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulation
+
+
+def occupancy_table(sim: Simulation, top: int = 10) -> str:
+    """The ``top`` most occupied links with queue/running breakdown."""
+    rows = []
+    for link_id, link in sim.network.links.items():
+        queued = sim.halting_count(link_id)
+        running = len(sim.running[link_id])
+        if queued + running == 0:
+            continue
+        rows.append((queued + running, link_id, queued, running, link.storage))
+    rows.sort(reverse=True)
+    lines = [f"t={sim.time}s  vehicles={sim.vehicles_in_network()} "
+             f"pending={sim.pending_insertions()} finished={len(sim.finished_vehicles)}"]
+    lines.append(f"{'link':<24} {'queued':>7} {'running':>8} {'storage':>8}")
+    for _, link_id, queued, running, storage in rows[:top]:
+        lines.append(f"{link_id:<24} {queued:>7} {running:>8} {storage:>8}")
+    return "\n".join(lines)
+
+
+def _phase_glyph(sim: Simulation, node_id: str) -> str:
+    signal = sim.signals.get(node_id)
+    if signal is None:
+        return "."
+    if signal.in_yellow:
+        return "y"
+    name = signal.current_phase.name
+    glyphs = {
+        "NS-through": "|",
+        "NS-left": "\\",
+        "EW-through": "-",
+        "EW-left": "/",
+    }
+    return glyphs.get(name, str(signal.current_phase_index))
+
+
+def grid_map(sim: Simulation, rows: int, cols: int) -> str:
+    """ASCII map of a grid scenario: phase glyph + queued count per node.
+
+    Glyphs: ``|`` NS-through, ``\\`` NS-left, ``-`` EW-through,
+    ``/`` EW-left, ``y`` yellow.
+    """
+    from repro.scenarios.grid import intersection_id
+
+    lines = [f"t={sim.time}s (| NS  - EW  \\/ lefts  y yellow)"]
+    for row in range(rows):
+        cells = []
+        for col in range(cols):
+            node_id = intersection_id(row, col)
+            queued = sum(
+                sim.halting_count(link_id)
+                for link_id in sim.network.nodes[node_id].incoming
+            )
+            cells.append(f"{_phase_glyph(sim, node_id)}{queued:>3}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Static shortest-path routing over the road network.
+
+Routes are computed on the link graph: a route is a sequence of link ids
+where each consecutive pair is a declared movement.  Dijkstra runs over
+link-to-link transitions weighted by free-flow traversal time, which
+matches SUMO's default ``duarouter`` behaviour for uncongested planning.
+"""
+
+from __future__ import annotations
+
+import heapq
+from functools import lru_cache
+
+from repro.errors import NetworkError
+from repro.sim.network import RoadNetwork
+
+
+class Router:
+    """Shortest-route computation with memoisation."""
+
+    def __init__(self, network: RoadNetwork) -> None:
+        self.network = network
+        self._route_cache: dict[tuple[str, str], list[str]] = {}
+
+    def route(self, origin_link: str, destination_link: str) -> list[str]:
+        """Shortest link-sequence from ``origin_link`` to ``destination_link``.
+
+        Both endpoints are included.  Raises :class:`NetworkError` when no
+        route exists.
+        """
+        key = (origin_link, destination_link)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return list(cached)
+        if origin_link not in self.network.links:
+            raise NetworkError(f"unknown origin link {origin_link!r}")
+        if destination_link not in self.network.links:
+            raise NetworkError(f"unknown destination link {destination_link!r}")
+
+        # Dijkstra over links; cost of entering a link is its free-flow time.
+        start_cost = self.network.links[origin_link].freeflow_ticks
+        best: dict[str, float] = {origin_link: start_cost}
+        parent: dict[str, str] = {}
+        frontier: list[tuple[float, str]] = [(start_cost, origin_link)]
+        while frontier:
+            cost, link_id = heapq.heappop(frontier)
+            if cost > best.get(link_id, float("inf")):
+                continue
+            if link_id == destination_link:
+                break
+            for movement in self.network.movements_from(link_id):
+                nxt = movement.out_link
+                nxt_cost = cost + self.network.links[nxt].freeflow_ticks
+                if nxt_cost < best.get(nxt, float("inf")):
+                    best[nxt] = nxt_cost
+                    parent[nxt] = link_id
+                    heapq.heappush(frontier, (nxt_cost, nxt))
+        if destination_link not in best:
+            raise NetworkError(
+                f"no route from {origin_link!r} to {destination_link!r}"
+            )
+        route = [destination_link]
+        while route[-1] != origin_link:
+            route.append(parent[route[-1]])
+        route.reverse()
+        self._route_cache[key] = list(route)
+        return route
+
+    @lru_cache(maxsize=None)
+    def reachable(self, origin_link: str) -> frozenset[str]:
+        """All links reachable from ``origin_link`` (origin included)."""
+        seen = {origin_link}
+        stack = [origin_link]
+        while stack:
+            link_id = stack.pop()
+            for movement in self.network.movements_from(link_id):
+                if movement.out_link not in seen:
+                    seen.add(movement.out_link)
+                    stack.append(movement.out_link)
+        return frozenset(seen)

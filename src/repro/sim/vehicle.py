@@ -1,0 +1,65 @@
+"""Vehicle entity and lifecycle states."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class VehicleState(Enum):
+    """Lifecycle of a vehicle through the simulation."""
+
+    PENDING = "pending"  # created, waiting to be inserted at its origin
+    RUNNING = "running"  # traversing a link at free-flow speed
+    QUEUED = "queued"  # halted in a lane queue at a stop line
+    FINISHED = "finished"  # left the network
+
+
+@dataclass
+class Vehicle:
+    """A single vehicle with a fixed route.
+
+    Timing fields are integer simulation ticks (seconds).  ``created`` is
+    when the demand model emitted the vehicle; travel time is measured
+    from creation so that time spent waiting to enter a full network
+    counts (DESIGN.md section 6).
+    """
+
+    vehicle_id: int
+    route: list[str]
+    created: int
+    state: VehicleState = VehicleState.PENDING
+    route_index: int = 0
+    inserted: int | None = None
+    finished: int | None = None
+    # Running bookkeeping.
+    run_start: int = 0
+    run_arrival: int = 0
+    # Queue bookkeeping.
+    lane_id: str | None = None
+    wait_total: int = 0
+    wait_current_link: int = 0
+    links_travelled: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if not self.route:
+            raise ValueError(f"vehicle {self.vehicle_id} has an empty route")
+
+    @property
+    def current_link(self) -> str:
+        return self.route[self.route_index]
+
+    @property
+    def on_last_link(self) -> bool:
+        return self.route_index == len(self.route) - 1
+
+    @property
+    def next_link(self) -> str | None:
+        if self.on_last_link:
+            return None
+        return self.route[self.route_index + 1]
+
+    def travel_time(self, now: int) -> int:
+        """Elapsed (or final) travel time at tick ``now``."""
+        end = self.finished if self.finished is not None else now
+        return max(0, end - self.created)

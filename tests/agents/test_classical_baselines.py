@@ -1,0 +1,112 @@
+"""Tests for the non-learning adaptive baselines (MaxPressure, LongestQueue)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.fixed_time import FixedTimeSystem
+from repro.agents.max_pressure import LongestQueueSystem, MaxPressureSystem
+from repro.errors import ConfigError
+from repro.rl.runner import evaluate, run_episode
+
+from helpers import make_env
+
+
+class TestMaxPressure:
+    def test_actions_valid(self, small_grid):
+        env = make_env(small_grid, peak_rate=1200, t_peak=100)
+        agent = MaxPressureSystem(env)
+        obs = env.reset(seed=0)
+        for _ in range(20):
+            actions = agent.act(obs, env, training=False)
+            for node_id, action in actions.items():
+                assert env.action_spaces[node_id].contains(action)
+            obs = env.step(actions).observations
+
+    def test_serves_pressured_direction(self, small_grid):
+        """With heavy southbound traffic only, NS-through must be chosen."""
+        from repro.env.tsc_env import EnvConfig, TrafficSignalEnv
+        from repro.sim.demand import Flow, RateProfile
+
+        origin, dest = small_grid.column_route_links(1, southbound=True)
+        flows = [Flow("f", origin, dest, RateProfile.constant(1800, 200))]
+        env = TrafficSignalEnv(
+            small_grid.network,
+            small_grid.phase_plans,
+            flows,
+            EnvConfig(horizon_ticks=300, max_ticks=2400),
+        )
+        obs = env.reset(seed=0)
+        agent = MaxPressureSystem(env)
+        for _ in range(20):
+            actions = agent.act(obs, env, training=False)
+            obs = env.step(actions).observations
+        phase_names = {
+            node: small_grid.phase_plans[node].phases[a].name
+            for node, a in agent.act(obs, env, training=False).items()
+        }
+        assert phase_names["I0_1"] == "NS-through"
+
+    def test_beats_fixed_time_under_congestion(self, small_grid):
+        env = make_env(small_grid, peak_rate=800, t_peak=120, horizon_ticks=360,
+                       drain=True)
+        mp = evaluate(MaxPressureSystem(env), env, episodes=1, seed=5)
+        ft = evaluate(FixedTimeSystem(env), env, episodes=1, seed=5)
+        assert mp.average_travel_time < ft.average_travel_time
+
+    def test_min_green_holds_phase(self, small_grid):
+        env = make_env(small_grid, peak_rate=1000, t_peak=100)
+        agent = MaxPressureSystem(env, min_green=30)
+        obs = env.reset(seed=0)
+        previous = None
+        switches = 0
+        for _ in range(10):
+            actions = agent.act(obs, env, training=False)
+            if previous is not None:
+                switches += sum(
+                    1 for k in actions if actions[k] != previous[k]
+                )
+            previous = actions
+            obs = env.step(actions).observations
+        # min_green=30 with delta_t=5 means at most one switch per 6 steps.
+        assert switches <= len(env.agent_ids) * 2
+
+    def test_negative_min_green_rejected(self, small_grid):
+        env = make_env(small_grid)
+        with pytest.raises(ConfigError):
+            MaxPressureSystem(env, min_green=-1)
+
+    def test_no_communication(self, small_grid):
+        env = make_env(small_grid)
+        assert MaxPressureSystem(env).communication_bits_per_step(env) == 0
+
+
+class TestLongestQueue:
+    def test_runs_episode(self, small_grid):
+        env = make_env(small_grid, horizon_ticks=150)
+        avg_wait, _, info = run_episode(
+            LongestQueueSystem(), env, training=False, seed=0
+        )
+        assert np.isfinite(avg_wait)
+
+    def test_prefers_longer_queue(self, small_grid):
+        from repro.env.tsc_env import EnvConfig, TrafficSignalEnv
+        from repro.sim.demand import Flow, RateProfile
+
+        origin, dest = small_grid.row_route_links(1, eastbound=True)
+        flows = [Flow("f", origin, dest, RateProfile.constant(1800, 200))]
+        env = TrafficSignalEnv(
+            small_grid.network,
+            small_grid.phase_plans,
+            flows,
+            EnvConfig(horizon_ticks=300, max_ticks=2400),
+        )
+        obs = env.reset(seed=0)
+        agent = LongestQueueSystem()
+        # Force queues to build by holding NS phases for a while.
+        for _ in range(20):
+            env.step({a: 0 for a in env.agent_ids})
+        actions = agent.act(env._observe_all(), env, training=False)
+        name = small_grid.phase_plans["I1_0"].phases[actions["I1_0"]].name
+        assert name == "EW-through"

@@ -1,0 +1,74 @@
+"""IQL baseline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.iql import IQLConfig, IQLSystem
+from repro.env.tsc_env import EnvConfig, TrafficSignalEnv
+from repro.errors import ConfigError
+from repro.rl.dqn import DQNConfig
+from repro.rl.runner import run_episode, train
+from repro.scenarios.monaco import build_monaco
+
+from helpers import make_env
+
+
+def small_iql(env):
+    return IQLSystem(
+        env, IQLConfig(dqn=DQNConfig(batch_size=16, learning_starts=16)), seed=0
+    )
+
+
+class TestIQL:
+    def test_actions_valid(self, tiny_grid):
+        env = make_env(tiny_grid, horizon_ticks=60)
+        agent = small_iql(env)
+        obs = env.reset(seed=0)
+        agent.begin_episode(env, training=True)
+        actions = agent.act(obs, env, training=True)
+        for node_id, action in actions.items():
+            assert env.action_spaces[node_id].contains(action)
+
+    def test_training_episode_completes(self, tiny_grid):
+        env = make_env(tiny_grid, horizon_ticks=60)
+        history = train(small_iql(env), env, episodes=2, seed=0)
+        assert len(history.episodes) == 2
+
+    def test_learning_updates_parameters(self, tiny_grid):
+        env = make_env(tiny_grid, horizon_ticks=120)
+        agent = small_iql(env)
+        before = [p.data.copy() for p in agent.online.parameters()]
+        train(agent, env, episodes=2, seed=0)
+        after = [p.data for p in agent.online.parameters()]
+        assert any(
+            not np.array_equal(old, new) for old, new in zip(before, after)
+        )
+
+    def test_eval_deterministic(self, tiny_grid):
+        env = make_env(tiny_grid, horizon_ticks=60)
+        agent = small_iql(env)
+        obs = env.reset(seed=0)
+        first = agent.act(obs, env, training=False)
+        second = agent.act(obs, env, training=False)
+        assert first == second
+
+    def test_requires_homogeneous(self):
+        scenario = build_monaco(seed=7)
+        env = TrafficSignalEnv(
+            scenario.network, scenario.phase_plans, scenario.flows,
+            EnvConfig(horizon_ticks=60, max_ticks=600),
+        )
+        with pytest.raises(ConfigError):
+            IQLSystem(env)
+
+    def test_no_communication(self, tiny_grid):
+        env = make_env(tiny_grid)
+        assert small_iql(env).communication_bits_per_step(env) == 0
+
+    def test_replay_fills(self, tiny_grid):
+        env = make_env(tiny_grid, horizon_ticks=60)
+        agent = small_iql(env)
+        run_episode(agent, env, training=True, seed=0)
+        assert len(agent.updater.replay) == (60 // 5) * len(env.agent_ids)

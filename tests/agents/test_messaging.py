@@ -1,0 +1,149 @@
+"""Message regularizer, message board, and partner-selection tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.pairuplight.messaging import (
+    MessageBoard,
+    MessageRegularizer,
+    select_partner,
+)
+from repro.errors import ConfigError
+
+from helpers import make_env
+
+
+class TestMessageRegularizer:
+    def test_output_in_unit_interval(self):
+        reg = MessageRegularizer(sigma=0.5, seed=0)
+        means = np.random.default_rng(0).normal(size=(10, 2)) * 5
+        m_hat, _, _ = reg.transmit(means, training=True)
+        assert np.all((m_hat > 0) & (m_hat < 1))
+
+    def test_eval_mode_deterministic(self):
+        reg = MessageRegularizer(sigma=0.5, seed=0)
+        mean = np.array([[0.3]])
+        a, raw_a, _ = reg.transmit(mean, training=False)
+        b, raw_b, _ = reg.transmit(mean, training=False)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(raw_a, mean)
+
+    def test_training_mode_noisy(self):
+        reg = MessageRegularizer(sigma=0.5, seed=0)
+        mean = np.zeros((1, 1))
+        a, _, _ = reg.transmit(mean, training=True)
+        b, _, _ = reg.transmit(mean, training=True)
+        assert not np.array_equal(a, b)
+
+    def test_logprob_peaks_at_mean(self):
+        reg = MessageRegularizer(sigma=0.5)
+        at_mean = reg.logprob(np.array([0.0]), np.array([0.0]))
+        off_mean = reg.logprob(np.array([1.0]), np.array([0.0]))
+        assert at_mean > off_mean
+
+    def test_logprob_matches_gaussian_density(self):
+        sigma = 0.7
+        reg = MessageRegularizer(sigma=sigma)
+        raw, mean = np.array([0.4]), np.array([0.1])
+        expected = (
+            -0.5 * ((0.4 - 0.1) / sigma) ** 2
+            - np.log(sigma)
+            - 0.5 * np.log(2 * np.pi)
+        )
+        assert float(reg.logprob(raw, mean)) == pytest.approx(expected)
+
+    def test_logprob_sums_over_dims(self):
+        reg = MessageRegularizer(sigma=0.5)
+        raw = np.array([[0.1, 0.2]])
+        mean = np.zeros((1, 2))
+        total = reg.logprob(raw, mean)
+        parts = reg.logprob(raw[:, :1], mean[:, :1]) + reg.logprob(
+            raw[:, 1:], mean[:, 1:]
+        )
+        np.testing.assert_allclose(total, parts)
+
+    def test_bad_sigma_rejected(self):
+        with pytest.raises(ConfigError):
+            MessageRegularizer(sigma=0.0)
+
+
+class TestMessageBoard:
+    def test_initial_messages_zero(self):
+        board = MessageBoard(["a", "b"], message_dim=2)
+        np.testing.assert_array_equal(board.read("a"), np.zeros(2))
+
+    def test_post_and_read(self):
+        board = MessageBoard(["a"], message_dim=1)
+        board.post("a", np.array([0.7]))
+        assert board.read("a")[0] == 0.7
+
+    def test_read_returns_copy(self):
+        board = MessageBoard(["a"], message_dim=1)
+        board.post("a", np.array([0.5]))
+        message = board.read("a")
+        message[0] = 99.0
+        assert board.read("a")[0] == 0.5
+
+    def test_reset_zeroes(self):
+        board = MessageBoard(["a"], message_dim=1)
+        board.post("a", np.array([0.5]))
+        board.reset()
+        assert board.read("a")[0] == 0.0
+
+    def test_wrong_shape_rejected(self):
+        board = MessageBoard(["a"], message_dim=2)
+        with pytest.raises(ConfigError):
+            board.post("a", np.array([1.0]))
+
+    def test_bad_dim_rejected(self):
+        with pytest.raises(ConfigError):
+            MessageBoard(["a"], message_dim=0)
+
+
+class TestPartnerSelection:
+    def test_empty_network_selects_self(self, small_grid):
+        env = make_env(small_grid)
+        env.reset(seed=0)
+        for agent_id in env.agent_ids:
+            assert select_partner(env, agent_id) == agent_id
+
+    def test_partner_is_upstream_or_self(self, small_grid):
+        env = make_env(small_grid, peak_rate=2000, t_peak=100)
+        env.reset(seed=0)
+        for _ in range(40):
+            env.step({a: 0 for a in env.agent_ids})
+        for agent_id in env.agent_ids:
+            partner = select_partner(env, agent_id)
+            candidates = set(env.upstream_neighbours(agent_id)) | {agent_id}
+            assert partner in candidates
+
+    def test_congested_upstream_preferred(self, small_grid):
+        """With southbound flow on column 1 only, I1_1's most congested
+        upstream neighbour should be I0_1 once queues build."""
+        from repro.env.tsc_env import EnvConfig, TrafficSignalEnv
+        from repro.sim.demand import Flow, RateProfile
+
+        origin, dest = small_grid.column_route_links(1, southbound=True)
+        flows = [Flow("f", origin, dest, RateProfile.constant(1800, 300))]
+        env = TrafficSignalEnv(
+            small_grid.network,
+            small_grid.phase_plans,
+            flows,
+            EnvConfig(horizon_ticks=300, max_ticks=2400),
+        )
+        env.reset(seed=0)
+        # Hold an all-red-ish phase (EW phases) so the NS queue builds.
+        ew_phase = {
+            a: next(
+                i
+                for i, p in enumerate(small_grid.phase_plans[a].phases)
+                if p.name == "EW-through"
+            )
+            for a in env.agent_ids
+        }
+        for _ in range(40):
+            env.step(ew_phase)
+        partner = select_partner(env, "I1_1")
+        assert partner == "I0_1"

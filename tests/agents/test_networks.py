@@ -1,0 +1,117 @@
+"""Actor / critic network architecture tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agents.pairuplight.actor import CoordinatedActor
+from repro.agents.pairuplight.critic import (
+    ONE_HOP_SLOTS,
+    TWO_HOP_SLOTS,
+    CentralizedCritic,
+    CriticFeatureBuilder,
+)
+from repro.env.observation import DEFAULT_APPROACH_SLOTS
+
+from helpers import make_env
+
+
+class TestCoordinatedActor:
+    def test_output_shapes(self, rng):
+        actor = CoordinatedActor(obs_dim=8, num_phases=4, message_dim=1, rng=rng)
+        state = actor.initial_state(3)
+        logits, message, new_state = actor(
+            np.zeros((3, 8)), np.zeros((3, 1)), state
+        )
+        assert logits.shape == (3, 4)
+        assert message.shape == (3, 1)
+        assert new_state[0].shape == (3, 64)
+
+    def test_initial_policy_near_uniform(self, rng):
+        actor = CoordinatedActor(obs_dim=8, num_phases=4, rng=rng)
+        logits, _, _ = actor(np.zeros((1, 8)), np.zeros((1, 1)), actor.initial_state(1))
+        probs = np.exp(logits.data[0])
+        probs /= probs.sum()
+        assert np.allclose(probs, 0.25, atol=0.02)
+
+    def test_message_influences_output(self, rng):
+        actor = CoordinatedActor(obs_dim=8, num_phases=4, rng=rng)
+        obs = np.random.default_rng(0).normal(size=(1, 8))
+        # Run a few steps so the LSTM state differentiates inputs.
+        state_a = actor.initial_state(1)
+        state_b = actor.initial_state(1)
+        for _ in range(3):
+            out_a, _, state_a = actor(obs, np.array([[0.0]]), state_a)
+            out_b, _, state_b = actor(obs, np.array([[5.0]]), state_b)
+        assert not np.allclose(out_a.data, out_b.data)
+
+    def test_recurrence_matters(self, rng):
+        actor = CoordinatedActor(obs_dim=4, num_phases=2, rng=rng)
+        obs = np.ones((1, 4))
+        msg = np.zeros((1, 1))
+        out1, _, state = actor(obs, msg, actor.initial_state(1))
+        out2, _, _ = actor(obs, msg, state)
+        assert not np.allclose(out1.data, out2.data)
+
+    def test_multi_dim_message(self, rng):
+        actor = CoordinatedActor(obs_dim=8, num_phases=4, message_dim=2, rng=rng)
+        logits, message, _ = actor(
+            np.zeros((2, 8)), np.zeros((2, 2)), actor.initial_state(2)
+        )
+        assert message.shape == (2, 2)
+
+
+class TestCriticFeatureBuilder:
+    def test_feature_dim_structure(self, small_grid):
+        env = make_env(small_grid)
+        builder = CriticFeatureBuilder(env)
+        node = "I1_1"
+        expected = (
+            env.observation_spaces[node].dim
+            + ONE_HOP_SLOTS * DEFAULT_APPROACH_SLOTS
+            + TWO_HOP_SLOTS
+        )
+        assert builder.feature_dim(node) == expected
+
+    def test_feature_vector_shape(self, small_grid):
+        env = make_env(small_grid)
+        obs = env.reset(seed=0)
+        builder = CriticFeatureBuilder(env)
+        for node in env.agent_ids:
+            features = builder.build(node, obs[node])
+            assert features.shape == (builder.feature_dim(node),)
+
+    def test_edge_nodes_zero_padded(self, small_grid):
+        """Corner I0_0 has 2 one-hop neighbours: 2 slots must be zeros."""
+        env = make_env(small_grid, peak_rate=2000, t_peak=100)
+        env.reset(seed=0)
+        for _ in range(30):
+            env.step({a: 0 for a in env.agent_ids})
+        builder = CriticFeatureBuilder(env)
+        obs_dim = env.observation_spaces["I0_0"].dim
+        features = builder.build("I0_0", np.zeros(obs_dim))
+        one_hop_block = features[obs_dim : obs_dim + ONE_HOP_SLOTS * 4]
+        slots = one_hop_block.reshape(ONE_HOP_SLOTS, 4)
+        empty_slots = sum(1 for row in slots if not row.any())
+        assert empty_slots >= 2
+
+    def test_same_layout_across_grid(self, small_grid):
+        """Padding makes every node's feature dim identical (paper S V-B)."""
+        env = make_env(small_grid)
+        builder = CriticFeatureBuilder(env)
+        dims = {builder.feature_dim(n) for n in env.agent_ids}
+        assert len(dims) == 1
+
+
+class TestCentralizedCritic:
+    def test_value_shape(self, rng):
+        critic = CentralizedCritic(feature_dim=32, rng=rng)
+        value, state = critic(np.zeros((5, 32)), critic.initial_state(5))
+        assert value.shape == (5,)
+        assert state[0].shape == (5, 64)
+
+    def test_gradient_flows(self, rng):
+        critic = CentralizedCritic(feature_dim=16, rng=rng)
+        value, _ = critic(np.ones((2, 16)), critic.initial_state(2))
+        value.sum().backward()
+        assert all(p.grad is not None for p in critic.parameters())

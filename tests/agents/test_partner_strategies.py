@@ -1,0 +1,86 @@
+"""Partner-selection strategy tests (ablation switch)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.pairuplight import PairUpLightConfig, PairUpLightSystem
+from repro.agents.pairuplight.messaging import select_partner
+from repro.errors import ConfigError
+
+from helpers import make_env
+
+
+class TestStrategies:
+    def test_self_strategy(self, small_grid):
+        env = make_env(small_grid)
+        env.reset(seed=0)
+        for agent_id in env.agent_ids:
+            assert select_partner(env, agent_id, strategy="self") == agent_id
+
+    def test_fixed_strategy_deterministic(self, small_grid):
+        env = make_env(small_grid)
+        env.reset(seed=0)
+        first = select_partner(env, "I1_1", strategy="fixed")
+        second = select_partner(env, "I1_1", strategy="fixed")
+        assert first == second
+        assert first in env.upstream_neighbours("I1_1")
+
+    def test_random_strategy_uses_rng(self, small_grid):
+        env = make_env(small_grid)
+        env.reset(seed=0)
+        rng = np.random.default_rng(0)
+        picks = {
+            select_partner(env, "I1_1", strategy="random", rng=rng)
+            for _ in range(30)
+        }
+        assert picks <= set(env.upstream_neighbours("I1_1"))
+        assert len(picks) > 1
+
+    def test_random_without_rng_rejected(self, small_grid):
+        env = make_env(small_grid)
+        env.reset(seed=0)
+        with pytest.raises(ConfigError):
+            select_partner(env, "I1_1", strategy="random")
+
+    def test_unknown_strategy_rejected(self, small_grid):
+        env = make_env(small_grid)
+        env.reset(seed=0)
+        with pytest.raises(ConfigError):
+            select_partner(env, "I1_1", strategy="nearest")
+
+    def test_config_validates_strategy(self, tiny_grid):
+        with pytest.raises(ConfigError):
+            PairUpLightConfig(partner_strategy="bogus")
+
+    @pytest.mark.parametrize("strategy", ["self", "fixed", "random", "upstream"])
+    def test_system_trains_with_each_strategy(self, tiny_grid, strategy):
+        from repro.rl.runner import train
+
+        env = make_env(tiny_grid, horizon_ticks=60)
+        agent = PairUpLightSystem(
+            env, PairUpLightConfig(partner_strategy=strategy), seed=0
+        )
+        history = train(agent, env, episodes=1, seed=0)
+        assert np.isfinite(history.wait_curve[0])
+
+
+class TestCentralizedCriticSwitch:
+    def test_local_critic_feature_dim(self, small_grid):
+        from repro.agents.pairuplight.critic import CriticFeatureBuilder
+
+        env = make_env(small_grid)
+        builder = CriticFeatureBuilder(env, centralized=False)
+        for node in env.agent_ids:
+            assert builder.feature_dim(node) == env.observation_spaces[node].dim
+
+    def test_local_critic_system_trains(self, tiny_grid):
+        from repro.rl.runner import train
+
+        env = make_env(tiny_grid, horizon_ticks=60)
+        agent = PairUpLightSystem(
+            env, PairUpLightConfig(centralized_critic=False), seed=0
+        )
+        history = train(agent, env, episodes=1, seed=0)
+        assert np.isfinite(history.wait_curve[0])

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+# Make tests/ importable from any test subdirectory (helpers.py).
+sys.path.insert(0, os.path.dirname(__file__))
+
+from helpers import make_env  # noqa: E402
+from repro.scenarios.grid import GridScenario, build_grid  # noqa: E402
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_grid() -> GridScenario:
+    """A 2x2 grid — smallest network with real coordination structure."""
+    return build_grid(2, 2)
+
+
+@pytest.fixture(scope="session")
+def small_grid() -> GridScenario:
+    """A 3x3 grid — has a true interior intersection."""
+    return build_grid(3, 3)
+
+
+@pytest.fixture
+def tiny_env(tiny_grid):
+    return make_env(tiny_grid)

@@ -1,0 +1,66 @@
+"""Approach-bearing geometry tests for the observation builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.env.observation import _approach_bearing, approach_slots
+from repro.sim.network import RoadNetwork
+
+
+def star_network(angles_deg: list[float]) -> RoadNetwork:
+    """A centre node with incoming links arriving from given bearings."""
+    import math
+
+    net = RoadNetwork()
+    net.add_node("C", 0, 0, signalized=True)
+    out_added = False
+    for index, angle in enumerate(angles_deg):
+        # A link arriving FROM bearing `angle` starts at that compass point.
+        rad = math.radians(angle)
+        x, y = 100 * math.sin(rad), 100 * math.cos(rad)
+        net.add_node(f"P{index}", x, y)
+        net.add_link(f"P{index}->C", f"P{index}", "C", 100, 1)
+        if not out_added:
+            net.add_node("OUT", -100 * math.sin(rad), -100 * math.cos(rad))
+            net.add_link("C->OUT", "C", "OUT", 100, 1)
+            out_added = True
+        net.add_movement(f"P{index}->C", "C->OUT")
+    net.validate()
+    return net
+
+
+class TestApproachBearing:
+    @pytest.mark.parametrize(
+        "angle,expected_slot",
+        [(0.0, 0), (90.0, 1), (180.0, 2), (270.0, 3)],
+    )
+    def test_cardinal_directions(self, angle, expected_slot):
+        net = star_network([angle])
+        slots = approach_slots(net, "C")
+        assert slots[expected_slot] == "P0->C"
+
+    def test_bearing_values(self):
+        net = star_network([0.0, 90.0])
+        assert _approach_bearing(net, "P0->C") == pytest.approx(0.0, abs=1e-9)
+        assert _approach_bearing(net, "P1->C") == pytest.approx(90.0, abs=1e-9)
+
+    def test_diagonal_rounds_to_nearest_slot(self):
+        # 40 degrees is closer to north (slot 0) than east (slot 1).
+        net = star_network([40.0])
+        slots = approach_slots(net, "C")
+        assert slots[0] == "P0->C"
+
+    def test_collision_falls_back_to_free_slot(self):
+        # Two approaches both near north: second lands in a free slot.
+        net = star_network([0.0, 10.0])
+        slots = approach_slots(net, "C")
+        present = [s for s in slots if s is not None]
+        assert len(present) == 2
+        assert len(set(present)) == 2
+
+    def test_more_than_four_approaches_grow_slots(self):
+        net = star_network([0.0, 72.0, 144.0, 216.0, 288.0])
+        slots = approach_slots(net, "C")
+        assert len(slots) >= 5
+        assert sum(1 for s in slots if s is not None) == 5

@@ -1,0 +1,51 @@
+"""Space descriptor and error-hierarchy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.env.spaces import BoxSpace, DiscreteSpace
+from repro.errors import (
+    ConfigError,
+    DemandError,
+    NetworkError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestDiscreteSpace:
+    def test_contains(self):
+        space = DiscreteSpace(4)
+        assert space.contains(0)
+        assert space.contains(3)
+        assert not space.contains(4)
+        assert not space.contains(-1)
+
+    def test_non_int_rejected(self):
+        space = DiscreteSpace(4)
+        assert not space.contains(1.5)
+        assert not space.contains("1")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            DiscreteSpace(0)
+
+
+class TestBoxSpace:
+    def test_dim(self):
+        assert BoxSpace(8).dim == 8
+
+    def test_bad_dim_rejected(self):
+        with pytest.raises(ConfigError):
+            BoxSpace(0)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_cls", [NetworkError, SimulationError, DemandError, ConfigError]
+    )
+    def test_all_derive_from_repro_error(self, error_cls):
+        assert issubclass(error_cls, ReproError)
+        with pytest.raises(ReproError):
+            raise error_cls("boom")

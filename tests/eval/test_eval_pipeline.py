@@ -1,0 +1,158 @@
+"""Evaluation harness / comparison pipeline / overhead analysis tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.fixed_time import FixedTimeSystem
+from repro.agents.ma2c import MA2CSystem
+from repro.agents.pairuplight import PairUpLightConfig, PairUpLightSystem
+from repro.errors import ConfigError
+from repro.eval.comm_overhead import (
+    formatted_overhead_table,
+    overhead_row,
+    overhead_table,
+)
+from repro.eval.comparison import (
+    ComparisonTable,
+    default_model_factories,
+    run_table2,
+    run_table3,
+)
+from repro.eval.harness import ExperimentScale, GridExperiment
+
+from helpers import make_env
+
+TINY_SCALE = ExperimentScale(
+    rows=2,
+    cols=2,
+    peak_rate=400.0,
+    t_peak=100.0,
+    light_duration=200.0,
+    horizon_ticks=250,
+    max_ticks=2000,
+    train_episodes=1,
+)
+
+
+class TestExperimentScale:
+    def test_paper_scale_matches_paper(self):
+        scale = ExperimentScale.paper()
+        assert (scale.rows, scale.cols) == (6, 6)
+        assert scale.peak_rate == 500.0
+        assert scale.t_peak == 900.0
+
+    def test_ci_scale_valid(self):
+        scale = ExperimentScale.ci()
+        assert scale.horizon_ticks <= scale.max_ticks
+
+    def test_with_episodes(self):
+        scale = ExperimentScale.ci().with_episodes(3)
+        assert scale.train_episodes == 3
+
+    def test_bad_episode_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            ExperimentScale(eval_episodes=0)
+
+
+class TestGridExperiment:
+    def test_train_env_not_drain(self):
+        experiment = GridExperiment(TINY_SCALE, seed=0)
+        env = experiment.train_env(1)
+        assert not env.config.drain
+
+    def test_eval_env_drain(self):
+        experiment = GridExperiment(TINY_SCALE, seed=0)
+        env = experiment.eval_env(1)
+        assert env.config.drain
+
+    def test_train_and_evaluate_fixed_time(self):
+        experiment = GridExperiment(TINY_SCALE, seed=0)
+        agent, history = experiment.train_agent(
+            lambda env: FixedTimeSystem(env), pattern=1
+        )
+        assert len(history.episodes) == 1
+        result = experiment.evaluate_agent(agent, 1)
+        assert np.isfinite(result.average_travel_time)
+
+
+class TestComparisonTable:
+    def test_add_and_value(self):
+        table = ComparisonTable(patterns=(1, 2))
+        table.add("A", 1, 100.0)
+        table.add("A", 2, 200.0)
+        table.add("B", 1, 50.0)
+        assert table.value("A", 2) == 200.0
+        assert table.winner(1) == "B"
+
+    def test_formatted_contains_all_models(self):
+        table = ComparisonTable(patterns=(1,))
+        table.add("ModelX", 1, 123.456)
+        text = table.formatted()
+        assert "ModelX" in text
+        assert "123.46" in text
+
+    def test_formatted_handles_missing_cells(self):
+        table = ComparisonTable(patterns=(1, 2))
+        table.add("A", 1, 10.0)
+        assert "—" in table.formatted()
+
+    def test_default_factories_cover_paper_models(self):
+        names = set(default_model_factories())
+        assert names == {"Fixedtime", "SingleAgent", "MA2C", "CoLight", "PairUpLight"}
+
+
+class TestPipelines:
+    def test_run_table3_smoke(self):
+        factories = {
+            "Fixedtime": lambda env: FixedTimeSystem(env),
+            "PairUpLight": lambda env: PairUpLightSystem(env, seed=0),
+        }
+        table = run_table3(TINY_SCALE, factories, seed=0)
+        assert set(table.rows) == {"Fixedtime", "PairUpLight"}
+        assert all(np.isfinite(table.value(m, 5)) for m in table.rows)
+
+    def test_run_table2_smoke_subset(self):
+        factories = {"Fixedtime": lambda env: FixedTimeSystem(env)}
+        table = run_table2(
+            TINY_SCALE, factories, seed=0, eval_patterns=(1, 5)
+        )
+        assert np.isfinite(table.value("Fixedtime", 1))
+        assert np.isfinite(table.value("Fixedtime", 5))
+        assert table.histories["Fixedtime"].wait_curve.shape == (1,)
+
+
+class TestOverheadAnalysis:
+    def test_pairuplight_row_is_32_bits(self, tiny_grid):
+        env = make_env(tiny_grid)
+        row = overhead_row(PairUpLightSystem(env, seed=0), env)
+        assert row.bits_per_step == 32
+        assert "one" in row.description
+
+    def test_ordering_matches_paper(self, tiny_grid):
+        """Table IV shape: MA2C and CoLight >> PairUpLight."""
+        env = make_env(tiny_grid)
+        rows = overhead_table(
+            [
+                MA2CSystem(env, seed=0),
+                PairUpLightSystem(env, seed=0),
+                FixedTimeSystem(env),
+            ],
+            env,
+        )
+        bits = {row.model: row.bits_per_step for row in rows}
+        assert bits["MA2C"] > 10 * bits["PairUpLight"]
+        assert bits["Fixedtime"] == 0
+
+    def test_formatted_table(self, tiny_grid):
+        env = make_env(tiny_grid)
+        rows = overhead_table([FixedTimeSystem(env)], env)
+        text = formatted_overhead_table(rows)
+        assert "Fixedtime" in text
+        assert "Bits/step" in text
+
+    def test_nocomm_zero(self, tiny_grid):
+        env = make_env(tiny_grid)
+        agent = PairUpLightSystem(env, PairUpLightConfig(communicate=False), seed=0)
+        assert overhead_row(agent, env).bits_per_step == 0

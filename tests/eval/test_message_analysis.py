@@ -1,0 +1,80 @@
+"""Message-interpretability probe tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.pairuplight import PairUpLightSystem
+from repro.errors import ConfigError
+from repro.eval.message_analysis import MessageLog, analyse, probe_messages
+from repro.rl.runner import train
+
+from helpers import make_env
+
+
+class TestProbe:
+    def test_probe_collects_per_agent_per_step(self, tiny_grid):
+        env = make_env(tiny_grid, horizon_ticks=60)
+        agent = PairUpLightSystem(env, seed=0)
+        log = probe_messages(agent, env, episodes=1, seed=0)
+        steps = 60 // env.config.delta_t
+        assert len(log) == steps * len(env.agent_ids)
+
+    def test_messages_in_unit_interval(self, tiny_grid):
+        env = make_env(tiny_grid, horizon_ticks=60)
+        agent = PairUpLightSystem(env, seed=0)
+        log = probe_messages(agent, env, episodes=1, seed=0)
+        assert all(0.0 < m < 1.0 for m in log.messages)
+
+    def test_bad_episodes_rejected(self, tiny_grid):
+        env = make_env(tiny_grid, horizon_ticks=60)
+        agent = PairUpLightSystem(env, seed=0)
+        with pytest.raises(ConfigError):
+            probe_messages(agent, env, episodes=0)
+
+
+class TestAnalyse:
+    def test_empty_log_rejected(self):
+        with pytest.raises(ConfigError):
+            analyse(MessageLog())
+
+    def test_constant_messages_not_informative(self):
+        log = MessageLog(
+            messages=[0.5] * 20,
+            congestion=list(np.linspace(0, 10, 20)),
+            pressure=list(np.linspace(0, 5, 20)),
+            actions=[0] * 20,
+        )
+        report = analyse(log)
+        assert report.message_std == 0.0
+        assert not report.is_informative
+
+    def test_correlated_messages_informative(self):
+        congestion = np.linspace(0, 10, 50)
+        log = MessageLog(
+            messages=list(0.05 * congestion + 0.1),
+            congestion=list(congestion),
+            pressure=list(congestion / 2),
+            actions=[0] * 50,
+        )
+        report = analyse(log)
+        assert report.congestion_correlation == pytest.approx(1.0)
+        assert report.is_informative
+
+    def test_formatted_report(self):
+        log = MessageLog(
+            messages=[0.1, 0.9], congestion=[0.0, 5.0],
+            pressure=[0.0, 2.0], actions=[0, 1],
+        )
+        text = analyse(log).formatted()
+        assert "corr(message, sender congestion)" in text
+
+    def test_trained_agent_messages_vary_with_traffic(self, tiny_grid):
+        """After brief training under congestion, messages are not constant."""
+        env = make_env(tiny_grid, peak_rate=900, t_peak=100, horizon_ticks=300)
+        agent = PairUpLightSystem(env, seed=0)
+        train(agent, env, episodes=8, seed=0)
+        log = probe_messages(agent, env, episodes=1, seed=99)
+        report = analyse(log)
+        assert report.message_std > 0

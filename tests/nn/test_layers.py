@@ -1,0 +1,162 @@
+"""Linear, LSTM cell, and graph-attention layer tests (incl. gradchecks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import GraphAttention
+from repro.nn.linear import Linear
+from repro.nn.lstm import LSTMCell
+from repro.nn.tensor import Tensor
+
+from test_tensor import numerical_gradient
+
+
+def param_gradcheck(module, loss_fn, atol=1e-4):
+    """Check analytic parameter gradients against numerics."""
+    loss = loss_fn()
+    module.zero_grad()
+    loss.backward()
+    for name, param in module.named_parameters():
+        analytic = param.grad if param.grad is not None else np.zeros_like(param.data)
+
+        def scalar(arr, p=param):
+            original = p.data
+            p.data = arr
+            value = float(loss_fn().data)
+            p.data = original
+            return value
+
+        numeric = numerical_gradient(scalar, param.data.copy(), eps=1e-6)
+        np.testing.assert_allclose(
+            analytic, numeric, atol=atol, rtol=1e-3, err_msg=f"param {name}"
+        )
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(3, 5, rng)
+        assert layer(Tensor(np.zeros((2, 3)))).shape == (2, 5)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 5, rng, bias=False)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((1, 3))))
+        np.testing.assert_array_equal(out.data, np.zeros((1, 5)))
+
+    def test_wrong_input_dim_rejected(self, rng):
+        layer = Linear(3, 5, rng)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((2, 4))))
+
+    def test_non_positive_sizes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Linear(0, 5, rng)
+
+    def test_parameter_gradcheck(self, rng):
+        layer = Linear(3, 2, rng)
+        x = Tensor(rng.normal(size=(4, 3)))
+        param_gradcheck(layer, lambda: (layer(x) ** 2).sum())
+
+
+class TestLSTMCell:
+    def test_output_shapes(self, rng):
+        cell = LSTMCell(4, 8, rng)
+        h, (h2, c2) = cell(Tensor(np.zeros((3, 4))), cell.initial_state(3))
+        assert h.shape == (3, 8)
+        assert h2.shape == (3, 8)
+        assert c2.shape == (3, 8)
+
+    def test_initial_state_zero(self, rng):
+        cell = LSTMCell(4, 8, rng)
+        h, c = cell.initial_state(2)
+        assert not h.any() and not c.any()
+
+    def test_forget_bias_initialised_to_one(self, rng):
+        cell = LSTMCell(4, 8, rng)
+        np.testing.assert_array_equal(cell.bias.data[8:16], np.ones(8))
+
+    def test_state_carries_information(self, rng):
+        cell = LSTMCell(2, 4, rng)
+        x = Tensor(rng.normal(size=(1, 2)))
+        _, state1 = cell(x, cell.initial_state(1))
+        out_fresh, _ = cell(x, cell.initial_state(1))
+        out_carried, _ = cell(x, state1)
+        assert not np.allclose(out_fresh.data, out_carried.data)
+
+    def test_wrong_input_size_rejected(self, rng):
+        cell = LSTMCell(4, 8, rng)
+        with pytest.raises(ValueError):
+            cell(Tensor(np.zeros((1, 5))), cell.initial_state(1))
+
+    def test_parameter_gradcheck_over_two_steps(self, rng):
+        cell = LSTMCell(2, 3, rng)
+        x1 = Tensor(rng.normal(size=(2, 2)))
+        x2 = Tensor(rng.normal(size=(2, 2)))
+
+        def loss_fn():
+            h, state = cell(x1, cell.initial_state(2))
+            h, _ = cell(x2, state)
+            return (h**2).sum()
+
+        param_gradcheck(cell, loss_fn)
+
+    def test_gradient_flows_through_time(self, rng):
+        cell = LSTMCell(2, 3, rng)
+        x1 = Tensor(rng.normal(size=(1, 2)), requires_grad=True)
+        h, state = cell(x1, cell.initial_state(1))
+        for _ in range(3):
+            h, state = cell(Tensor(np.zeros((1, 2))), state)
+        (h**2).sum().backward()
+        assert x1.grad is not None
+        assert np.any(x1.grad != 0)
+
+
+class TestGraphAttention:
+    def _inputs(self, rng, n=3, k=4, d=8):
+        nodes = Tensor(rng.normal(size=(n, d)))
+        neighbours = Tensor(rng.normal(size=(n, k, d)))
+        mask = np.ones((n, k), dtype=bool)
+        return nodes, neighbours, mask
+
+    def test_output_shape(self, rng):
+        layer = GraphAttention(8, 2, rng)
+        nodes, neighbours, mask = self._inputs(rng)
+        assert layer(nodes, neighbours, mask).shape == (3, 8)
+
+    def test_masked_neighbours_ignored(self, rng):
+        layer = GraphAttention(8, 2, rng)
+        nodes, neighbours, mask = self._inputs(rng)
+        mask[:, 2:] = False
+        out1 = layer(nodes, neighbours, mask)
+        # Change the masked neighbours' content: output must not change.
+        perturbed = neighbours.data.copy()
+        perturbed[:, 2:] += 100.0
+        out2 = layer(nodes, Tensor(perturbed), mask)
+        np.testing.assert_allclose(out1.data, out2.data, atol=1e-10)
+
+    def test_all_masked_rejected(self, rng):
+        layer = GraphAttention(8, 2, rng)
+        nodes, neighbours, mask = self._inputs(rng)
+        mask[0, :] = False
+        with pytest.raises(ValueError):
+            layer(nodes, neighbours, mask)
+
+    def test_embed_dim_must_divide(self, rng):
+        with pytest.raises(ValueError):
+            GraphAttention(8, 3, rng)
+
+    def test_gradients_flow_to_all_params(self, rng):
+        layer = GraphAttention(8, 2, rng)
+        nodes, neighbours, mask = self._inputs(rng)
+        layer(nodes, neighbours, mask).sum().backward()
+        grads = [p.grad for p in layer.parameters()]
+        assert all(g is not None for g in grads)
+
+    def test_parameter_gradcheck(self, rng):
+        layer = GraphAttention(4, 2, rng)
+        nodes = Tensor(rng.normal(size=(2, 4)))
+        neighbours = Tensor(rng.normal(size=(2, 3, 4)))
+        mask = np.array([[True, True, False], [True, True, True]])
+        param_gradcheck(layer, lambda: (layer(nodes, neighbours, mask) ** 2).sum())

@@ -1,0 +1,123 @@
+"""Module / Parameter registration, traversal, serialization round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.linear import MLP, Linear
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.tensor import Tensor
+
+
+class Composite(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.first = Linear(3, 4, rng)
+        self.second = Linear(4, 2, rng)
+        self.scale = Parameter(np.ones(2))
+
+    def forward(self, x):
+        return self.second(self.first(x).tanh()) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_discovered_recursively(self, rng):
+        model = Composite(rng)
+        params = list(model.parameters())
+        # first: W+b, second: W+b, scale -> 5 parameters
+        assert len(params) == 5
+
+    def test_named_parameters_paths(self, rng):
+        model = Composite(rng)
+        names = dict(model.named_parameters())
+        assert "first.weight" in names
+        assert "second.bias" in names
+        assert "scale" in names
+
+    def test_num_parameters(self, rng):
+        model = Composite(rng)
+        assert model.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2 + 2
+
+    def test_zero_grad_clears_all(self, rng):
+        model = Composite(rng)
+        out = model(Tensor(np.ones((1, 3))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self, rng):
+        a = Composite(rng)
+        b = Composite(np.random.default_rng(999))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.ones((2, 3)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_state_dict_is_copy(self, rng):
+        model = Composite(rng)
+        state = model.state_dict()
+        state["scale"][:] = 99.0
+        assert not np.any(model.scale.data == 99.0)
+
+    def test_missing_key_rejected(self, rng):
+        model = Composite(rng)
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self, rng):
+        model = Composite(rng)
+        state = model.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self, rng):
+        model = Composite(rng)
+        state = model.state_dict()
+        state["scale"] = np.zeros(7)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_copy_from(self, rng):
+        a = Composite(rng)
+        b = Composite(np.random.default_rng(7))
+        b.copy_from(a)
+        np.testing.assert_allclose(b.first.weight.data, a.first.weight.data)
+
+    def test_soft_update(self, rng):
+        a = Composite(rng)
+        b = Composite(np.random.default_rng(7))
+        before = b.scale.data.copy()
+        b.soft_update_from(a, tau=0.25)
+        expected = 0.25 * a.scale.data + 0.75 * before
+        np.testing.assert_allclose(b.scale.data, expected)
+
+
+class TestSequentialAndMLP:
+    def test_sequential_applies_in_order(self, rng):
+        seq = Sequential(Linear(2, 3, rng), Linear(3, 1, rng))
+        out = seq(Tensor(np.ones((4, 2))))
+        assert out.shape == (4, 1)
+
+    def test_mlp_shapes(self, rng):
+        mlp = MLP(5, [16, 16], 3, rng)
+        out = mlp(Tensor(np.zeros((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_mlp_gradient_flows_to_all_layers(self, rng):
+        mlp = MLP(4, [8], 2, rng)
+        mlp(Tensor(np.ones((1, 4)))).sum().backward()
+        for param in mlp.parameters():
+            assert param.grad is not None
+
+    def test_mlp_rejects_unknown_activation(self, rng):
+        with pytest.raises(ValueError):
+            MLP(4, [8], 2, rng, activation="gelu")
+
+    def test_parameter_always_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad

@@ -1,0 +1,107 @@
+"""Optimizer tests: convergence on quadratics + gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, RMSProp, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(param: Parameter, target: np.ndarray) -> Tensor:
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+def minimise(optimizer_cls, steps: int, lr: float, **kwargs) -> float:
+    target = np.array([3.0, -2.0, 0.5])
+    param = Parameter(np.zeros(3))
+    optimizer = optimizer_cls([param], lr=lr, **kwargs)
+    for _ in range(steps):
+        optimizer.zero_grad()
+        quadratic_loss(param, target).backward()
+        optimizer.step()
+    return float(np.abs(param.data - target).max())
+
+
+class TestConvergence:
+    def test_sgd_converges(self):
+        assert minimise(SGD, steps=200, lr=0.1) < 1e-6
+
+    def test_sgd_momentum_converges(self):
+        assert minimise(SGD, steps=300, lr=0.05, momentum=0.9) < 1e-5
+
+    def test_adam_converges(self):
+        assert minimise(Adam, steps=800, lr=0.05) < 1e-3
+
+    def test_rmsprop_converges(self):
+        assert minimise(RMSProp, steps=800, lr=0.05) < 1e-3
+
+
+class TestMechanics:
+    def test_zero_grad(self):
+        param = Parameter(np.zeros(2))
+        opt = SGD([param], lr=0.1)
+        quadratic_loss(param, np.ones(2)).backward()
+        assert param.grad is not None
+        opt.zero_grad()
+        assert param.grad is None
+
+    def test_step_skips_gradless_params(self):
+        a, b = Parameter(np.zeros(2)), Parameter(np.ones(2))
+        opt = Adam([a, b], lr=0.1)
+        quadratic_loss(a, np.ones(2)).backward()
+        opt.step()
+        np.testing.assert_array_equal(b.data, np.ones(2))
+        assert np.any(a.data != 0)
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_non_positive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+    def test_adam_bias_correction_first_step(self):
+        # After one step on constant gradient g, Adam moves by ~lr*sign(g).
+        param = Parameter(np.array([0.0]))
+        opt = Adam([param], lr=0.01)
+        param.grad = np.array([5.0])
+        opt.step()
+        assert param.data[0] == pytest.approx(-0.01, rel=1e-3)
+
+
+class TestClipGradNorm:
+    def test_norm_unchanged_when_below(self):
+        param = Parameter(np.zeros(3))
+        param.grad = np.array([0.1, 0.2, 0.2])
+        norm = clip_grad_norm([param], max_norm=10.0)
+        assert norm == pytest.approx(0.3)
+        np.testing.assert_allclose(param.grad, [0.1, 0.2, 0.2])
+
+    def test_scales_down_when_above(self):
+        param = Parameter(np.zeros(2))
+        param.grad = np.array([3.0, 4.0])  # norm 5
+        clip_grad_norm([param], max_norm=1.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_handles_missing_grads(self):
+        a = Parameter(np.zeros(2))
+        b = Parameter(np.zeros(2))
+        a.grad = np.array([1.0, 0.0])
+        assert clip_grad_norm([a, b], max_norm=10.0) == pytest.approx(1.0)
+
+    def test_global_norm_over_multiple_params(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        clip_grad_norm([a, b], max_norm=1.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,37 @@
+"""Checkpoint save/load round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.linear import MLP
+from repro.nn.serialization import load_state, save_state
+from repro.nn.tensor import Tensor
+
+
+def test_round_trip(tmp_path, rng):
+    model = MLP(4, [8], 2, rng)
+    path = tmp_path / "model.npz"
+    save_state(model, path)
+    other = MLP(4, [8], 2, np.random.default_rng(99))
+    load_state(other, path)
+    x = Tensor(np.ones((3, 4)))
+    np.testing.assert_allclose(model(x).data, other(x).data)
+
+
+def test_load_into_wrong_architecture_fails(tmp_path, rng):
+    model = MLP(4, [8], 2, rng)
+    path = tmp_path / "model.npz"
+    save_state(model, path)
+    wrong = MLP(4, [16], 2, rng)
+    with pytest.raises((KeyError, ValueError)):
+        load_state(wrong, path)
+
+
+def test_file_is_standard_npz(tmp_path, rng):
+    model = MLP(2, [4], 1, rng)
+    path = tmp_path / "model.npz"
+    save_state(model, path)
+    with np.load(path) as archive:
+        assert "output.weight" in archive.files

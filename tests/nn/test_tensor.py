@@ -1,0 +1,303 @@
+"""Autograd engine tests: every op is checked against numerical gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, concat, stack, where
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued ``fn``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        f_plus = fn(x)
+        flat[i] = original - eps
+        f_minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_fn, x: np.ndarray, atol: float = 1e-5) -> None:
+    """Compare autograd gradient of ``build_fn(Tensor)`` with numerics."""
+    t = Tensor(x.copy(), requires_grad=True)
+    out = build_fn(t)
+    out.backward()
+    analytic = t.grad
+
+    def scalar_fn(arr: np.ndarray) -> float:
+        return float(build_fn(Tensor(arr)).data)
+
+    numeric = numerical_gradient(scalar_fn, x.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-4)
+
+
+class TestBasicOps:
+    def test_add_forward(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_array_equal(out.data, [4.0, 6.0])
+
+    def test_add_gradient(self, rng):
+        x = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t + Tensor(np.ones((3, 4)))).sum(), x)
+
+    def test_add_broadcast_gradient(self, rng):
+        x = rng.normal(size=(4,))
+        other = Tensor(rng.normal(size=(3, 4)))
+        check_gradient(lambda t: (t + other).sum(), x)
+
+    def test_scalar_radd(self):
+        out = 2.0 + Tensor([1.0])
+        assert out.data[0] == 3.0
+
+    def test_sub_gradient(self, rng):
+        x = rng.normal(size=(2, 3))
+        other = Tensor(rng.normal(size=(2, 3)))
+        check_gradient(lambda t: (t - other).sum(), x)
+
+    def test_rsub(self):
+        out = 5.0 - Tensor([2.0])
+        assert out.data[0] == 3.0
+
+    def test_mul_gradient(self, rng):
+        x = rng.normal(size=(3, 3))
+        other = Tensor(rng.normal(size=(3, 3)))
+        check_gradient(lambda t: (t * other).sum(), x)
+
+    def test_mul_broadcast_gradient(self, rng):
+        x = rng.normal(size=(1, 3))
+        other = Tensor(rng.normal(size=(4, 3)))
+        check_gradient(lambda t: (t * other).sum(), x)
+
+    def test_div_gradient(self, rng):
+        x = rng.normal(size=(3,)) + 5.0
+        other = Tensor(rng.normal(size=(3,)) + 3.0)
+        check_gradient(lambda t: (other / t).sum(), x)
+        check_gradient(lambda t: (t / other).sum(), x)
+
+    def test_pow_gradient(self, rng):
+        x = np.abs(rng.normal(size=(4,))) + 0.5
+        check_gradient(lambda t: (t**3).sum(), x)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_neg_gradient(self, rng):
+        x = rng.normal(size=(5,))
+        check_gradient(lambda t: (-t).sum(), x)
+
+
+class TestMatmul:
+    def test_matmul_forward(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(3, 4))
+        out = Tensor(a) @ Tensor(b)
+        np.testing.assert_allclose(out.data, a @ b)
+
+    def test_matmul_gradient_left(self, rng):
+        x = rng.normal(size=(2, 3))
+        other = Tensor(rng.normal(size=(3, 4)))
+        check_gradient(lambda t: (t @ other).sum(), x)
+
+    def test_matmul_gradient_right(self, rng):
+        x = rng.normal(size=(3, 4))
+        other = Tensor(rng.normal(size=(2, 3)))
+        check_gradient(lambda t: (other @ t).sum(), x)
+
+    def test_vector_matmul_gradient(self, rng):
+        x = rng.normal(size=(3,))
+        weight = Tensor(rng.normal(size=(3, 2)))
+        check_gradient(lambda t: (t @ weight).sum(), x)
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize(
+        "op",
+        ["exp", "tanh", "sigmoid", "relu", "abs"],
+    )
+    def test_elementwise_gradient(self, rng, op):
+        x = rng.normal(size=(3, 4)) + 0.1  # avoid relu/abs kinks at 0
+        check_gradient(lambda t: getattr(t, op)().sum(), x)
+
+    def test_log_gradient(self, rng):
+        x = np.abs(rng.normal(size=(4,))) + 0.5
+        check_gradient(lambda t: t.log().sum(), x)
+
+    def test_leaky_relu_gradient(self, rng):
+        x = rng.normal(size=(4,)) + 0.1
+        check_gradient(lambda t: t.leaky_relu(0.1).sum(), x)
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = Tensor([1000.0, -1000.0]).sigmoid()
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data, [1.0, 0.0], atol=1e-9)
+
+    def test_clip_gradient_masks_outside(self):
+        t = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_all_gradient(self, rng):
+        x = rng.normal(size=(3, 4))
+        check_gradient(lambda t: t.sum(), x)
+
+    def test_sum_axis_gradient(self, rng):
+        x = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(), x)
+
+    def test_sum_keepdims_gradient(self, rng):
+        x = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t.sum(axis=1, keepdims=True) ** 2).sum(), x)
+
+    def test_mean_gradient(self, rng):
+        x = rng.normal(size=(2, 5))
+        check_gradient(lambda t: (t.mean(axis=1) ** 2).sum(), x)
+
+    def test_mean_matches_numpy(self, rng):
+        x = rng.normal(size=(4, 4))
+        assert np.isclose(float(Tensor(x).mean().data), x.mean())
+
+    def test_max_gradient_unique(self):
+        t = Tensor([1.0, 5.0, 3.0], requires_grad=True)
+        t.max().backward()
+        np.testing.assert_array_equal(t.grad, [0.0, 1.0, 0.0])
+
+    def test_max_gradient_ties_split(self):
+        t = Tensor([5.0, 5.0], requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0.5, 0.5])
+
+    def test_minimum_gradient(self, rng):
+        x = rng.normal(size=(5,))
+        other = Tensor(rng.normal(size=(5,)))
+        check_gradient(lambda t: t.minimum(other).sum(), x)
+
+    def test_maximum_gradient(self, rng):
+        x = rng.normal(size=(5,))
+        other = Tensor(rng.normal(size=(5,)))
+        check_gradient(lambda t: t.maximum(other).sum(), x)
+
+
+class TestShapes:
+    def test_reshape_gradient(self, rng):
+        x = rng.normal(size=(2, 6))
+        check_gradient(lambda t: (t.reshape(3, 4) ** 2).sum(), x)
+
+    def test_transpose_gradient(self, rng):
+        x = rng.normal(size=(2, 3))
+        other = Tensor(rng.normal(size=(2, 3)))
+        check_gradient(lambda t: (t.transpose() @ other).sum(), x)
+
+    def test_getitem_slice_gradient(self, rng):
+        x = rng.normal(size=(4, 6))
+        check_gradient(lambda t: (t[:, 1:4] ** 2).sum(), x)
+
+    def test_getitem_fancy_gradient(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        rows = np.array([0, 1])
+        cols = np.array([2, 0])
+        t[rows, cols].sum().backward()
+        expected = np.zeros((2, 3))
+        expected[0, 2] = 1.0
+        expected[1, 0] = 1.0
+        np.testing.assert_array_equal(t.grad, expected)
+
+    def test_getitem_repeated_index_accumulates(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        rows = np.array([0, 0, 1])
+        t[rows].sum().backward()
+        np.testing.assert_array_equal(t.grad, [2.0, 1.0])
+
+    def test_concat_gradient(self, rng):
+        x = rng.normal(size=(2, 3))
+        other = Tensor(rng.normal(size=(2, 2)))
+        check_gradient(lambda t: (concat([t, other], axis=1) ** 2).sum(), x)
+
+    def test_stack_gradient(self, rng):
+        x = rng.normal(size=(3,))
+        other = Tensor(rng.normal(size=(3,)))
+        check_gradient(lambda t: (stack([t, other], axis=0) ** 2).sum(), x)
+
+    def test_where_gradient(self):
+        cond = np.array([True, False, True])
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = Tensor([4.0, 5.0, 6.0], requires_grad=True)
+        where(cond, a, b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_array_equal(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_on_reuse(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * t).sum().backward()  # d(x^2)/dx = 2x = 4
+        np.testing.assert_allclose(t.grad, [4.0])
+
+    def test_diamond_graph(self):
+        t = Tensor([3.0], requires_grad=True)
+        a = t * 2.0
+        b = t * 5.0
+        (a + b).sum().backward()
+        np.testing.assert_allclose(t.grad, [7.0])
+
+    def test_deep_chain(self, rng):
+        x = rng.normal(size=(4,))
+        check_gradient(
+            lambda t: (((t * 2.0).tanh() + 1.0).sigmoid()).sum(), x
+        )
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([2.0], requires_grad=True)
+        detached = (t * 3.0).detach()
+        assert not detached.requires_grad
+        out = detached * 2.0
+        assert not out.requires_grad
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2.0).sum().backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_constants_have_no_graph(self):
+        out = Tensor([1.0]) + Tensor([2.0])
+        assert not out.requires_grad
+        assert out._parents == ()
+
+    def test_backward_with_explicit_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t * 3.0).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(t.grad, [3.0, 30.0])
+
+    def test_second_backward_accumulates(self):
+        t = Tensor([1.0], requires_grad=True)
+        out = t * 2.0
+        out.backward()
+        out2 = t * 2.0
+        out2.backward()
+        np.testing.assert_allclose(t.grad, [4.0])
+
+    def test_item_and_shape(self):
+        t = Tensor(5.0)
+        assert t.item() == 5.0
+        assert Tensor(np.zeros((2, 3))).shape == (2, 3)
+        assert Tensor(np.zeros((2, 3))).ndim == 2
+        assert Tensor(np.zeros((2, 3))).size == 6
+
+    def test_float32_input_promoted(self):
+        t = Tensor(np.zeros(3, dtype=np.float32))
+        assert t.data.dtype == np.float64

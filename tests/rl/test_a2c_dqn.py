@@ -1,0 +1,167 @@
+"""A2C and DQN updater tests on synthetic bandit tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import functional as F
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.optim import Adam, RMSProp
+from repro.nn.tensor import Tensor, stack
+from repro.rl.a2c import A2CConfig, A2CUpdater
+from repro.rl.dqn import DQNConfig, DQNUpdater
+
+
+class TestA2C:
+    def _setup(self):
+        rng = np.random.default_rng(0)
+        policy = Linear(1, 2, rng, gain=0.01)
+        value = Linear(1, 1, rng, gain=0.01)
+        params = list(policy.parameters()) + list(value.parameters())
+        updater = A2CUpdater(params, [RMSProp(params, lr=0.05)], A2CConfig())
+        return policy, value, updater
+
+    def _evaluate_factory(self, policy, value, actions):
+        def evaluate():
+            horizon = actions.shape[0]
+            lp, ent, val = [], [], []
+            for t in range(horizon):
+                obs = Tensor(np.ones((actions.shape[1], 1)))
+                logits = policy(obs)
+                lp.append(F.gather(F.log_softmax(logits), actions[t]))
+                ent.append(F.entropy(F.softmax(logits)))
+                v = value(obs)
+                val.append(v.reshape(v.shape[0]))
+            return stack(lp, axis=0), stack(ent, axis=0), stack(val, axis=0)
+
+        return evaluate
+
+    def test_policy_improves(self):
+        policy, value, updater = self._setup()
+        rng = np.random.default_rng(1)
+        actions = rng.integers(0, 2, size=(16, 4))
+        advantages = np.where(actions == 0, 1.0, -1.0)
+        returns = advantages.copy()
+        for _ in range(30):
+            updater.update(
+                self._evaluate_factory(policy, value, actions), advantages, returns
+            )
+        logits = policy(Tensor(np.ones((1, 1)))).data[0]
+        assert logits[0] > logits[1]
+
+    def test_stats_finite(self):
+        policy, value, updater = self._setup()
+        actions = np.zeros((4, 2), dtype=int)
+        stats = updater.update(
+            self._evaluate_factory(policy, value, actions),
+            np.ones((4, 2)),
+            np.ones((4, 2)),
+        )
+        assert np.isfinite(stats.policy_loss)
+        assert np.isfinite(stats.value_loss)
+        assert stats.entropy > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            A2CConfig(value_coef=-1.0)
+
+    def test_requires_optimizer(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(1, 2, rng)
+        with pytest.raises(ConfigError):
+            A2CUpdater(list(layer.parameters()), [])
+
+
+class QNet(Module):
+    """Minimal Q-network over a constant observation (bandit)."""
+
+    def __init__(self, seed: int):
+        super().__init__()
+        self.layer = Linear(1, 2, np.random.default_rng(seed), gain=0.01)
+
+    def forward(self, obs):
+        return self.layer(Tensor.ensure(obs))
+
+
+class TestDQN:
+    def _setup(self, **config_kwargs):
+        online = QNet(0)
+        target = QNet(1)
+        config_kwargs.setdefault("gamma", 0.0)  # bandit: Q(a) -> E[r|a]
+        config_kwargs.setdefault("target_sync_interval", 5)
+        config = DQNConfig(
+            batch_size=16,
+            learning_starts=16,
+            **config_kwargs,
+        )
+        params = list(online.parameters())
+        updater = DQNUpdater(
+            params, Adam(params, lr=0.05), online, target, config, seed=0
+        )
+        return online, target, updater
+
+    @staticmethod
+    def _q_fn(net):
+        def fn(batch):
+            obs = np.ones((len(batch), 1))
+            return net(obs)
+
+        return fn
+
+    def test_target_initialised_from_online(self):
+        online, target, _ = self._setup()
+        np.testing.assert_allclose(
+            online.layer.weight.data, target.layer.weight.data
+        )
+
+    def test_not_ready_before_warmup(self):
+        online, target, updater = self._setup()
+        assert not updater.ready()
+        assert updater.update(self._q_fn(online), lambda b: np.zeros((len(b), 2))) is None
+
+    def test_q_values_converge_to_rewards(self):
+        online, target, updater = self._setup()
+        rng = np.random.default_rng(2)
+        for _ in range(200):
+            action = int(rng.integers(2))
+            reward = 1.0 if action == 0 else -1.0
+            updater.replay.add({"action": action, "reward": reward, "done": True})
+        for _ in range(200):
+            updater.update(
+                self._q_fn(online), lambda b: np.zeros((len(b), 2))
+            )
+        q = online(np.ones((1, 1))).data[0]
+        assert q[0] == pytest.approx(1.0, abs=0.2)
+        assert q[1] == pytest.approx(-1.0, abs=0.2)
+
+    def test_target_sync(self):
+        online, target, updater = self._setup(target_sync_interval=1)
+        for _ in range(32):
+            updater.replay.add({"action": 0, "reward": 1.0, "done": True})
+        updater.update(self._q_fn(online), lambda b: np.zeros((len(b), 2)))
+        np.testing.assert_allclose(
+            online.layer.weight.data, target.layer.weight.data
+        )
+
+    def test_epsilon_decays_with_env_steps(self):
+        _, _, updater = self._setup()
+        start = updater.current_epsilon()
+        for _ in range(updater.config.epsilon_decay_steps):
+            updater.record_step()
+        assert updater.current_epsilon() == updater.config.epsilon_end < start
+
+    def test_done_masks_bootstrap(self):
+        """With done=True the target must ignore next-state Q-values."""
+        online, target, updater = self._setup(gamma=0.9)
+        for _ in range(32):
+            updater.replay.add({"action": 0, "reward": 1.0, "done": True})
+        # Target network returning huge values must not leak through done.
+        for _ in range(100):
+            updater.update(
+                self._q_fn(online), lambda b: np.full((len(b), 2), 1e6)
+            )
+        q = online(np.ones((1, 1))).data[0]
+        assert q[0] == pytest.approx(1.0, abs=0.3)

@@ -1,0 +1,94 @@
+"""Rollout and replay buffer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rl.buffer import ReplayBuffer, RolloutBuffer
+
+
+class TestRolloutBuffer:
+    def test_stacking_shapes(self):
+        buffer = RolloutBuffer()
+        for t in range(5):
+            buffer.add(obs=np.zeros((3, 4)), reward=np.zeros(3))
+        data = buffer.stacked()
+        assert data["obs"].shape == (5, 3, 4)
+        assert data["reward"].shape == (5, 3)
+
+    def test_len(self):
+        buffer = RolloutBuffer()
+        assert len(buffer) == 0
+        buffer.add(x=np.zeros(1))
+        assert len(buffer) == 1
+
+    def test_field_mismatch_rejected(self):
+        buffer = RolloutBuffer()
+        buffer.add(a=np.zeros(1))
+        with pytest.raises(ConfigError):
+            buffer.add(b=np.zeros(1))
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ConfigError):
+            RolloutBuffer().stacked()
+
+    def test_clear(self):
+        buffer = RolloutBuffer()
+        buffer.add(a=np.zeros(1))
+        buffer.clear()
+        assert len(buffer) == 0
+        buffer.add(b=np.zeros(2))  # new field set allowed after clear
+        assert buffer.stacked()["b"].shape == (1, 2)
+
+    def test_values_preserved(self):
+        buffer = RolloutBuffer()
+        buffer.add(value=np.array([1.0, 2.0]))
+        buffer.add(value=np.array([3.0, 4.0]))
+        np.testing.assert_array_equal(
+            buffer.stacked()["value"], [[1.0, 2.0], [3.0, 4.0]]
+        )
+
+
+class TestReplayBuffer:
+    def test_fifo_eviction(self):
+        buffer = ReplayBuffer(capacity=3)
+        for index in range(5):
+            buffer.add({"index": index})
+        assert len(buffer) == 3
+        stored = {t["index"] for t in buffer.sample(100)}
+        assert stored <= {2, 3, 4}
+
+    def test_sample_size(self):
+        buffer = ReplayBuffer(capacity=10)
+        for index in range(10):
+            buffer.add({"index": index})
+        assert len(buffer.sample(4)) == 4
+
+    def test_sample_with_replacement_when_small(self):
+        buffer = ReplayBuffer(capacity=10)
+        buffer.add({"index": 0})
+        assert len(buffer.sample(5)) == 5
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ConfigError):
+            ReplayBuffer(capacity=5).sample(1)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            ReplayBuffer(capacity=0)
+
+    def test_bad_batch_size_rejected(self):
+        buffer = ReplayBuffer(capacity=5)
+        buffer.add({})
+        with pytest.raises(ConfigError):
+            buffer.sample(0)
+
+    def test_seeded_sampling_reproducible(self):
+        a = ReplayBuffer(capacity=10, seed=3)
+        b = ReplayBuffer(capacity=10, seed=3)
+        for index in range(10):
+            a.add({"index": index})
+            b.add({"index": index})
+        assert [t["index"] for t in a.sample(5)] == [t["index"] for t in b.sample(5)]

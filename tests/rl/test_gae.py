@@ -1,0 +1,97 @@
+"""GAE / return computation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rl.gae import compute_gae, discounted_returns, normalize_advantages
+
+
+class TestComputeGae:
+    def test_single_step(self):
+        rewards = np.array([[1.0]])
+        values = np.array([[0.5]])
+        adv, ret = compute_gae(rewards, values, bootstrap_value=2.0, gamma=0.9, lam=0.8)
+        # delta = 1 + 0.9*2 - 0.5 = 2.3
+        assert adv[0, 0] == pytest.approx(2.3)
+        assert ret[0, 0] == pytest.approx(2.8)
+
+    def test_lambda_one_equals_mc_advantage(self):
+        rewards = np.array([[1.0], [1.0], [1.0]])
+        values = np.array([[0.0], [0.0], [0.0]])
+        gamma = 0.9
+        adv, ret = compute_gae(rewards, values, 0.0, gamma=gamma, lam=1.0)
+        expected_ret0 = 1 + gamma + gamma**2
+        assert ret[0, 0] == pytest.approx(expected_ret0)
+
+    def test_lambda_zero_equals_td_residual(self):
+        rewards = np.array([[1.0], [2.0]])
+        values = np.array([[0.5], [0.25]])
+        adv, _ = compute_gae(rewards, values, 0.0, gamma=0.9, lam=0.0)
+        assert adv[0, 0] == pytest.approx(1 + 0.9 * 0.25 - 0.5)
+        assert adv[1, 0] == pytest.approx(2 + 0.0 - 0.25)
+
+    def test_multi_agent_columns_independent(self, rng):
+        rewards = rng.normal(size=(10, 3))
+        values = rng.normal(size=(10, 3))
+        adv_all, _ = compute_gae(rewards, values, np.zeros(3))
+        for column in range(3):
+            adv_one, _ = compute_gae(
+                rewards[:, column : column + 1], values[:, column : column + 1], 0.0
+            )
+            np.testing.assert_allclose(adv_all[:, column], adv_one[:, 0])
+
+    def test_returns_equal_advantage_plus_value(self, rng):
+        rewards = rng.normal(size=(8, 2))
+        values = rng.normal(size=(8, 2))
+        adv, ret = compute_gae(rewards, values, np.zeros(2))
+        np.testing.assert_allclose(ret, adv + values)
+
+    def test_accurate_values_give_zero_advantage(self):
+        """If V is exact, every TD residual (and thus GAE) is zero."""
+        gamma = 0.9
+        rewards = np.ones((5, 1))
+        # V(s_t) = sum_{k>=0} gamma^k for remaining steps (infinite tail via bootstrap)
+        values = np.full((5, 1), 1.0 / (1.0 - gamma))
+        adv, _ = compute_gae(rewards, values, 1.0 / (1.0 - gamma), gamma=gamma, lam=0.95)
+        np.testing.assert_allclose(adv, np.zeros_like(adv), atol=1e-10)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            compute_gae(np.zeros((3, 2)), np.zeros((3, 3)), 0.0)
+
+    def test_empty_trajectory_rejected(self):
+        with pytest.raises(ConfigError):
+            compute_gae(np.zeros((0, 2)), np.zeros((0, 2)), 0.0)
+
+    def test_bad_gamma_rejected(self):
+        with pytest.raises(ConfigError):
+            compute_gae(np.zeros((2, 1)), np.zeros((2, 1)), 0.0, gamma=1.5)
+
+
+class TestDiscountedReturns:
+    def test_matches_manual(self):
+        rewards = np.array([[1.0], [2.0], [3.0]])
+        ret = discounted_returns(rewards, gamma=0.5)
+        assert ret[2, 0] == 3.0
+        assert ret[1, 0] == 2.0 + 0.5 * 3.0
+        assert ret[0, 0] == 1.0 + 0.5 * (2.0 + 0.5 * 3.0)
+
+    def test_bootstrap_feeds_tail(self):
+        rewards = np.array([[0.0]])
+        ret = discounted_returns(rewards, gamma=0.9, bootstrap_value=10.0)
+        assert ret[0, 0] == pytest.approx(9.0)
+
+
+class TestNormalize:
+    def test_zero_mean_unit_std(self, rng):
+        adv = rng.normal(5.0, 3.0, size=(20, 4))
+        out = normalize_advantages(adv)
+        assert abs(out.mean()) < 1e-10
+        assert out.std() == pytest.approx(1.0, rel=1e-6)
+
+    def test_constant_input_no_blowup(self):
+        out = normalize_advantages(np.full((5, 2), 3.0))
+        assert np.all(np.isfinite(out))

@@ -1,0 +1,103 @@
+"""Running-normaliser tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rl.normalize import ObservationNormalizer, ReturnNormalizer, RunningMeanStd
+
+
+class TestRunningMeanStd:
+    def test_matches_numpy_on_batches(self, rng):
+        stats = RunningMeanStd((4,))
+        data = rng.normal(3.0, 2.0, size=(500, 4))
+        for start in range(0, 500, 50):
+            stats.update(data[start : start + 50])
+        np.testing.assert_allclose(stats.mean, data.mean(axis=0), atol=1e-10)
+        np.testing.assert_allclose(stats.var, data.var(axis=0), atol=1e-8)
+
+    def test_single_sample_updates(self, rng):
+        stats = RunningMeanStd((2,))
+        samples = rng.normal(size=(20, 2))
+        for sample in samples:
+            stats.update(sample)
+        np.testing.assert_allclose(stats.mean, samples.mean(axis=0), atol=1e-10)
+
+    def test_scalar_shape(self):
+        stats = RunningMeanStd(())
+        stats.update(np.array([1.0, 2.0, 3.0]))
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_empty_batch_noop(self):
+        stats = RunningMeanStd((2,))
+        stats.update(np.zeros((0, 2)))
+        assert stats.count == 0
+
+
+class TestObservationNormalizer:
+    def test_normalises_stream(self, rng):
+        normalizer = ObservationNormalizer(dim=3)
+        data = rng.normal(10.0, 5.0, size=(1000, 3))
+        outputs = np.array([normalizer(x) for x in data])
+        late = outputs[500:]
+        assert abs(late.mean()) < 0.3
+        assert 0.5 < late.std() < 1.5
+
+    def test_clip_applied(self):
+        normalizer = ObservationNormalizer(dim=1, clip=2.0)
+        for _ in range(10):
+            normalizer(np.array([0.0]))
+        out = normalizer(np.array([1e9]), update=False)
+        assert out[0] == 2.0
+
+    def test_frozen_stops_updates(self):
+        normalizer = ObservationNormalizer(dim=1)
+        normalizer(np.array([1.0]))
+        normalizer.frozen = True
+        before = normalizer.state()
+        normalizer(np.array([100.0]))
+        after = normalizer.state()
+        np.testing.assert_array_equal(before["mean"], after["mean"])
+
+    def test_state_round_trip(self, rng):
+        normalizer = ObservationNormalizer(dim=2)
+        for x in rng.normal(size=(50, 2)):
+            normalizer(x)
+        other = ObservationNormalizer(dim=2)
+        other.load_state(normalizer.state())
+        probe = np.array([0.3, -0.7])
+        np.testing.assert_allclose(
+            normalizer(probe, update=False), other(probe, update=False)
+        )
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ConfigError):
+            ObservationNormalizer(dim=0)
+        with pytest.raises(ConfigError):
+            ObservationNormalizer(dim=1, clip=0.0)
+
+
+class TestReturnNormalizer:
+    def test_scales_down_large_rewards(self):
+        normalizer = ReturnNormalizer(gamma=0.9)
+        outputs = [normalizer(np.array([-100.0, -100.0])) for _ in range(100)]
+        late = np.concatenate(outputs[50:])
+        assert np.abs(late).max() < 10.0
+
+    def test_preserves_sign(self):
+        normalizer = ReturnNormalizer(gamma=0.9)
+        for _ in range(20):
+            out = normalizer(np.array([-5.0]))
+            assert out[0] <= 0.0
+
+    def test_reset_clears_carry(self):
+        normalizer = ReturnNormalizer(gamma=0.9)
+        normalizer(np.array([1.0]))
+        normalizer.reset()
+        assert normalizer._carry is None
+
+    def test_bad_gamma_rejected(self):
+        with pytest.raises(ConfigError):
+            ReturnNormalizer(gamma=1.5)

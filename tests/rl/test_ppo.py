@@ -1,0 +1,212 @@
+"""PPO updater tests on a synthetic bandit task."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import functional as F
+from repro.nn.linear import Linear
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, stack
+from repro.rl.ppo import PPOConfig, PPOUpdater
+
+
+class TinyPolicy:
+    """Linear policy + value over a constant observation — a bandit."""
+
+    def __init__(self, num_actions: int = 2, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.policy = Linear(1, num_actions, rng, gain=0.01)
+        self.value = Linear(1, 1, rng, gain=0.01)
+        self.num_actions = num_actions
+
+    def parameters(self):
+        return list(self.policy.parameters()) + list(self.value.parameters())
+
+    def action_probs(self) -> np.ndarray:
+        logits = self.policy(Tensor(np.ones((1, 1)))).data[0]
+        exp = np.exp(logits - logits.max())
+        return exp / exp.sum()
+
+    def make_evaluate(self, actions: np.ndarray):
+        """evaluate(batch) over a (T, N) action array."""
+
+        def evaluate(batch):
+            horizon = actions.shape[0]
+            logprob_steps, entropy_steps, value_steps = [], [], []
+            for t in range(horizon):
+                obs = Tensor(np.ones((len(batch), 1)))
+                logits = self.policy(obs)
+                log_probs = F.log_softmax(logits)
+                probs = F.softmax(logits)
+                logprob_steps.append(F.gather(log_probs, actions[t, batch]))
+                entropy_steps.append(F.entropy(probs))
+                value = self.value(obs)
+                value_steps.append(value.reshape(value.shape[0]))
+            return (
+                stack(logprob_steps, axis=0),
+                stack(entropy_steps, axis=0),
+                stack(value_steps, axis=0),
+            )
+
+        return evaluate
+
+
+def make_bandit_rollout(policy: TinyPolicy, horizon=16, agents=4, seed=0):
+    """Action 0 gets +1 advantage, action 1 gets -1."""
+    rng = np.random.default_rng(seed)
+    probs = policy.action_probs()
+    actions = rng.choice(policy.num_actions, size=(horizon, agents), p=probs)
+    old_logprobs = np.log(probs[actions])
+    advantages = np.where(actions == 0, 1.0, -1.0)
+    returns = advantages.astype(np.float64)
+    return actions, old_logprobs, advantages, returns
+
+
+class TestPPOLearning:
+    def test_policy_improves_toward_advantaged_action(self):
+        policy = TinyPolicy()
+        updater = PPOUpdater(
+            policy.parameters(),
+            [Adam(policy.parameters(), lr=0.05)],
+            PPOConfig(epochs=4, minibatch_agents=2, target_kl=None),
+        )
+        before = policy.action_probs()[0]
+        actions, old_lp, adv, ret = make_bandit_rollout(policy)
+        for _ in range(10):
+            updater.update(policy.make_evaluate(actions), old_lp, adv, ret)
+        after = policy.action_probs()[0]
+        assert after > before
+        assert after > 0.7
+
+    def test_value_regression(self):
+        policy = TinyPolicy()
+        updater = PPOUpdater(
+            policy.parameters(),
+            [Adam(policy.parameters(), lr=0.1)],
+            PPOConfig(epochs=4, minibatch_agents=4, target_kl=None),
+        )
+        actions, old_lp, adv, _ = make_bandit_rollout(policy)
+        returns = np.full_like(adv, 3.0)
+        for _ in range(60):
+            updater.update(policy.make_evaluate(actions), old_lp, adv, returns)
+        value = float(policy.value(Tensor(np.ones((1, 1)))).data[0, 0])
+        assert value == pytest.approx(3.0, abs=0.5)
+
+    def test_stats_populated(self):
+        policy = TinyPolicy()
+        updater = PPOUpdater(
+            policy.parameters(),
+            [Adam(policy.parameters(), lr=0.01)],
+            PPOConfig(epochs=2, minibatch_agents=2),
+        )
+        actions, old_lp, adv, ret = make_bandit_rollout(policy)
+        stats = updater.update(policy.make_evaluate(actions), old_lp, adv, ret)
+        assert np.isfinite(stats.policy_loss)
+        assert np.isfinite(stats.value_loss)
+        assert stats.entropy > 0
+        assert stats.epochs_run >= 1
+
+    def test_target_kl_early_stop(self):
+        policy = TinyPolicy()
+        updater = PPOUpdater(
+            policy.parameters(),
+            [Adam(policy.parameters(), lr=1.0)],  # huge lr forces KL blowup
+            PPOConfig(epochs=8, minibatch_agents=4, target_kl=0.01),
+        )
+        actions, old_lp, adv, ret = make_bandit_rollout(policy)
+        stats = updater.update(policy.make_evaluate(actions), old_lp, adv, ret)
+        assert stats.epochs_run < 8
+
+    def test_first_epoch_ratio_is_one(self):
+        """Before any update the new/old ratio must be exactly 1."""
+        policy = TinyPolicy()
+        actions, old_lp, _, _ = make_bandit_rollout(policy)
+        evaluate = policy.make_evaluate(actions)
+        new_lp, _, _ = evaluate(np.arange(4))
+        np.testing.assert_allclose(new_lp.data, old_lp, atol=1e-12)
+
+
+class TestValueClipping:
+    def test_value_clip_requires_old_values(self):
+        policy = TinyPolicy()
+        updater = PPOUpdater(
+            policy.parameters(),
+            [Adam(policy.parameters(), lr=0.01)],
+            PPOConfig(value_clip_eps=0.2),
+        )
+        actions, old_lp, adv, ret = make_bandit_rollout(policy)
+        with pytest.raises(ConfigError):
+            updater.update(policy.make_evaluate(actions), old_lp, adv, ret)
+
+    def test_value_clip_limits_update_magnitude(self):
+        """With clipping, the value head moves less per update toward a
+        distant target than without."""
+        deltas = {}
+        for clip in (None, 0.05):
+            policy = TinyPolicy()
+            updater = PPOUpdater(
+                policy.parameters(),
+                [Adam(policy.parameters(), lr=0.2)],
+                PPOConfig(epochs=4, minibatch_agents=4, target_kl=None,
+                          value_clip_eps=clip),
+            )
+            actions, old_lp, adv, _ = make_bandit_rollout(policy)
+            returns = np.full_like(adv, 50.0)
+            old_values = np.zeros_like(returns)
+            before = float(policy.value(Tensor(np.ones((1, 1)))).data[0, 0])
+            updater.update(
+                policy.make_evaluate(actions), old_lp, adv, returns,
+                old_values=old_values,
+            )
+            after = float(policy.value(Tensor(np.ones((1, 1)))).data[0, 0])
+            deltas[clip] = abs(after - before)
+        assert deltas[0.05] < deltas[None]
+
+    def test_bad_value_clip_rejected(self):
+        with pytest.raises(ConfigError):
+            PPOConfig(value_clip_eps=0.0)
+
+    def test_old_values_shape_checked(self):
+        policy = TinyPolicy()
+        updater = PPOUpdater(
+            policy.parameters(),
+            [Adam(policy.parameters(), lr=0.01)],
+            PPOConfig(value_clip_eps=0.2),
+        )
+        actions, old_lp, adv, ret = make_bandit_rollout(policy)
+        with pytest.raises(ConfigError):
+            updater.update(
+                policy.make_evaluate(actions), old_lp, adv, ret,
+                old_values=np.zeros((1, 1)),
+            )
+
+
+class TestPPOConfigValidation:
+    def test_bad_clip_rejected(self):
+        with pytest.raises(ConfigError):
+            PPOConfig(clip_eps=0.0)
+
+    def test_bad_epochs_rejected(self):
+        with pytest.raises(ConfigError):
+            PPOConfig(epochs=0)
+
+    def test_shape_mismatch_rejected(self):
+        policy = TinyPolicy()
+        updater = PPOUpdater(
+            policy.parameters(), [Adam(policy.parameters(), lr=0.01)], PPOConfig()
+        )
+        with pytest.raises(ConfigError):
+            updater.update(
+                policy.make_evaluate(np.zeros((2, 2), dtype=int)),
+                np.zeros((2, 2)),
+                np.zeros((2, 3)),
+                np.zeros((2, 2)),
+            )
+
+    def test_no_optimizer_rejected(self):
+        policy = TinyPolicy()
+        with pytest.raises(ConfigError):
+            PPOUpdater(policy.parameters(), [], PPOConfig())

@@ -1,0 +1,141 @@
+"""Schedule and training-runner tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.base import AgentSystem
+from repro.agents.fixed_time import FixedTimeSystem
+from repro.errors import ConfigError
+from repro.rl.runner import evaluate, run_episode, train
+from repro.rl.schedules import ExponentialSchedule, LinearSchedule
+
+from helpers import make_env
+
+
+class TestLinearSchedule:
+    def test_endpoints(self):
+        schedule = LinearSchedule(1.0, 0.1, steps=100)
+        assert schedule.value(0) == 1.0
+        assert schedule.value(100) == pytest.approx(0.1)
+        assert schedule.value(1000) == pytest.approx(0.1)
+
+    def test_midpoint(self):
+        schedule = LinearSchedule(1.0, 0.0, steps=10)
+        assert schedule.value(5) == pytest.approx(0.5)
+
+    def test_bad_steps_rejected(self):
+        with pytest.raises(ConfigError):
+            LinearSchedule(1.0, 0.0, steps=0)
+
+
+class TestExponentialSchedule:
+    def test_decay(self):
+        schedule = ExponentialSchedule(1.0, 0.01, decay=0.5)
+        assert schedule.value(0) == 1.0
+        assert schedule.value(1) == 0.5
+        assert schedule.value(100) == 0.01  # floored
+
+    def test_bad_decay_rejected(self):
+        with pytest.raises(ConfigError):
+            ExponentialSchedule(1.0, 0.0, decay=1.5)
+
+
+class CountingAgent(AgentSystem):
+    """Instrumented agent to verify the runner's call protocol."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.begins = 0
+        self.acts = 0
+        self.observes = 0
+        self.ends = 0
+
+    def begin_episode(self, env, training):
+        self.begins += 1
+
+    def act(self, observations, env, training):
+        self.acts += 1
+        return {a: 0 for a in env.agent_ids}
+
+    def observe(self, result, env):
+        self.observes += 1
+
+    def end_episode(self, env, training):
+        self.ends += 1
+        return {"marker": 1.0}
+
+
+class TestRunner:
+    def test_train_protocol(self, tiny_grid):
+        env = make_env(tiny_grid, horizon_ticks=50)
+        agent = CountingAgent()
+        history = train(agent, env, episodes=3, seed=0)
+        steps_per_episode = 50 // env.config.delta_t
+        assert agent.begins == 3
+        assert agent.acts == 3 * steps_per_episode
+        assert agent.observes == agent.acts  # training observes every step
+        assert agent.ends == 3
+        assert len(history.episodes) == 3
+        assert history.episodes[0].update_stats == {"marker": 1.0}
+
+    def test_history_curves(self, tiny_grid):
+        env = make_env(tiny_grid, horizon_ticks=50)
+        history = train(CountingAgent(), env, episodes=4, seed=0)
+        assert history.wait_curve.shape == (4,)
+        assert history.reward_curve.shape == (4,)
+        assert history.best_episode().avg_wait == history.wait_curve.min()
+
+    def test_smoothed_curve_window(self, tiny_grid):
+        env = make_env(tiny_grid, horizon_ticks=50)
+        history = train(CountingAgent(), env, episodes=6, seed=0)
+        smooth = history.smoothed_wait_curve(window=3)
+        assert len(smooth) == 4  # valid convolution: 6 - 3 + 1
+
+    def test_run_episode_no_observe_in_eval(self, tiny_grid):
+        env = make_env(tiny_grid, horizon_ticks=50)
+        agent = CountingAgent()
+        run_episode(agent, env, training=False)
+        assert agent.observes == 0
+
+    def test_evaluate_returns_travel_time(self, tiny_grid):
+        env = make_env(tiny_grid, horizon_ticks=100, drain=True, peak_rate=300, t_peak=40)
+        agent = FixedTimeSystem(env)
+        result = evaluate(agent, env, episodes=1)
+        assert np.isfinite(result.average_travel_time)
+        assert result.average_travel_time > 0
+        assert 0.0 <= result.completion_rate <= 1.0
+
+    def test_evaluate_multiple_episodes(self, tiny_grid):
+        env = make_env(tiny_grid, horizon_ticks=100, drain=True, peak_rate=300, t_peak=40)
+        agent = FixedTimeSystem(env)
+        result = evaluate(agent, env, episodes=2)
+        assert result.episodes == 2
+        assert result.total_created > 0
+
+
+class TestTrainWithEval:
+    def test_checkpoints_at_expected_episodes(self, tiny_grid):
+        from repro.rl.runner import train_with_eval
+
+        train_env = make_env(tiny_grid, horizon_ticks=50)
+        eval_env = make_env(
+            tiny_grid, horizon_ticks=50, drain=True, peak_rate=300, t_peak=40
+        )
+        agent = CountingAgent()
+        history, checkpoints = train_with_eval(
+            agent, train_env, eval_env, episodes=5, eval_every=2
+        )
+        assert len(history.episodes) == 5
+        assert [episode for episode, _ in checkpoints] == [1, 3, 4]
+        for _, result in checkpoints:
+            assert np.isfinite(result.average_travel_time)
+
+    def test_bad_eval_every_rejected(self, tiny_grid):
+        from repro.rl.runner import train_with_eval
+
+        env = make_env(tiny_grid, horizon_ticks=50)
+        with pytest.raises(ValueError):
+            train_with_eval(CountingAgent(), env, env, episodes=2, eval_every=0)

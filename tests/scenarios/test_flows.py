@@ -1,0 +1,133 @@
+"""Flow pattern tests (paper Section VI-A traffic design)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DemandError
+from repro.scenarios.flows import (
+    PATTERN_GROUPS,
+    congested_pattern,
+    corridor_groups,
+    flow_pattern,
+    light_uniform_pattern,
+)
+from repro.sim.demand import DemandGenerator
+from repro.sim.routing import Router
+
+from conftest import build_grid  # re-exported fixture helper
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return build_grid(6, 6)
+
+
+class TestCorridorGroups:
+    def test_four_groups(self, grid):
+        groups = corridor_groups(grid)
+        assert set(groups) == {"F1", "F2", "F3", "F4"}
+
+    def test_each_group_has_four_corridors(self, grid):
+        groups = corridor_groups(grid)
+        for name, corridors in groups.items():
+            assert len(corridors) == 4, name
+
+    def test_group_axes(self, grid):
+        groups = corridor_groups(grid)
+        # F1/F2 are straight groups mixing both axes; F3/F4 are L-shaped.
+        for name in ("F1", "F2"):
+            axes = {c[0] for c in groups[name]}
+            assert axes == {"col", "row"}
+        for name in ("F3", "F4"):
+            assert all(c[0] == "L" for c in groups[name])
+            kinds = {c[1] for c in groups[name]}
+            assert kinds == {"n2e", "w2s"}
+
+    def test_straight_groups_disjoint(self, grid):
+        groups = corridor_groups(grid)
+        assert not (set(groups["F1"]) & set(groups["F2"]))
+
+
+class TestCongestedPatterns:
+    def test_sixteen_od_pairs(self, grid):
+        """Two groups x 4 corridors x 2 directions = 16 OD pairs (paper)."""
+        for pattern in PATTERN_GROUPS:
+            flows = congested_pattern(grid, pattern)
+            assert len(flows) == 16
+
+    def test_patterns_differ(self, grid):
+        routes = {}
+        for pattern in PATTERN_GROUPS:
+            flows = congested_pattern(grid, pattern)
+            routes[pattern] = frozenset(
+                (f.origin_link, f.destination_link) for f in flows
+            )
+        assert len(set(routes.values())) == 4
+
+    def test_forward_and_reverse_timing(self, grid):
+        flows = congested_pattern(grid, 1, peak_rate=500, t_peak=900)
+        forward = [f for f in flows if f.name.endswith("fwd")]
+        reverse = [f for f in flows if f.name.endswith("rev")]
+        assert len(forward) == len(reverse) == 8
+        for flow in forward:
+            assert flow.profile.rate_at(900) == 500  # peak at t_peak
+            assert flow.profile.rate_at(1800) == 0
+        for flow in reverse:
+            assert flow.profile.rate_at(900) == 0  # starts at t_peak
+            assert flow.profile.rate_at(1800) == 500  # peaks at 2*t_peak
+
+    def test_all_routes_feasible(self, grid):
+        router = Router(grid.network)
+        for pattern in PATTERN_GROUPS:
+            flows = congested_pattern(grid, pattern)
+            DemandGenerator(flows, router, seed=0)  # resolves all routes
+
+    def test_expected_volume(self, grid):
+        flows = congested_pattern(grid, 1, peak_rate=500, t_peak=900)
+        total = sum(f.expected_vehicles() for f in flows)
+        assert total == pytest.approx(16 * 125.0)  # 16 triangles of 125 veh
+
+    def test_invalid_pattern_rejected(self, grid):
+        with pytest.raises(DemandError):
+            congested_pattern(grid, 7)
+
+    def test_invalid_rate_rejected(self, grid):
+        with pytest.raises(DemandError):
+            congested_pattern(grid, 1, peak_rate=0)
+
+
+class TestLightPattern:
+    def test_rates_match_paper(self, grid):
+        flows = light_uniform_pattern(grid)
+        we = [f for f in flows if "-we" in f.name]
+        sn = [f for f in flows if "-sn" in f.name]
+        assert len(we) == 6 and len(sn) == 6
+        assert all(f.profile.peak_rate == 300.0 for f in we)
+        assert all(f.profile.peak_rate == 90.0 for f in sn)
+
+    def test_constant_over_duration(self, grid):
+        flows = light_uniform_pattern(grid, duration=1800)
+        for flow in flows:
+            assert flow.profile.rate_at(0) == flow.profile.rate_at(900)
+
+    def test_bad_duration_rejected(self, grid):
+        with pytest.raises(DemandError):
+            light_uniform_pattern(grid, duration=0)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("pattern", [1, 2, 3, 4, 5])
+    def test_flow_pattern_dispatch(self, grid, pattern):
+        flows = flow_pattern(grid, pattern)
+        assert flows
+
+    def test_unknown_pattern_rejected(self, grid):
+        with pytest.raises(DemandError):
+            flow_pattern(grid, 6)
+
+    def test_small_grid_supported(self):
+        small = build_grid(2, 2)
+        for pattern in (1, 2, 3, 4, 5):
+            flows = flow_pattern(small, pattern, t_peak=100)
+            DemandGenerator(flows, Router(small.network), seed=0)

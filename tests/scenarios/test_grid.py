@@ -1,0 +1,96 @@
+"""Grid scenario builder tests (paper Section VI-A geometry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.scenarios.grid import GridSpec, build_grid, intersection_id, terminal_id
+from repro.sim.network import TurnType
+
+
+class TestPaperGrid:
+    def test_six_by_six_dimensions(self):
+        grid = build_grid(6, 6)
+        assert len(grid.network.signalized_nodes()) == 36
+        # 36 intersections + 24 terminals.
+        assert len(grid.network.nodes) == 60
+
+    def test_block_length(self):
+        grid = build_grid(6, 6)
+        for link in grid.network.links.values():
+            assert link.length == pytest.approx(200.0)
+
+    def test_arterials_two_lanes_avenues_one(self):
+        grid = build_grid(3, 3)
+        net = grid.network
+        horizontal = net.links["I0_0->I0_1"]
+        vertical = net.links["I0_0->I1_0"]
+        assert horizontal.num_lanes == 2
+        assert vertical.num_lanes == 1
+
+    def test_arterial_lane_assignment(self):
+        """Left lane: left turns; right lane: shared through+right (paper)."""
+        grid = build_grid(3, 3)
+        link = grid.network.links["I0_0->I0_1"]
+        assert TurnType.LEFT in link.lanes[0].allowed_turns
+        assert TurnType.THROUGH not in link.lanes[0].allowed_turns
+        assert link.lanes[1].allowed_turns == frozenset(
+            {TurnType.THROUGH, TurnType.RIGHT}
+        )
+
+    def test_avenue_lane_shared_by_all(self):
+        grid = build_grid(3, 3)
+        link = grid.network.links["I0_0->I1_0"]
+        turns = link.lanes[0].allowed_turns
+        assert {TurnType.LEFT, TurnType.THROUGH, TurnType.RIGHT} <= turns
+
+    def test_every_intersection_has_phase_plan(self):
+        grid = build_grid(4, 4)
+        assert set(grid.phase_plans) == set(grid.network.signalized_nodes())
+
+    def test_no_uturn_movements(self):
+        grid = build_grid(3, 3)
+        for movement in grid.network.movements.values():
+            assert movement.turn is not TurnType.UTURN
+
+    def test_network_validates(self):
+        grid = build_grid(2, 3)
+        assert grid.network.validated
+
+
+class TestCorridorHelpers:
+    def test_column_route_endpoints(self):
+        grid = build_grid(3, 3)
+        origin, dest = grid.column_route_links(1, southbound=True)
+        assert origin == f"{terminal_id('n', 1)}->{intersection_id(0, 1)}"
+        assert dest == f"{intersection_id(2, 1)}->{terminal_id('s', 1)}"
+
+    def test_row_route_endpoints(self):
+        grid = build_grid(3, 3)
+        origin, dest = grid.row_route_links(2, eastbound=False)
+        assert origin == f"{terminal_id('e', 2)}->{intersection_id(2, 2)}"
+        assert dest == f"{intersection_id(2, 0)}->{terminal_id('w', 2)}"
+
+    def test_out_of_range_rejected(self):
+        grid = build_grid(3, 3)
+        with pytest.raises(NetworkError):
+            grid.column_route_links(5, southbound=True)
+        with pytest.raises(NetworkError):
+            grid.row_route_links(-1, eastbound=True)
+
+
+class TestGridSpec:
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(NetworkError):
+            GridSpec(rows=0, cols=3)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(NetworkError):
+            GridSpec(block_length=-1.0)
+
+    def test_one_by_one_grid_works(self):
+        grid = build_grid(1, 1)
+        assert len(grid.network.signalized_nodes()) == 1
+        plan = grid.phase_plans["I0_0"]
+        assert plan.num_phases >= 1

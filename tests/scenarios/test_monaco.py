@@ -1,0 +1,88 @@
+"""Monaco-style heterogeneous scenario tests (paper Section VI-D)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios.monaco import MonacoSpec, build_monaco
+from repro.sim.demand import DemandGenerator
+from repro.sim.routing import Router
+
+
+@pytest.fixture(scope="module")
+def monaco():
+    return build_monaco(seed=7)
+
+
+class TestTopology:
+    def test_thirty_signalized_intersections(self, monaco):
+        assert len(monaco.network.signalized_nodes()) == 30
+
+    def test_network_validates(self, monaco):
+        assert monaco.network.validated
+
+    def test_heterogeneous_lane_counts(self, monaco):
+        lanes = {
+            link.num_lanes
+            for link in monaco.network.links.values()
+            if not link.link_id.startswith("T_") and "->T_" not in link.link_id
+        }
+        assert lanes == {1, 2}
+
+    def test_heterogeneous_phase_sets(self, monaco):
+        sizes = {plan.num_phases for plan in monaco.phase_plans.values()}
+        assert len(sizes) > 1  # irregular topology -> varying phase counts
+
+    def test_some_streets_removed(self, monaco):
+        spec = monaco.spec
+        full_edges = spec.rows * (spec.cols - 1) + spec.cols * (spec.rows - 1)
+        internal_links = sum(
+            1
+            for link in monaco.network.links.values()
+            if link.from_node.startswith("M") and link.to_node.startswith("M")
+        )
+        assert internal_links < 2 * full_edges  # two directed per edge
+
+    def test_deterministic_given_seed(self):
+        a = build_monaco(seed=3)
+        b = build_monaco(seed=3)
+        assert set(a.network.links) == set(b.network.links)
+        assert [f.name for f in a.flows] == [f.name for f in b.flows]
+
+    def test_different_seeds_differ(self):
+        a = build_monaco(seed=3)
+        b = build_monaco(seed=4)
+        assert set(a.network.links) != set(b.network.links)
+
+
+class TestDemand:
+    def test_peak_rate_matches_paper(self, monaco):
+        assert max(f.profile.peak_rate for f in monaco.flows) == 975.0
+
+    def test_routes_feasible(self, monaco):
+        DemandGenerator(monaco.flows, Router(monaco.network), seed=0)
+
+    def test_multiple_conflicting_flows(self, monaco):
+        assert len(monaco.flows) >= 5
+
+    def test_flows_staggered_in_time(self, monaco):
+        starts = {f.profile.points[0][0] for f in monaco.flows}
+        assert len(starts) > 1
+
+
+class TestSimulationRuns:
+    def test_fixed_phase_simulation(self, monaco):
+        from repro.sim.demand import DemandGenerator
+        from repro.sim.engine import Simulation
+
+        demand = DemandGenerator(monaco.flows, Router(monaco.network), seed=0)
+        sim = Simulation(monaco.network, demand, monaco.phase_plans)
+        sim.step(300)
+        assert sim.total_created > 0
+        total = (
+            sim.vehicles_in_network()
+            + sim.pending_insertions()
+            + len(sim.finished_vehicles)
+        )
+        assert total == sim.total_created

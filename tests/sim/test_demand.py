@@ -1,0 +1,148 @@
+"""Demand model tests: rate profiles and vehicle emission."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DemandError
+from repro.sim.demand import DemandGenerator, Flow, RateProfile
+from repro.sim.routing import Router
+from tests_sim_helpers import straight_line_network
+
+
+class TestRateProfile:
+    def test_constant(self):
+        profile = RateProfile.constant(600.0, 100.0)
+        assert profile.rate_at(0) == 600.0
+        assert profile.rate_at(50) == 600.0
+        assert profile.rate_at(100) == 600.0
+        assert profile.rate_at(101) == 0.0
+
+    def test_triangular_interpolation(self):
+        profile = RateProfile.triangular(0, 100, 200, 500)
+        assert profile.rate_at(0) == 0.0
+        assert profile.rate_at(50) == pytest.approx(250.0)
+        assert profile.rate_at(100) == 500.0
+        assert profile.rate_at(150) == pytest.approx(250.0)
+        assert profile.rate_at(200) == 0.0
+        assert profile.rate_at(250) == 0.0
+
+    def test_outside_span_zero(self):
+        profile = RateProfile(((100.0, 300.0), (200.0, 300.0)))
+        assert profile.rate_at(50) == 0.0
+        assert profile.rate_at(150) == 300.0
+
+    def test_unordered_times_rejected(self):
+        with pytest.raises(DemandError):
+            RateProfile(((10.0, 5.0), (5.0, 5.0)))
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(DemandError):
+            RateProfile(((0.0, -1.0),))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DemandError):
+            RateProfile(())
+
+    def test_triangular_bad_ordering_rejected(self):
+        with pytest.raises(DemandError):
+            RateProfile.triangular(100, 50, 200, 500)
+
+    def test_peak_rate_and_end_time(self):
+        profile = RateProfile.triangular(0, 30, 90, 700)
+        assert profile.peak_rate == 700
+        assert profile.end_time == 90
+
+
+class TestFlow:
+    def test_expected_vehicles_constant(self):
+        flow = Flow("f", "a", "b", RateProfile.constant(3600.0, 10.0))
+        assert flow.expected_vehicles() == pytest.approx(10.0)
+
+    def test_expected_vehicles_triangular(self):
+        flow = Flow("f", "a", "b", RateProfile.triangular(0, 900, 1800, 500))
+        # Area = 0.5 * 1800 * 500 / 3600 = 125 vehicles.
+        assert flow.expected_vehicles() == pytest.approx(125.0)
+
+
+class TestDemandGenerator:
+    def _generator(self, stochastic: bool, seed: int = 0) -> DemandGenerator:
+        net = straight_line_network()
+        flows = [Flow("f", "l0", "l2", RateProfile.constant(1800.0, 100.0))]
+        return DemandGenerator(flows, Router(net), seed=seed, stochastic=stochastic)
+
+    def test_deterministic_emission_count(self):
+        gen = self._generator(stochastic=False)
+        total = sum(len(gen.emit(t)) for t in range(101))
+        assert total == 50  # 1800 veh/h * 100 s = 50 vehicles
+
+    def test_deterministic_is_reproducible(self):
+        a = self._generator(stochastic=False)
+        b = self._generator(stochastic=False)
+        for t in range(100):
+            assert a.emit(t) == b.emit(t)
+
+    def test_stochastic_reproducible_with_seed(self):
+        a = self._generator(stochastic=True, seed=42)
+        b = self._generator(stochastic=True, seed=42)
+        for t in range(100):
+            assert a.emit(t) == b.emit(t)
+
+    def test_stochastic_count_near_expectation(self):
+        gen = self._generator(stochastic=True, seed=7)
+        total = sum(len(gen.emit(t)) for t in range(101))
+        assert 30 <= total <= 70  # Poisson(50), generous bounds
+
+    def test_vehicle_ids_unique_and_monotone(self):
+        gen = self._generator(stochastic=False)
+        ids = [vid for t in range(100) for vid, _ in gen.emit(t)]
+        assert ids == sorted(set(ids))
+
+    def test_routes_resolved(self):
+        gen = self._generator(stochastic=False)
+        emissions = []
+        t = 0
+        while not emissions:
+            emissions = gen.emit(t)
+            t += 1
+        _, route = emissions[0]
+        assert route[0] == "l0"
+        assert route[-1] == "l2"
+
+    def test_reset_restarts_ids(self):
+        gen = self._generator(stochastic=False)
+        for t in range(50):
+            gen.emit(t)
+        gen.reset(seed=0)
+        ids = [vid for t in range(100) for vid, _ in gen.emit(t)]
+        assert ids[0] == 0
+
+    def test_bad_route_fails_fast(self):
+        net = straight_line_network()
+        flows = [Flow("f", "l2", "l0", RateProfile.constant(100.0, 10.0))]
+        with pytest.raises(Exception):
+            DemandGenerator(flows, Router(net), seed=0)
+
+    def test_duplicate_flow_names_rejected(self):
+        net = straight_line_network()
+        flows = [
+            Flow("f", "l0", "l2", RateProfile.constant(100.0, 10.0)),
+            Flow("f", "l0", "l1", RateProfile.constant(100.0, 10.0)),
+        ]
+        with pytest.raises(DemandError):
+            DemandGenerator(flows, Router(net), seed=0)
+
+    def test_empty_flows_rejected(self):
+        net = straight_line_network()
+        with pytest.raises(DemandError):
+            DemandGenerator([], Router(net), seed=0)
+
+    def test_end_time(self):
+        net = straight_line_network()
+        flows = [
+            Flow("a", "l0", "l2", RateProfile.constant(100.0, 10.0)),
+            Flow("b", "l0", "l2", RateProfile.triangular(0, 100, 300, 100.0)),
+        ]
+        gen = DemandGenerator(flows, Router(net), seed=0)
+        assert gen.end_time == 300.0

@@ -1,0 +1,381 @@
+"""Simulation engine tests: dynamics, invariants, failure modes.
+
+A minimal hand-built corridor (two links through one signalized node)
+exposes every mechanism precisely: discharge rate, yellow behaviour,
+start-up lost time, spillback, and head-of-line blocking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.demand import DemandGenerator, Flow, RateProfile
+from repro.sim.engine import Simulation
+from repro.sim.network import RoadNetwork, TurnType
+from repro.sim.routing import Router
+from repro.sim.signal import Phase, PhasePlan
+from repro.sim.vehicle import Vehicle, VehicleState
+
+
+def corridor_network(out_length: float = 200.0) -> RoadNetwork:
+    """A -> B(signal) -> C straight corridor, one lane."""
+    net = RoadNetwork()
+    net.add_node("A", 0, 0)
+    net.add_node("B", 200, 0, signalized=True)
+    net.add_node("C", 200 + out_length, 0)
+    net.add_link("in", "A", "B", 200.0, 1, speed_limit=10.0)
+    net.add_link("out", "B", "C", out_length, 1, speed_limit=10.0)
+    net.add_movement("in", "out", turn=TurnType.THROUGH)
+    net.validate()
+    return net
+
+
+def corridor_plan(net: RoadNetwork) -> dict[str, PhasePlan]:
+    green = Phase("go", frozenset({("in", "out")}))
+    red = Phase("stop", frozenset())
+    return {"B": PhasePlan("B", [green, red])}
+
+
+def make_sim(
+    net: RoadNetwork | None = None,
+    rate: float = 720.0,
+    duration: float = 100.0,
+    **kwargs,
+) -> Simulation:
+    net = net or corridor_network()
+    flows = [Flow("f", "in", "out", RateProfile.constant(rate, duration))]
+    demand = DemandGenerator(flows, Router(net), seed=0, stochastic=False)
+    return Simulation(net, demand, corridor_plan(net), **kwargs)
+
+
+class TestLifecycle:
+    def test_vehicles_created_and_finish(self):
+        sim = make_sim(rate=360.0, duration=50.0)
+        sim.step(300)
+        assert sim.total_created == 5
+        assert len(sim.finished_vehicles) == 5
+        assert sim.is_drained()
+
+    def test_travel_time_at_least_freeflow(self):
+        sim = make_sim(rate=360.0, duration=50.0)
+        sim.step(300)
+        # 400 m at 10 m/s => at least 40 s even with no queueing.
+        for vehicle in sim.finished_vehicles:
+            assert vehicle.travel_time(sim.time) >= 40
+
+    def test_conservation_invariant(self):
+        """created == in_network + pending + finished at every tick."""
+        sim = make_sim(rate=1200.0, duration=120.0)
+        for _ in range(400):
+            sim.step()
+            total = (
+                sim.vehicles_in_network()
+                + sim.pending_insertions()
+                + len(sim.finished_vehicles)
+            )
+            assert total == sim.total_created
+
+    def test_occupancy_never_exceeds_storage(self):
+        sim = make_sim(rate=3000.0, duration=200.0)
+        for _ in range(300):
+            sim.step()
+            for link_id, occupancy in sim.link_occupancy.items():
+                assert 0 <= occupancy <= sim.network.links[link_id].storage
+
+    def test_vehicle_states_consistent(self):
+        sim = make_sim(rate=720.0, duration=100.0)
+        sim.step(150)
+        for vehicle in sim.vehicles.values():
+            if vehicle.state is VehicleState.QUEUED:
+                assert vehicle.lane_id is not None
+            if vehicle.state is VehicleState.FINISHED:
+                assert vehicle.finished is not None
+
+
+class TestSignalControl:
+    def test_red_blocks_discharge(self):
+        sim = make_sim(rate=720.0, duration=60.0)
+        sim.set_phase("B", 1)  # all red
+        sim.step(120)
+        assert len(sim.finished_vehicles) == 0
+        assert sim.halting_count("in") > 0
+
+    def test_green_after_red_releases_queue(self):
+        sim = make_sim(rate=720.0, duration=60.0)
+        sim.set_phase("B", 1)
+        sim.step(100)
+        queued = sim.halting_count("in")
+        assert queued > 0
+        sim.set_phase("B", 0)
+        sim.step(200)
+        assert sim.halting_count("in") == 0
+        assert len(sim.finished_vehicles) == sim.total_created
+
+    def test_yellow_interrupts_discharge(self):
+        sim = make_sim(rate=720.0, duration=300.0, yellow_time=5)
+        sim.step(60)  # build some flow on green
+        finished_before = len(sim.finished_vehicles)
+        # Request red: during the 5 yellow ticks nothing may cross.
+        sim.set_phase("B", 1)
+        crossed_during_yellow = 0
+        for _ in range(5):
+            before = len(sim.finished_vehicles) + sim.link_occupancy["out"]
+            sim.step()
+            after = len(sim.finished_vehicles) + sim.link_occupancy["out"]
+            crossed_during_yellow += after - before
+        assert crossed_during_yellow == 0
+        assert finished_before >= 0  # silence lint; the assertion above is the test
+
+    def test_discharge_rate_bounded_by_saturation(self):
+        """With a standing queue and continuous green, throughput over a
+        long window is at most the saturation rate."""
+        sim = make_sim(rate=3600.0, duration=100.0, saturation_rate=0.5)
+        sim.set_phase("B", 1)
+        sim.step(100)  # build a standing queue on red
+        queue_before = sim.halting_count("in")
+        assert queue_before >= 20
+        sim.set_phase("B", 0)
+        start = len(sim.finished_vehicles) + sim.link_occupancy["out"]
+        sim.step(40)
+        crossed = (len(sim.finished_vehicles) + sim.link_occupancy["out"]) - start
+        assert crossed <= 0.5 * 40 + 1
+
+    def test_startup_lost_time_delays_first_discharge(self):
+        slow = make_sim(rate=3600.0, duration=60.0, startup_lost_time=4.0)
+        fast = make_sim(rate=3600.0, duration=60.0, startup_lost_time=0.0)
+        for sim in (slow, fast):
+            sim.set_phase("B", 1)
+            sim.step(80)
+            sim.set_phase("B", 0)
+            sim.step(6)  # yellow 2 + a few green ticks
+        crossed_slow = slow.link_occupancy["out"] + len(slow.finished_vehicles)
+        crossed_fast = fast.link_occupancy["out"] + len(fast.finished_vehicles)
+        assert crossed_fast > crossed_slow
+
+    def test_unsignalized_node_always_permits(self):
+        """Vehicles pass through unsignalized midpoints without agents."""
+        net = RoadNetwork()
+        net.add_node("A", 0, 0)
+        net.add_node("M", 200, 0)  # unsignalized midpoint
+        net.add_node("B", 400, 0, signalized=True)
+        net.add_node("C", 600, 0)
+        net.add_link("l1", "A", "M", 200, 1, speed_limit=10.0)
+        net.add_link("l2", "M", "B", 200, 1, speed_limit=10.0)
+        net.add_link("l3", "B", "C", 200, 1, speed_limit=10.0)
+        net.add_movement("l1", "l2")
+        net.add_movement("l2", "l3")
+        net.validate()
+        flows = [Flow("f", "l1", "l3", RateProfile.constant(360, 50))]
+        demand = DemandGenerator(flows, Router(net), seed=0, stochastic=False)
+        plans = {"B": PhasePlan("B", [Phase("go", frozenset({("l2", "l3")}))])}
+        sim = Simulation(net, demand, plans)
+        sim.step(400)
+        assert len(sim.finished_vehicles) == sim.total_created > 0
+
+
+class TestSpillback:
+    def test_full_downstream_blocks_discharge(self):
+        # Short out-link (30 m, 1 lane => storage 4) behind a red exit is
+        # impossible here (C is terminal), so use heavy inflow against
+        # the storage limit: vehicles exit 'out' only after traversal.
+        net = corridor_network(out_length=30.0)
+        sim = make_sim(net=net, rate=3600.0, duration=120.0)
+        sim.step(200)
+        for _ in range(100):
+            sim.step()
+            assert sim.link_occupancy["out"] <= net.links["out"].storage
+
+    def test_gridlock_possible_without_spill_loss(self):
+        """Even jammed, no vehicle is ever lost (conservation under spillback)."""
+        net = corridor_network(out_length=30.0)
+        sim = make_sim(net=net, rate=3600.0, duration=120.0)
+        sim.step(500)
+        total = (
+            sim.vehicles_in_network()
+            + sim.pending_insertions()
+            + len(sim.finished_vehicles)
+        )
+        assert total == sim.total_created
+
+
+class TestHeadOfLineBlocking:
+    def build_shared_lane_network(self):
+        """One shared lane feeding two movements with separate phases."""
+        net = RoadNetwork()
+        net.add_node("A", 0, 0)
+        net.add_node("B", 200, 0, signalized=True)
+        net.add_node("C", 400, 0)  # through target
+        net.add_node("D", 200, 200)  # left target
+        net.add_link("in", "A", "B", 200, 1, speed_limit=10.0)
+        net.add_link("thr", "B", "C", 200, 1, speed_limit=10.0)
+        net.add_link("left", "B", "D", 200, 1, speed_limit=10.0)
+        net.add_movement("in", "thr")
+        net.add_movement("in", "left")
+        net.validate()
+        plans = {
+            "B": PhasePlan(
+                "B",
+                [
+                    Phase("through", frozenset({("in", "thr")})),
+                    Phase("left", frozenset({("in", "left")})),
+                ],
+            )
+        }
+        return net, plans
+
+    def test_left_turner_blocks_through_traffic(self):
+        """With protected-only lefts, a queued left-turner is an absolute
+        blockage for the shared lane (the paper's HoL scenario)."""
+        net, plans = self.build_shared_lane_network()
+        router = Router(net)
+        flows = [
+            Flow("left", "in", "left", RateProfile.constant(360, 10)),
+            Flow("through", "in", "thr", RateProfile.constant(3600, 60)),
+        ]
+        demand = DemandGenerator(flows, router, seed=0, stochastic=False)
+        sim = Simulation(net, demand, plans, permissive_left=False)
+        # Hold the through phase. The first left-turner reaching the head
+        # of the shared lane blocks everything behind it.
+        for _ in range(200):
+            sim.set_phase("B", 0)
+            sim.step()
+        assert sim.link_occupancy["left"] == 0  # left phase never served
+        queue = sim.lane_queues["in#0"]
+        assert len(queue) > 0
+        assert queue[0].next_link == "left"  # a left-turner is stuck at head
+        # Serving the left phase unblocks the lane.
+        for _ in range(100):
+            sim.set_phase("B", 1)
+            sim.step()
+        remaining_lefts = sum(1 for v in sim.lane_queues["in#0"] if v.next_link == "left")
+        assert remaining_lefts == 0
+
+    def test_permissive_left_proceeds_when_opposing_clear(self):
+        """With permissive lefts (default), a head left-turner may cross
+        during the through phase when nothing opposes it."""
+        net, plans = self.build_shared_lane_network()
+        router = Router(net)
+        flows = [
+            Flow("left", "in", "left", RateProfile.constant(360, 10)),
+            Flow("through", "in", "thr", RateProfile.constant(3600, 60)),
+        ]
+        demand = DemandGenerator(flows, router, seed=0, stochastic=False)
+        sim = Simulation(net, demand, plans, permissive_left=True)
+        for _ in range(200):
+            sim.set_phase("B", 0)  # hold the through phase only
+            sim.step()
+        # No opposing approach exists, so the left went permissively.
+        assert sim.link_occupancy["left"] > 0 or any(
+            v.links_travelled >= 2 and v.route[-1] == "left"
+            for v in sim.vehicles.values()
+        )
+
+    def test_permissive_left_blocked_by_opposing_queue(self):
+        """An opposing queue withholds the permissive left (gap acceptance)."""
+        net = RoadNetwork()
+        net.add_node("W", 0, 0)
+        net.add_node("B", 200, 0, signalized=True)
+        net.add_node("E", 400, 0)
+        net.add_node("N", 200, 200)
+        net.add_link("in", "W", "B", 200, 1, speed_limit=10.0)
+        net.add_link("opp", "E", "B", 200, 1, speed_limit=10.0)
+        net.add_link("out_e", "B", "E", 200, 1, speed_limit=10.0)
+        net.add_link("out_w", "B", "W", 200, 1, speed_limit=10.0)
+        net.add_link("out_n", "B", "N", 200, 1, speed_limit=10.0)
+        net.add_movement("in", "out_e")   # eastbound through
+        net.add_movement("in", "out_n")   # eastbound left
+        net.add_movement("opp", "out_w")  # westbound through
+        net.validate()
+        through_phase = Phase(
+            "through", frozenset({("in", "out_e"), ("opp", "out_w")})
+        )
+        left_phase = Phase("left", frozenset({("in", "out_n")}))
+        plans = {"B": PhasePlan("B", [through_phase, left_phase])}
+        flows = [
+            Flow("left", "in", "out_n", RateProfile.constant(720, 20)),
+            Flow("opp", "opp", "out_w", RateProfile.constant(1800, 120)),
+        ]
+        demand = DemandGenerator(flows, Router(net), seed=0, stochastic=False)
+        sim = Simulation(net, demand, plans, permissive_left=True)
+        # Keep only the opposing-through phase active.  The opposing
+        # approach keeps a constant stream, so the left must wait.
+        blocked_throughout = True
+        for _ in range(100):
+            sim.set_phase("B", 0)
+            sim.step()
+            if sim.link_occupancy["out_n"] > 0 and sim.time < 110:
+                queue = sim.lane_queues["opp#0"]
+                approaching = sim.running["opp"]
+                if queue or approaching:
+                    blocked_throughout = False
+        assert blocked_throughout
+
+
+class TestValidationErrors:
+    def test_missing_phase_plan_rejected(self):
+        net = corridor_network()
+        with pytest.raises(SimulationError):
+            Simulation(net, None, {})
+
+    def test_bad_saturation_rate_rejected(self):
+        net = corridor_network()
+        with pytest.raises(SimulationError):
+            Simulation(net, None, corridor_plan(net), saturation_rate=0.0)
+
+    def test_negative_lost_time_rejected(self):
+        net = corridor_network()
+        with pytest.raises(SimulationError):
+            Simulation(net, None, corridor_plan(net), startup_lost_time=-1.0)
+
+    def test_no_demand_runs_empty(self):
+        net = corridor_network()
+        sim = Simulation(net, None, corridor_plan(net))
+        sim.step(50)
+        assert sim.total_created == 0
+        assert sim.is_drained()
+
+
+class TestMetricsSurface:
+    def test_queue_and_wait_metrics(self):
+        sim = make_sim(rate=720.0, duration=60.0)
+        sim.set_phase("B", 1)
+        sim.step(60)
+        assert sim.queue_length("in#0") > 0
+        assert sim.head_wait("in#0") > 0
+        assert sim.link_head_wait("in") == sim.head_wait("in#0")
+
+    def test_wait_resets_on_new_link(self):
+        sim = make_sim(rate=360.0, duration=30.0)
+        sim.set_phase("B", 1)
+        sim.step(50)
+        sim.set_phase("B", 0)
+        sim.step(10)
+        # Vehicles now running on 'out' must have wait_current_link == 0.
+        for vehicle in sim.running["out"]:
+            assert vehicle.wait_current_link == 0
+            assert vehicle.wait_total > 0
+
+
+class TestVehicleEntity:
+    def test_empty_route_rejected(self):
+        with pytest.raises(ValueError):
+            Vehicle(vehicle_id=0, route=[], created=0)
+
+    def test_travel_time_uses_finish_tick(self):
+        vehicle = Vehicle(vehicle_id=0, route=["a"], created=10)
+        vehicle.finished = 60
+        assert vehicle.travel_time(1000) == 50
+
+    def test_travel_time_elapsed_when_unfinished(self):
+        vehicle = Vehicle(vehicle_id=0, route=["a"], created=10)
+        assert vehicle.travel_time(35) == 25
+
+    def test_route_navigation_helpers(self):
+        vehicle = Vehicle(vehicle_id=0, route=["a", "b"], created=0)
+        assert vehicle.current_link == "a"
+        assert vehicle.next_link == "b"
+        assert not vehicle.on_last_link
+        vehicle.route_index = 1
+        assert vehicle.on_last_link
+        assert vehicle.next_link is None

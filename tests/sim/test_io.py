@@ -1,0 +1,115 @@
+"""Scenario JSON serialization round-trip tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.scenarios.flows import flow_pattern
+from repro.scenarios.grid import build_grid
+from repro.sim.demand import DemandGenerator
+from repro.sim.engine import Simulation
+from repro.sim.io import (
+    load_scenario,
+    network_from_dict,
+    network_to_dict,
+    save_scenario,
+)
+from repro.sim.routing import Router
+
+
+@pytest.fixture(scope="module")
+def grid_scenario():
+    grid = build_grid(2, 2)
+    flows = flow_pattern(grid, 1, peak_rate=500, t_peak=100)
+    return grid, flows
+
+
+class TestRoundTrip:
+    def test_network_structure_preserved(self, grid_scenario):
+        grid, flows = grid_scenario
+        payload = network_to_dict(grid.network, grid.phase_plans, flows)
+        network, phase_plans, loaded_flows = network_from_dict(payload)
+        assert set(network.nodes) == set(grid.network.nodes)
+        assert set(network.links) == set(grid.network.links)
+        assert set(network.movements) == set(grid.network.movements)
+        assert set(phase_plans) == set(grid.phase_plans)
+        assert len(loaded_flows) == len(flows)
+
+    def test_lane_turns_preserved(self, grid_scenario):
+        grid, _ = grid_scenario
+        payload = network_to_dict(grid.network)
+        network, _, _ = network_from_dict(payload)
+        for link_id, link in grid.network.links.items():
+            loaded = network.links[link_id]
+            for lane, loaded_lane in zip(link.lanes, loaded.lanes):
+                assert lane.allowed_turns == loaded_lane.allowed_turns
+
+    def test_phase_plans_preserved(self, grid_scenario):
+        grid, _ = grid_scenario
+        payload = network_to_dict(grid.network, grid.phase_plans)
+        _, phase_plans, _ = network_from_dict(payload)
+        for node_id, plan in grid.phase_plans.items():
+            loaded = phase_plans[node_id]
+            assert [p.name for p in plan.phases] == [p.name for p in loaded.phases]
+            for original, copy in zip(plan.phases, loaded.phases):
+                assert original.green_movements == copy.green_movements
+
+    def test_flow_profiles_preserved(self, grid_scenario):
+        grid, flows = grid_scenario
+        payload = network_to_dict(grid.network, flows=flows)
+        _, _, loaded = network_from_dict(payload)
+        for original, copy in zip(flows, loaded):
+            assert original.name == copy.name
+            assert original.profile.points == copy.profile.points
+
+    def test_file_round_trip_runs_simulation(self, grid_scenario, tmp_path):
+        grid, flows = grid_scenario
+        path = tmp_path / "scenario.json"
+        save_scenario(path, grid.network, grid.phase_plans, flows)
+        network, phase_plans, loaded_flows = load_scenario(path)
+        demand = DemandGenerator(loaded_flows, Router(network), seed=0)
+        sim = Simulation(network, demand, phase_plans)
+        sim.step(100)
+        assert sim.total_created > 0
+
+    def test_loaded_simulation_matches_original(self, grid_scenario, tmp_path):
+        """Same seed, same dynamics: the serialised scenario is exact."""
+        grid, flows = grid_scenario
+        path = tmp_path / "scenario.json"
+        save_scenario(path, grid.network, grid.phase_plans, flows)
+        network, phase_plans, loaded_flows = load_scenario(path)
+
+        sims = []
+        for net, plans, fls in (
+            (grid.network, grid.phase_plans, flows),
+            (network, phase_plans, loaded_flows),
+        ):
+            demand = DemandGenerator(list(fls), Router(net), seed=3)
+            sim = Simulation(net, demand, plans)
+            sim.step(200)
+            sims.append(sim)
+        assert sims[0].total_created == sims[1].total_created
+        assert len(sims[0].finished_vehicles) == len(sims[1].finished_vehicles)
+
+
+class TestValidation:
+    def test_unknown_turn_rejected(self):
+        payload = {
+            "nodes": [
+                {"id": "a", "x": 0, "y": 0},
+                {"id": "b", "x": 100, "y": 0},
+            ],
+            "links": [
+                {"id": "l", "from": "a", "to": "b", "length": 100,
+                 "lanes": [["sideways"]]},
+            ],
+        }
+        with pytest.raises(NetworkError):
+            network_from_dict(payload)
+
+    def test_empty_payload_gives_empty_network(self):
+        network, phase_plans, flows = network_from_dict({})
+        assert not network.nodes
+        assert not phase_plans
+        assert not flows

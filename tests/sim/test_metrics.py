@@ -1,0 +1,84 @@
+"""Metric computation tests (travel/waiting time, episode recorder)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.metrics import (
+    EpisodeRecorder,
+    average_travel_time,
+    intersection_max_wait,
+    network_average_wait,
+    travel_time_stats,
+)
+
+from test_engine import corridor_plan, make_sim
+
+
+class TestTravelTime:
+    def test_empty_simulation(self):
+        sim = make_sim(rate=100.0, duration=1.0)
+        stats = travel_time_stats(sim)
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+    def test_all_finished(self):
+        sim = make_sim(rate=360.0, duration=30.0)
+        sim.step(300)
+        stats = travel_time_stats(sim)
+        assert stats.finished == stats.count == sim.total_created
+        assert stats.mean >= 40.0  # free-flow bound
+        assert stats.max >= stats.p95 >= stats.median
+
+    def test_unfinished_charged_elapsed_time(self):
+        sim = make_sim(rate=720.0, duration=100.0)
+        sim.set_phase("B", 1)  # permanent red
+        sim.step(500)
+        with_unfinished = average_travel_time(sim, include_unfinished=True)
+        only_finished = average_travel_time(sim, include_unfinished=False)
+        assert with_unfinished > only_finished == 0.0
+
+    def test_average_grows_under_blockage(self):
+        sim = make_sim(rate=720.0, duration=100.0)
+        sim.set_phase("B", 1)
+        sim.step(200)
+        early = average_travel_time(sim)
+        sim.step(200)
+        late = average_travel_time(sim)
+        assert late > early
+
+
+class TestWaitingTime:
+    def test_zero_when_no_queues(self):
+        sim = make_sim(rate=100.0, duration=1.0)
+        assert network_average_wait(sim) == 0.0
+
+    def test_max_wait_over_incoming_lanes(self):
+        sim = make_sim(rate=720.0, duration=100.0)
+        sim.set_phase("B", 1)
+        sim.step(100)
+        assert intersection_max_wait(sim, "B") > 0
+        assert network_average_wait(sim) == intersection_max_wait(sim, "B")
+
+    def test_wait_bounded_by_elapsed_time(self):
+        sim = make_sim(rate=720.0, duration=100.0)
+        sim.set_phase("B", 1)
+        sim.step(100)
+        assert intersection_max_wait(sim, "B") <= sim.time
+
+
+class TestEpisodeRecorder:
+    def test_summary_aggregates_samples(self):
+        sim = make_sim(rate=720.0, duration=100.0)
+        sim.set_phase("B", 1)
+        recorder = EpisodeRecorder()
+        for _ in range(20):
+            sim.step(5)
+            recorder.sample(sim)
+        summary = recorder.summary()
+        assert summary["avg_wait"] > 0
+        assert summary["peak_queue"] >= summary["avg_queue"] > 0
+
+    def test_empty_recorder_summary(self):
+        summary = EpisodeRecorder().summary()
+        assert summary == {"avg_wait": 0.0, "avg_queue": 0.0, "peak_queue": 0.0}

@@ -1,0 +1,202 @@
+"""Road-network model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.sim.network import (
+    VEHICLE_SPACE_M,
+    RoadNetwork,
+    TurnType,
+    classify_turn,
+)
+
+
+def build_cross() -> RoadNetwork:
+    """A single 4-way intersection with terminals on each side."""
+    net = RoadNetwork()
+    net.add_node("C", 0, 0, signalized=True)
+    net.add_node("N", 0, 200)
+    net.add_node("S", 0, -200)
+    net.add_node("E", 200, 0)
+    net.add_node("W", -200, 0)
+    for terminal in ("N", "S", "E", "W"):
+        net.add_link(f"{terminal}->C", terminal, "C", 200.0, 1)
+        net.add_link(f"C->{terminal}", "C", terminal, 200.0, 1)
+    for src in ("N", "S", "E", "W"):
+        for dst in ("N", "S", "E", "W"):
+            if src != dst:
+                net.add_movement(f"{src}->C", f"C->{dst}")
+    net.validate()
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        net = RoadNetwork()
+        net.add_node("a", 0, 0)
+        with pytest.raises(NetworkError):
+            net.add_node("a", 1, 1)
+
+    def test_link_with_unknown_node_rejected(self):
+        net = RoadNetwork()
+        net.add_node("a", 0, 0)
+        with pytest.raises(NetworkError):
+            net.add_link("l", "a", "b", 100, 1)
+
+    def test_self_loop_rejected(self):
+        net = RoadNetwork()
+        net.add_node("a", 0, 0)
+        with pytest.raises(NetworkError):
+            net.add_link("l", "a", "a", 100, 1)
+
+    def test_bad_geometry_rejected(self):
+        net = RoadNetwork()
+        net.add_node("a", 0, 0)
+        net.add_node("b", 100, 0)
+        with pytest.raises(NetworkError):
+            net.add_link("l", "a", "b", -5, 1)
+        with pytest.raises(NetworkError):
+            net.add_link("l", "a", "b", 100, 0)
+
+    def test_lane_turns_length_checked(self):
+        net = RoadNetwork()
+        net.add_node("a", 0, 0)
+        net.add_node("b", 100, 0)
+        with pytest.raises(NetworkError):
+            net.add_link("l", "a", "b", 100, 2, lane_turns=[frozenset(TurnType)])
+
+    def test_movement_requires_meeting_links(self):
+        net = RoadNetwork()
+        net.add_node("a", 0, 0)
+        net.add_node("b", 100, 0)
+        net.add_node("c", 200, 0)
+        net.add_link("ab", "a", "b", 100, 1)
+        net.add_link("cb", "c", "b", 100, 1)
+        with pytest.raises(NetworkError):
+            net.add_movement("ab", "cb")  # cb starts at c, not b
+
+    def test_duplicate_movement_rejected(self):
+        net = build_cross()
+        with pytest.raises(NetworkError):
+            net.add_movement("N->C", "C->S")
+
+
+class TestGeometryDerived:
+    def test_freeflow_ticks(self):
+        net = RoadNetwork()
+        net.add_node("a", 0, 0)
+        net.add_node("b", 100, 0)
+        link = net.add_link("l", "a", "b", 139.0, 1, speed_limit=13.9)
+        assert link.freeflow_ticks == 10
+
+    def test_lane_capacity(self):
+        net = RoadNetwork()
+        net.add_node("a", 0, 0)
+        net.add_node("b", 100, 0)
+        link = net.add_link("l", "a", "b", 200.0, 2)
+        assert link.lane_capacity == int(200 // VEHICLE_SPACE_M)
+        assert link.storage == 2 * link.lane_capacity
+
+    def test_link_heading_unit_vector(self):
+        net = build_cross()
+        hx, hy = net.link_heading("N->C")
+        assert hx == pytest.approx(0.0)
+        assert hy == pytest.approx(-1.0)
+
+
+class TestClassifyTurn:
+    def test_through(self):
+        assert classify_turn((0, -1), (0, -1)) is TurnType.THROUGH
+
+    def test_left(self):
+        # Southbound then turning to east-heading is a left turn.
+        assert classify_turn((0, -1), (1, 0)) is TurnType.RIGHT or True
+        # Explicit: southbound (0,-1) -> eastbound (1,0): cross = 0*0-(-1)*1 = 1 > 0 -> LEFT
+        assert classify_turn((0, -1), (1, 0)) is TurnType.LEFT
+
+    def test_right(self):
+        assert classify_turn((0, -1), (-1, 0)) is TurnType.RIGHT
+
+    def test_uturn(self):
+        assert classify_turn((0, -1), (0, 1)) is TurnType.UTURN
+
+    def test_grid_movements_classified(self):
+        net = build_cross()
+        assert net.movements[("N->C", "C->S")].turn is TurnType.THROUGH
+        assert net.movements[("N->C", "C->E")].turn is TurnType.LEFT
+        assert net.movements[("N->C", "C->W")].turn is TurnType.RIGHT
+
+
+class TestQueries:
+    def test_movements_from(self):
+        net = build_cross()
+        moves = net.movements_from("N->C")
+        assert len(moves) == 3
+
+    def test_movements_at_node(self):
+        net = build_cross()
+        assert len(net.movements_at("C")) == 12
+
+    def test_lanes_for_movement_shared_lane(self):
+        net = build_cross()
+        movement = net.movements[("N->C", "C->S")]
+        assert len(net.lanes_for_movement(movement)) == 1
+
+    def test_signalized_nodes(self):
+        net = build_cross()
+        assert net.signalized_nodes() == ["C"]
+
+    def test_validation_missing_lane_for_movement(self):
+        net = RoadNetwork()
+        net.add_node("a", 0, 0, signalized=False)
+        net.add_node("b", 100, 0, signalized=True)
+        net.add_node("c", 200, 0)
+        net.add_link("ab", "a", "b", 100, 1, lane_turns=[frozenset({TurnType.LEFT})])
+        net.add_link("bc", "b", "c", 100, 1)
+        net.add_movement("ab", "bc", turn=TurnType.THROUGH)
+        with pytest.raises(NetworkError):
+            net.validate()
+
+    def test_validation_signalized_node_without_movements(self):
+        net = RoadNetwork()
+        net.add_node("a", 0, 0)
+        net.add_node("b", 100, 0, signalized=True)
+        net.add_link("ab", "a", "b", 100, 1)
+        with pytest.raises(NetworkError):
+            net.validate()
+
+
+class TestNeighbourhoods:
+    def test_grid_neighbours(self, small_grid):
+        net = small_grid.network
+        centre = "I1_1"
+        assert sorted(net.neighbours(centre)) == ["I0_1", "I1_0", "I1_2", "I2_1"]
+
+    def test_corner_neighbours(self, small_grid):
+        net = small_grid.network
+        assert sorted(net.neighbours("I0_0")) == ["I0_1", "I1_0"]
+
+    def test_upstream_neighbours_are_signalized_sources(self, small_grid):
+        net = small_grid.network
+        upstream = net.upstream_neighbours("I1_1")
+        assert sorted(upstream) == ["I0_1", "I1_0", "I1_2", "I2_1"]
+
+    def test_corner_upstream_excludes_terminals(self, small_grid):
+        net = small_grid.network
+        upstream = net.upstream_neighbours("I0_0")
+        assert sorted(upstream) == ["I0_1", "I1_0"]
+
+    def test_two_hop_neighbours(self, small_grid):
+        net = small_grid.network
+        two_hop = set(net.two_hop_neighbours("I0_0"))
+        assert two_hop == {"I0_2", "I2_0", "I1_1"}
+
+    def test_two_hop_excludes_self_and_one_hop(self, small_grid):
+        net = small_grid.network
+        centre = "I1_1"
+        one_hop = set(net.neighbours(centre))
+        two_hop = set(net.two_hop_neighbours(centre))
+        assert centre not in two_hop
+        assert not (one_hop & two_hop)

@@ -1,0 +1,56 @@
+"""Text-rendering tests."""
+
+from __future__ import annotations
+
+from repro.scenarios.grid import build_grid
+from repro.scenarios.flows import flow_pattern
+from repro.sim.demand import DemandGenerator
+from repro.sim.engine import Simulation
+from repro.sim.render import grid_map, occupancy_table
+from repro.sim.routing import Router
+
+
+def _loaded_grid_sim():
+    grid = build_grid(2, 2)
+    flows = flow_pattern(grid, 1, peak_rate=1500, t_peak=100)
+    demand = DemandGenerator(flows, Router(grid.network), seed=0)
+    sim = Simulation(grid.network, demand, grid.phase_plans)
+    sim.step(80)
+    return grid, sim
+
+
+class TestOccupancyTable:
+    def test_contains_header_and_counts(self):
+        _, sim = _loaded_grid_sim()
+        text = occupancy_table(sim)
+        assert f"t={sim.time}s" in text
+        assert "queued" in text
+
+    def test_top_limits_rows(self):
+        _, sim = _loaded_grid_sim()
+        short = occupancy_table(sim, top=1)
+        long = occupancy_table(sim, top=50)
+        assert len(short.splitlines()) <= len(long.splitlines())
+
+
+class TestGridMap:
+    def test_one_line_per_row(self):
+        grid, sim = _loaded_grid_sim()
+        text = grid_map(sim, 2, 2)
+        assert len(text.splitlines()) == 3  # header + 2 rows
+
+    def test_phase_glyphs_present(self):
+        grid, sim = _loaded_grid_sim()
+        for node_id in grid.network.signalized_nodes():
+            sim.set_phase(node_id, 0)
+        sim.step(5)
+        text = grid_map(sim, 2, 2)
+        assert "|" in text  # NS-through glyph
+
+    def test_yellow_glyph(self):
+        grid, sim = _loaded_grid_sim()
+        node = grid.network.signalized_nodes()[0]
+        current = sim.signals[node].current_phase_index
+        sim.set_phase(node, (current + 1) % grid.phase_plans[node].num_phases)
+        text = grid_map(sim, 2, 2)
+        assert "y" in text

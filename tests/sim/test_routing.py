@@ -1,0 +1,80 @@
+"""Router tests: shortest paths over the link graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.scenarios.grid import build_grid
+from repro.sim.routing import Router
+from tests_sim_helpers import diamond_network, straight_line_network
+
+
+class TestBasicRouting:
+    def test_straight_chain(self):
+        router = Router(straight_line_network())
+        assert router.route("l0", "l2") == ["l0", "l1", "l2"]
+
+    def test_origin_equals_destination(self):
+        router = Router(straight_line_network())
+        assert router.route("l1", "l1") == ["l1"]
+
+    def test_prefers_shorter_route(self):
+        router = Router(diamond_network())
+        route = router.route("ab", "de")
+        assert route == ["ab", "bd", "de"]
+
+    def test_long_route_when_forced(self):
+        router = Router(diamond_network())
+        route = router.route("ac", "de")
+        assert route == ["ac", "cd", "de"]
+
+    def test_unreachable_raises(self):
+        router = Router(straight_line_network())
+        with pytest.raises(NetworkError):
+            router.route("l2", "l0")
+
+    def test_unknown_links_raise(self):
+        router = Router(straight_line_network())
+        with pytest.raises(NetworkError):
+            router.route("nope", "l0")
+        with pytest.raises(NetworkError):
+            router.route("l0", "nope")
+
+    def test_route_is_copied_not_shared(self):
+        router = Router(straight_line_network())
+        route = router.route("l0", "l2")
+        route.append("tampered")
+        assert router.route("l0", "l2") == ["l0", "l1", "l2"]
+
+
+class TestGridRouting:
+    def test_route_follows_declared_movements(self):
+        grid = build_grid(3, 3)
+        router = Router(grid.network)
+        origin, dest = grid.column_route_links(1, southbound=True)
+        route = router.route(origin, dest)
+        for a, b in zip(route[:-1], route[1:]):
+            assert (a, b) in grid.network.movements
+
+    def test_corridor_route_length(self):
+        grid = build_grid(3, 3)
+        router = Router(grid.network)
+        origin, dest = grid.row_route_links(0, eastbound=True)
+        route = router.route(origin, dest)
+        # terminal->I0, I0->I1, I1->I2, I2->terminal = 4 links.
+        assert len(route) == 4
+
+    def test_l_shaped_route_exists(self):
+        grid = build_grid(3, 3)
+        router = Router(grid.network)
+        col_in, _ = grid.column_route_links(0, southbound=True)
+        _, row_out = grid.row_route_links(2, eastbound=True)
+        route = router.route(col_in, row_out)
+        assert route[0] == col_in
+        assert route[-1] == row_out
+
+    def test_reachable_set(self):
+        router = Router(straight_line_network())
+        assert router.reachable("l0") == frozenset({"l0", "l1", "l2"})
+        assert router.reachable("l2") == frozenset({"l2"})

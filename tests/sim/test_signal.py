@@ -1,0 +1,164 @@
+"""Signal phase / program / state-machine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.scenarios.grid import build_grid
+from repro.sim.network import TurnType
+from repro.sim.signal import (
+    FixedTimeProgram,
+    Phase,
+    PhasePlan,
+    SignalState,
+    default_four_phase_plan,
+)
+
+
+def two_phase_plan() -> PhasePlan:
+    return PhasePlan(
+        "X",
+        [
+            Phase("A", frozenset({("in1", "out1")})),
+            Phase("B", frozenset({("in2", "out2")})),
+        ],
+    )
+
+
+class TestPhasePlan:
+    def test_empty_plan_rejected(self):
+        with pytest.raises(NetworkError):
+            PhasePlan("X", [])
+
+    def test_num_phases(self):
+        assert two_phase_plan().num_phases == 2
+
+
+class TestSignalState:
+    def test_initial_state_green_phase_zero(self):
+        state = SignalState(two_phase_plan(), yellow_time=2)
+        assert state.current_phase_index == 0
+        assert not state.in_yellow
+        assert state.permits(("in1", "out1"))
+        assert not state.permits(("in2", "out2"))
+
+    def test_same_phase_request_is_noop(self):
+        state = SignalState(two_phase_plan(), yellow_time=2)
+        state.request_phase(0)
+        assert not state.in_yellow
+
+    def test_switch_goes_through_yellow(self):
+        state = SignalState(two_phase_plan(), yellow_time=2)
+        state.request_phase(1)
+        assert state.in_yellow
+        assert not state.permits(("in1", "out1"))
+        assert not state.permits(("in2", "out2"))
+        state.tick()
+        assert state.in_yellow
+        state.tick()
+        assert not state.in_yellow
+        assert state.current_phase_index == 1
+        assert state.permits(("in2", "out2"))
+
+    def test_just_switched_flag_set_on_commit(self):
+        state = SignalState(two_phase_plan(), yellow_time=1)
+        state.request_phase(1)
+        state.tick()
+        assert state.just_switched
+
+    def test_zero_yellow_commits_immediately(self):
+        state = SignalState(two_phase_plan(), yellow_time=0)
+        state.request_phase(1)
+        assert state.current_phase_index == 1
+        assert state.just_switched
+
+    def test_out_of_range_phase_rejected(self):
+        state = SignalState(two_phase_plan(), yellow_time=2)
+        with pytest.raises(NetworkError):
+            state.request_phase(5)
+
+    def test_time_in_phase_counts(self):
+        state = SignalState(two_phase_plan(), yellow_time=2)
+        for _ in range(5):
+            state.tick()
+        assert state.time_in_phase == 5
+
+    def test_request_change_during_yellow_updates_target(self):
+        plan = PhasePlan(
+            "X",
+            [
+                Phase("A", frozenset({("a", "b")})),
+                Phase("B", frozenset({("c", "d")})),
+                Phase("C", frozenset({("e", "f")})),
+            ],
+        )
+        state = SignalState(plan, yellow_time=2)
+        state.request_phase(1)
+        state.tick()
+        state.request_phase(2)  # change mind mid-yellow
+        state.tick()
+        assert state.current_phase_index == 2
+
+    def test_negative_yellow_rejected(self):
+        with pytest.raises(NetworkError):
+            SignalState(two_phase_plan(), yellow_time=-1)
+
+
+class TestFixedTimeProgram:
+    def test_cycle_length(self):
+        program = FixedTimeProgram([(0, 10), (1, 20)])
+        assert program.cycle_length == 30
+
+    def test_phase_at(self):
+        program = FixedTimeProgram([(0, 10), (1, 20)])
+        assert program.phase_at(0) == 0
+        assert program.phase_at(9) == 0
+        assert program.phase_at(10) == 1
+        assert program.phase_at(29) == 1
+        assert program.phase_at(30) == 0  # wraps
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(NetworkError):
+            FixedTimeProgram([])
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(NetworkError):
+            FixedTimeProgram([(0, 0)])
+
+
+class TestDefaultFourPhasePlan:
+    def test_interior_intersection_gets_four_phases(self):
+        grid = build_grid(3, 3)
+        plan = grid.phase_plans["I1_1"]
+        assert plan.num_phases == 4
+        names = {phase.name for phase in plan.phases}
+        assert names == {"NS-through", "NS-left", "EW-through", "EW-left"}
+
+    def test_phases_partition_turns_correctly(self):
+        grid = build_grid(3, 3)
+        net = grid.network
+        plan = grid.phase_plans["I1_1"]
+        for phase in plan.phases:
+            for key in phase.green_movements:
+                movement = net.movements[key]
+                hx, hy = net.link_heading(movement.in_link)
+                is_ns = abs(hy) >= abs(hx)
+                if phase.name.startswith("NS"):
+                    assert is_ns
+                else:
+                    assert not is_ns
+                if phase.name.endswith("left"):
+                    assert movement.turn in (TurnType.LEFT, TurnType.UTURN)
+                else:
+                    assert movement.turn in (TurnType.THROUGH, TurnType.RIGHT)
+
+    def test_every_movement_appears_in_some_phase(self):
+        grid = build_grid(2, 2)
+        net = grid.network
+        for node_id, plan in grid.phase_plans.items():
+            covered = set()
+            for phase in plan.phases:
+                covered |= phase.green_movements
+            expected = {m.key for m in net.movements_at(node_id)}
+            assert covered == expected

@@ -1,0 +1,63 @@
+"""Teleport-watchdog tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.demand import DemandGenerator, Flow, RateProfile
+from repro.sim.engine import Simulation
+from repro.sim.routing import Router
+
+from test_engine import corridor_network, corridor_plan
+
+
+def blocked_sim(teleport_time=None):
+    """Permanent red: without teleporting, nothing ever crosses."""
+    net = corridor_network()
+    flows = [Flow("f", "in", "out", RateProfile.constant(720, 60))]
+    demand = DemandGenerator(flows, Router(net), seed=0, stochastic=False)
+    sim = Simulation(net, demand, corridor_plan(net), teleport_time=teleport_time)
+    sim.set_phase("B", 1)
+    return sim
+
+
+class TestTeleport:
+    def test_disabled_by_default(self):
+        sim = blocked_sim()
+        sim.step(600)
+        assert sim.teleport_count == 0
+        assert len(sim.finished_vehicles) == 0
+
+    def test_teleport_breaks_absolute_blockage(self):
+        sim = blocked_sim(teleport_time=120)
+        sim.step(800)
+        assert sim.teleport_count > 0
+        assert len(sim.finished_vehicles) > 0
+
+    def test_conservation_holds_with_teleport(self):
+        sim = blocked_sim(teleport_time=60)
+        for _ in range(100):
+            sim.step(5)
+            total = (
+                sim.vehicles_in_network()
+                + sim.pending_insertions()
+                + len(sim.finished_vehicles)
+            )
+            assert total == sim.total_created
+
+    def test_no_teleport_below_threshold(self):
+        sim = blocked_sim(teleport_time=10_000)
+        sim.step(300)
+        assert sim.teleport_count == 0
+
+    def test_teleported_vehicle_continues_route(self):
+        sim = blocked_sim(teleport_time=60)
+        sim.step(800)
+        for vehicle in sim.finished_vehicles:
+            assert vehicle.route_index == len(vehicle.route) - 1
+
+    def test_invalid_threshold_rejected(self):
+        net = corridor_network()
+        with pytest.raises(SimulationError):
+            Simulation(net, None, corridor_plan(net), teleport_time=0)

@@ -1,0 +1,97 @@
+"""Trip-level statistics tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.tripinfo import (
+    DelayDecomposition,
+    all_trips,
+    format_od_table,
+    od_summaries,
+    trip_record,
+)
+from repro.sim.vehicle import Vehicle
+
+from test_engine import make_sim
+
+
+class TestTripRecord:
+    def test_completed_trip_fields(self):
+        sim = make_sim(rate=360.0, duration=30.0)
+        sim.step(300)
+        records = [r for r in all_trips(sim) if r.completed]
+        assert records
+        for record in records:
+            assert record.origin == "in"
+            assert record.destination == "out"
+            assert record.travel_time >= 40  # free-flow bound
+            assert record.insertion_delay >= 0
+            assert record.links_travelled == 2
+
+    def test_uncompleted_trip_charged_elapsed(self):
+        sim = make_sim(rate=720.0, duration=60.0)
+        sim.set_phase("B", 1)
+        sim.step(100)
+        records = all_trips(sim)
+        open_records = [r for r in records if not r.completed]
+        assert open_records
+        for record in open_records:
+            assert record.travel_time <= sim.time
+
+    def test_pending_vehicle_insertion_delay_grows(self):
+        vehicle = Vehicle(vehicle_id=0, route=["a"], created=10)
+        record = trip_record(vehicle, now=50)
+        assert record.insertion_delay == 40
+        assert record.inserted is None
+
+
+class TestODSummaries:
+    def test_single_od(self):
+        sim = make_sim(rate=360.0, duration=30.0)
+        sim.step(300)
+        summaries = od_summaries(sim)
+        assert len(summaries) == 1
+        summary = summaries[0]
+        assert summary.count == sim.total_created
+        assert summary.completed == summary.count
+        assert summary.completion_rate == 1.0
+        assert summary.mean_travel_time >= 40
+
+    def test_sorted_worst_first(self):
+        sim = make_sim(rate=720.0, duration=60.0)
+        sim.step(200)
+        summaries = od_summaries(sim)
+        times = [s.mean_travel_time for s in summaries]
+        assert times == sorted(times, reverse=True)
+
+    def test_format_table(self):
+        sim = make_sim(rate=360.0, duration=30.0)
+        sim.step(200)
+        text = format_od_table(od_summaries(sim))
+        assert "origin" in text
+        assert "in" in text
+
+
+class TestDelayDecomposition:
+    def test_empty_simulation(self):
+        sim = make_sim(rate=100.0, duration=1.0)
+        decomposition = DelayDecomposition.compute(sim)
+        assert decomposition.mean_travel_time == 0.0
+
+    def test_components_sum_to_travel_time(self):
+        sim = make_sim(rate=720.0, duration=60.0)
+        sim.step(400)
+        d = DelayDecomposition.compute(sim)
+        assert d.mean_travel_time == pytest.approx(
+            d.mean_insertion_delay + d.mean_waiting_time + d.mean_moving_time,
+            rel=1e-9,
+        )
+        assert d.mean_moving_time > 0
+
+    def test_blocked_network_dominated_by_waiting(self):
+        sim = make_sim(rate=720.0, duration=100.0)
+        sim.set_phase("B", 1)
+        sim.step(400)
+        d = DelayDecomposition.compute(sim)
+        assert d.mean_waiting_time > d.mean_moving_time

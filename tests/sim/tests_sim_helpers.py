@@ -1,0 +1,39 @@
+"""Shared network builders for simulator tests."""
+
+from __future__ import annotations
+
+from repro.sim.network import RoadNetwork, TurnType
+
+
+def straight_line_network(segments: int = 3) -> RoadNetwork:
+    """A chain n0 -> n1 -> ... with links l0, l1, ...; middle nodes signal-free."""
+    net = RoadNetwork()
+    for index in range(segments + 1):
+        net.add_node(f"n{index}", index * 100.0, 0.0)
+    for index in range(segments):
+        net.add_link(f"l{index}", f"n{index}", f"n{index + 1}", 100.0, 1, speed_limit=10.0)
+    for index in range(segments - 1):
+        net.add_movement(f"l{index}", f"l{index + 1}", turn=TurnType.THROUGH)
+    net.validate()
+    return net
+
+
+def diamond_network() -> RoadNetwork:
+    """Two routes from a to d: a-b-d (short) and a-c-d (long)."""
+    net = RoadNetwork()
+    net.add_node("a", 0, 0)
+    net.add_node("b", 100, 50)
+    net.add_node("c", 100, -50)
+    net.add_node("d", 200, 0)
+    net.add_node("e", 300, 0)
+    net.add_link("ab", "a", "b", 100, 1, speed_limit=10.0)
+    net.add_link("bd", "b", "d", 100, 1, speed_limit=10.0)
+    net.add_link("ac", "a", "c", 300, 1, speed_limit=10.0)
+    net.add_link("cd", "c", "d", 300, 1, speed_limit=10.0)
+    net.add_link("de", "d", "e", 100, 1, speed_limit=10.0)
+    net.add_movement("ab", "bd", turn=TurnType.THROUGH)
+    net.add_movement("ac", "cd", turn=TurnType.THROUGH)
+    net.add_movement("bd", "de", turn=TurnType.THROUGH)
+    net.add_movement("cd", "de", turn=TurnType.THROUGH)
+    net.validate()
+    return net

@@ -1,0 +1,110 @@
+"""CLI tests (direct invocation of repro.cli.main)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = [
+    "--rows", "2", "--cols", "2", "--peak-rate", "400",
+    "--t-peak", "60", "--horizon", "120", "--episodes", "1",
+]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.model == "PairUpLight"
+        assert args.pattern == 1
+
+    def test_unknown_model_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "Nope"])
+
+
+class TestCommands:
+    def test_train_writes_history(self, tmp_path, capsys):
+        history_path = tmp_path / "history.json"
+        code = main(
+            ["train", *FAST, "--model", "SingleAgent",
+             "--history-out", str(history_path)]
+        )
+        assert code == 0
+        payload = json.loads(history_path.read_text())
+        assert payload["model"] == "SingleAgent"
+        assert len(payload["wait_curve"]) == 1
+        assert "trained 1 episodes" in capsys.readouterr().out
+
+    def test_train_writes_weights(self, tmp_path):
+        weights_path = tmp_path / "actor.npz"
+        code = main(
+            ["train", *FAST, "--model", "PairUpLight",
+             "--weights-out", str(weights_path)]
+        )
+        assert code == 0
+        assert weights_path.exists()
+
+    def test_train_static_model_skips_weights(self, tmp_path, capsys):
+        code = main(
+            ["train", *FAST, "--model", "Fixedtime",
+             "--weights-out", str(tmp_path / "w.npz")]
+        )
+        assert code == 0
+        assert "skipping" in capsys.readouterr().out
+
+    def test_evaluate_fixed_time(self, capsys):
+        code = main(
+            ["evaluate", *FAST, "--model", "Fixedtime", "--episodes", "0",
+             "--eval-patterns", "1", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Avg travel time" in out
+
+    def test_compare_table3_subset(self, capsys):
+        code = main(
+            ["compare", *FAST, "--table", "3", "--models", "Fixedtime"]
+        )
+        assert code == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_compare_unknown_models_error(self, capsys):
+        code = main(["compare", *FAST, "--models", "Bogus"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_overhead(self, capsys):
+        code = main(["overhead", *FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PairUpLight" in out
+        assert "32" in out
+
+
+class TestExtendedModels:
+    def test_evaluate_maxpressure(self, capsys):
+        code = main(
+            ["evaluate", *FAST, "--model", "MaxPressure", "--episodes", "0",
+             "--eval-patterns", "1"]
+        )
+        assert code == 0
+        assert "Avg travel time" in capsys.readouterr().out
+
+    def test_train_iql(self, capsys):
+        code = main(["train", *FAST, "--model", "IQL"])
+        assert code == 0
+        assert "IQL trained" in capsys.readouterr().out
+
+    def test_evaluate_longest_queue(self, capsys):
+        code = main(
+            ["evaluate", *FAST, "--model", "LongestQueue", "--episodes", "0",
+             "--eval-patterns", "1"]
+        )
+        assert code == 0

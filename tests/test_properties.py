@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, concat
+from repro.rl.gae import compute_gae, discounted_returns
+from repro.rl.schedules import LinearSchedule
+from repro.sim.demand import RateProfile
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def small_arrays(shape):
+    return arrays(np.float64, shape, elements=finite_floats)
+
+
+class TestTensorProperties:
+    @given(small_arrays((3, 4)), small_arrays((3, 4)))
+    def test_addition_commutative(self, a, b):
+        left = (Tensor(a) + Tensor(b)).data
+        right = (Tensor(b) + Tensor(a)).data
+        np.testing.assert_allclose(left, right)
+
+    @given(small_arrays((2, 3)))
+    def test_double_negation_identity(self, a):
+        np.testing.assert_allclose((-(-Tensor(a))).data, a)
+
+    @given(small_arrays((4,)))
+    def test_tanh_bounded(self, a):
+        out = Tensor(a).tanh().data
+        assert np.all(np.abs(out) <= 1.0)
+
+    @given(small_arrays((4,)))
+    def test_sigmoid_bounded(self, a):
+        out = Tensor(a).sigmoid().data
+        assert np.all((out >= 0.0) & (out <= 1.0))
+
+    @given(small_arrays((3, 5)))
+    def test_sum_axis_decomposition(self, a):
+        total = float(Tensor(a).sum().data)
+        by_axis = float(Tensor(a).sum(axis=0).sum().data)
+        assert total == pytest.approx(by_axis, rel=1e-9, abs=1e-9)
+
+    @given(small_arrays((2, 3)), small_arrays((2, 4)))
+    def test_concat_preserves_content(self, a, b):
+        out = concat([Tensor(a), Tensor(b)], axis=1).data
+        np.testing.assert_array_equal(out[:, :3], a)
+        np.testing.assert_array_equal(out[:, 3:], b)
+
+    @given(small_arrays((3, 4)))
+    def test_gradient_of_sum_is_ones(self, a):
+        t = Tensor(a, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones_like(a))
+
+    @given(small_arrays((2, 6)))
+    def test_reshape_roundtrip_gradient(self, a):
+        t = Tensor(a, requires_grad=True)
+        t.reshape(3, 4).reshape(2, 6).sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones_like(a))
+
+
+class TestSoftmaxProperties:
+    @given(small_arrays((4, 5)))
+    def test_softmax_is_distribution(self, logits):
+        probs = F.softmax(Tensor(logits)).data
+        assert np.all(probs >= 0)
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(4), atol=1e-9)
+
+    @given(small_arrays((3, 4)), st.floats(min_value=-50, max_value=50))
+    def test_softmax_shift_invariant(self, logits, shift):
+        base = F.softmax(Tensor(logits)).data
+        shifted = F.softmax(Tensor(logits + shift)).data
+        np.testing.assert_allclose(base, shifted, atol=1e-9)
+
+    @given(small_arrays((2, 6)))
+    def test_entropy_bounds(self, logits):
+        probs = F.softmax(Tensor(logits))
+        entropy = F.entropy(probs).data
+        assert np.all(entropy >= -1e-9)
+        assert np.all(entropy <= np.log(6) + 1e-9)
+
+
+class TestGaeProperties:
+    @given(small_arrays((8, 2)), small_arrays((8, 2)))
+    def test_returns_are_advantages_plus_values(self, rewards, values):
+        adv, ret = compute_gae(rewards, values, 0.0)
+        np.testing.assert_allclose(ret, adv + values, atol=1e-9)
+
+    @given(small_arrays((6, 1)))
+    def test_zero_rewards_zero_values_zero_advantage(self, _unused):
+        rewards = np.zeros((6, 1))
+        values = np.zeros((6, 1))
+        adv, ret = compute_gae(rewards, values, 0.0)
+        np.testing.assert_array_equal(adv, np.zeros_like(adv))
+
+    @given(
+        small_arrays((5, 3)),
+        st.floats(min_value=0.1, max_value=0.99),
+    )
+    def test_gae_lambda1_matches_discounted_returns(self, rewards, gamma):
+        values = np.zeros((5, 3))
+        _, ret = compute_gae(rewards, values, 0.0, gamma=gamma, lam=1.0)
+        expected = discounted_returns(rewards, gamma)
+        np.testing.assert_allclose(ret, expected, atol=1e-8)
+
+    @given(small_arrays((4, 2)), finite_floats)
+    def test_constant_value_offset_shifts_advantage_boundedly(self, rewards, offset):
+        """Advantages must be finite and respond linearly to value offsets."""
+        values = np.zeros((4, 2))
+        adv_base, _ = compute_gae(rewards, values, 0.0)
+        adv_off, _ = compute_gae(rewards, values + offset, offset)
+        assert np.all(np.isfinite(adv_off))
+        # With bootstrap also offset, each delta changes by offset*(gamma-1).
+        diff = adv_off - adv_base
+        assert np.all(np.isfinite(diff))
+
+
+class TestScheduleProperties:
+    @given(
+        st.floats(min_value=0.01, max_value=10),
+        st.floats(min_value=0.0, max_value=0.009),
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=0, max_value=20_000),
+    )
+    def test_linear_schedule_monotone_and_bounded(self, start, end, steps, query):
+        schedule = LinearSchedule(start, end, steps)
+        value = schedule.value(query)
+        assert min(start, end) - 1e-12 <= value <= max(start, end) + 1e-12
+        assert schedule.value(query + 1) <= value + 1e-12  # decaying
+
+
+class TestRateProfileProperties:
+    @given(
+        st.floats(min_value=1, max_value=2000),
+        st.floats(min_value=10, max_value=5000),
+    )
+    def test_constant_profile_rate_inside_span(self, rate, duration):
+        profile = RateProfile.constant(rate, duration)
+        for t in np.linspace(0, duration, 7):
+            assert profile.rate_at(float(t)) == pytest.approx(rate)
+
+    @given(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=101, max_value=200),
+        st.floats(min_value=201, max_value=400),
+        st.floats(min_value=1, max_value=1000),
+    )
+    def test_triangular_profile_bounded_by_peak(self, start, peak_t, end, peak):
+        profile = RateProfile.triangular(start, peak_t, end, peak)
+        for t in np.linspace(start - 10, end + 10, 23):
+            rate = profile.rate_at(float(t))
+            assert 0.0 <= rate <= peak + 1e-9
+
+    @given(st.floats(min_value=1, max_value=1000), st.floats(min_value=10, max_value=1000))
+    def test_rate_zero_outside_span(self, rate, duration):
+        profile = RateProfile.constant(rate, duration)
+        assert profile.rate_at(-1.0) == 0.0
+        assert profile.rate_at(duration + 1.0) == 0.0
+
+
+class TestEngineConservationProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.floats(min_value=100, max_value=3000),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=50, max_value=200),
+    )
+    def test_vehicle_conservation_random_phasing(self, rate, phase_seed, ticks):
+        """No vehicle is ever created or destroyed inside the engine,
+        regardless of demand level or (arbitrary) phase choices."""
+        from repro.scenarios.grid import build_grid
+        from repro.sim.demand import DemandGenerator, Flow, RateProfile
+        from repro.sim.engine import Simulation
+        from repro.sim.routing import Router
+
+        grid = build_grid(2, 2)
+        origin, dest = grid.column_route_links(0, southbound=True)
+        origin2, dest2 = grid.row_route_links(1, eastbound=True)
+        flows = [
+            Flow("a", origin, dest, RateProfile.constant(rate, 150)),
+            Flow("b", origin2, dest2, RateProfile.constant(rate, 150)),
+        ]
+        demand = DemandGenerator(flows, Router(grid.network), seed=0)
+        sim = Simulation(grid.network, demand, grid.phase_plans)
+        rng = np.random.default_rng(phase_seed)
+        for _ in range(ticks // 5):
+            for node_id, plan in grid.phase_plans.items():
+                sim.set_phase(node_id, int(rng.integers(plan.num_phases)))
+            sim.step(5)
+            total = (
+                sim.vehicles_in_network()
+                + sim.pending_insertions()
+                + len(sim.finished_vehicles)
+            )
+            assert total == sim.total_created

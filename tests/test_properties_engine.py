@@ -1,0 +1,92 @@
+"""More property-based tests: engine ordering/timing invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios.grid import build_grid
+from repro.sim.demand import DemandGenerator, Flow, RateProfile
+from repro.sim.engine import Simulation
+from repro.sim.network import RoadNetwork, TurnType
+from repro.sim.routing import Router
+from repro.sim.signal import Phase, PhasePlan
+
+
+def corridor(rate: float, duration: float, **kwargs) -> Simulation:
+    net = RoadNetwork()
+    net.add_node("A", 0, 0)
+    net.add_node("B", 200, 0, signalized=True)
+    net.add_node("C", 400, 0)
+    net.add_link("in", "A", "B", 200.0, 1, speed_limit=10.0)
+    net.add_link("out", "B", "C", 200.0, 1, speed_limit=10.0)
+    net.add_movement("in", "out", turn=TurnType.THROUGH)
+    net.validate()
+    flows = [Flow("f", "in", "out", RateProfile.constant(rate, duration))]
+    demand = DemandGenerator(flows, Router(net), seed=0, stochastic=False)
+    plans = {
+        "B": PhasePlan(
+            "B", [Phase("go", frozenset({("in", "out")})), Phase("stop", frozenset())]
+        )
+    }
+    return Simulation(net, demand, plans, **kwargs)
+
+
+class TestFifoProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.floats(min_value=200, max_value=2500),
+        st.integers(min_value=0, max_value=40),
+    )
+    def test_single_lane_fifo(self, rate, red_ticks):
+        """On a single-lane corridor, vehicles finish in creation order."""
+        sim = corridor(rate, 100.0)
+        sim.set_phase("B", 1)
+        sim.step(red_ticks)
+        sim.set_phase("B", 0)
+        sim.step(600)
+        finish_order = [v.vehicle_id for v in sim.finished_vehicles]
+        assert finish_order == sorted(finish_order)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=100, max_value=2000))
+    def test_travel_time_at_least_freeflow(self, rate):
+        sim = corridor(rate, 60.0)
+        sim.step(800)
+        freeflow = (
+            sim.network.links["in"].freeflow_ticks
+            + sim.network.links["out"].freeflow_ticks
+        )
+        for vehicle in sim.finished_vehicles:
+            assert vehicle.travel_time(sim.time) >= freeflow
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=50))
+    def test_waiting_monotone_while_red(self, ticks):
+        sim = corridor(1800.0, 100.0)
+        sim.set_phase("B", 1)
+        sim.step(30)  # build a queue
+        head_wait_before = sim.head_wait("in#0")
+        sim.step(ticks)
+        assert sim.head_wait("in#0") >= head_wait_before
+
+
+class TestGridRandomControlProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_finished_vehicles_complete_routes(self, seed):
+        grid = build_grid(2, 2)
+        origin, dest = grid.column_route_links(0, southbound=True)
+        flows = [Flow("f", origin, dest, RateProfile.constant(900, 100))]
+        demand = DemandGenerator(flows, Router(grid.network), seed=seed)
+        sim = Simulation(grid.network, demand, grid.phase_plans)
+        rng = np.random.default_rng(seed)
+        for _ in range(120):
+            for node_id, plan in grid.phase_plans.items():
+                sim.set_phase(node_id, int(rng.integers(plan.num_phases)))
+            sim.step(5)
+        for vehicle in sim.finished_vehicles:
+            assert vehicle.route_index == len(vehicle.route) - 1
+            assert vehicle.links_travelled == len(vehicle.route)

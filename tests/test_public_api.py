@@ -1,0 +1,62 @@
+"""Public API consistency: every exported name exists and is documented."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.agents",
+    "repro.env",
+    "repro.eval",
+    "repro.nn",
+    "repro.rl",
+    "repro.scenarios",
+    "repro.sim",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", [])
+    assert exported, f"{package_name} should declare __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_is_sorted(package_name):
+    package = importlib.import_module(package_name)
+    exported = list(getattr(package, "__all__", []))
+    assert exported == sorted(exported), f"{package_name}.__all__ not sorted"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_classes_and_functions_documented(package_name):
+    """Every public class/function exported by the package has a docstring."""
+    package = importlib.import_module(package_name)
+    undocumented = []
+    for name in getattr(package, "__all__", []):
+        obj = getattr(package, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(f"{package_name}.{name}")
+    assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+def test_package_docstrings():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        assert (package.__doc__ or "").strip(), f"{package_name} lacks a docstring"
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)
