@@ -30,6 +30,24 @@ Quickstart::
     print(history.best_episode())
 """
 
+from repro.errors import (
+    CheckpointError,
+    ConfigError,
+    DemandError,
+    FaultInjectionError,
+    NetworkError,
+    ReproError,
+    SimulationError,
+)
 from repro.version import __version__
 
-__all__ = ["__version__"]
+__all__ = [
+    "CheckpointError",
+    "ConfigError",
+    "DemandError",
+    "FaultInjectionError",
+    "NetworkError",
+    "ReproError",
+    "SimulationError",
+    "__version__",
+]

@@ -13,6 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.env.tsc_env import StepResult, TrafficSignalEnv
+from repro.errors import CheckpointError
+from repro.nn.serialization import atomic_savez, read_archive
 
 
 class AgentSystem:
@@ -76,13 +78,38 @@ class AgentSystem:
             )
 
     def save(self, path) -> None:
-        """Persist all network weights to an ``.npz`` archive."""
+        """Persist all network weights to an ``.npz`` archive atomically."""
         state = self.state_dict()
         if not state:
             raise ValueError(f"{self.name} has no weights to save")
-        np.savez(path, **state)
+        atomic_savez(path, state)
 
     def load(self, path) -> None:
-        """Load weights written by :meth:`save`."""
-        with np.load(path) as archive:
-            self.load_state_dict({name: archive[name] for name in archive.files})
+        """Load weights written by :meth:`save`.
+
+        Unreadable archives and key/shape mismatches raise
+        :class:`repro.errors.CheckpointError`.
+        """
+        state = read_archive(path)
+        try:
+            self.load_state_dict(state)
+        except (KeyError, ValueError) as error:
+            raise CheckpointError(
+                f"checkpoint does not match {self.name}: {error}"
+            ) from error
+
+    # ------------------------------------------------------------------
+    # Training-state capture (crash-safe resume; see rl.runner.train)
+    # ------------------------------------------------------------------
+    def training_state(self) -> dict[str, np.ndarray]:
+        """Arrays beyond the weights needed to resume training exactly
+        (optimizer moments, RNG streams).  Static agents have none."""
+        return {}
+
+    def load_training_state(self, state: dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`training_state`."""
+        if state:
+            raise CheckpointError(
+                f"{self.name} cannot restore training state "
+                f"(unexpected keys {sorted(state)[:4]}...)"
+            )

@@ -35,8 +35,10 @@ from repro.agents.base import AgentSystem
 from repro.agents.pairuplight.actor import CoordinatedActor
 from repro.agents.pairuplight.critic import CentralizedCritic, CriticFeatureBuilder
 from repro.agents.pairuplight.messaging import (
+    FaultyMessageChannel,
     MessageBoard,
     MessageRegularizer,
+    ResilientMessageReader,
     select_partner,
 )
 from repro.env.tsc_env import StepResult, TrafficSignalEnv
@@ -70,6 +72,14 @@ class PairUpLightConfig:
     #: Whether the critic sees one-/two-hop neighbour pressures (paper)
     #: or only the local observation (ablation).
     centralized_critic: bool = True
+    #: Graceful degradation under message loss: reuse the last received
+    #: message with staleness decay, then self-pair.  Disable for the
+    #: no-fallback ablation (lost messages read as zeros).
+    degrade_on_loss: bool = True
+    #: Attenuation applied per step of staleness to a reused message.
+    message_decay: float = 0.5
+    #: Staleness (consecutive losses) beyond which the agent self-pairs.
+    max_staleness: int = 3
     ppo: PPOConfig = field(default_factory=PPOConfig)
 
     def __post_init__(self) -> None:
@@ -81,6 +91,10 @@ class PairUpLightConfig:
             raise ConfigError("sigma must be positive")
         if self.partner_strategy not in ("upstream", "self", "random", "fixed"):
             raise ConfigError(f"unknown partner strategy {self.partner_strategy!r}")
+        if not 0.0 <= self.message_decay <= 1.0:
+            raise ConfigError("message_decay must lie in [0, 1]")
+        if self.max_staleness < 0:
+            raise ConfigError("max_staleness must be non-negative")
 
 
 class PairUpLightSystem(AgentSystem):
@@ -155,6 +169,10 @@ class PairUpLightSystem(AgentSystem):
         )
         self.regularizer = MessageRegularizer(cfg.sigma, seed=seed + 3)
         self.board = MessageBoard(self.agent_ids, cfg.message_dim)
+        self.resilient_reader = ResilientMessageReader(
+            self.agent_ids, cfg.message_dim, cfg.message_decay, cfg.max_staleness
+        )
+        self._channel: FaultyMessageChannel | None = None
         self.buffer = RolloutBuffer()
         # Recurrent state: batched (h, c) arrays in shared mode, per-agent
         # dictionaries otherwise.
@@ -170,6 +188,16 @@ class PairUpLightSystem(AgentSystem):
         self.board.reset()
         self.buffer.clear()
         self._pending = None
+        self.resilient_reader.reset()
+        # Bind to the environment's fault schedule (if any): message
+        # faults are injected on the read path, between board and actor.
+        schedule = getattr(env, "fault_schedule", None)
+        if schedule is not None and schedule.config.any_message_faults:
+            self._channel = FaultyMessageChannel(
+                schedule, self.agent_ids, self.config.message_dim
+            )
+        else:
+            self._channel = None
         if self.config.parameter_sharing:
             self._actor_state = self.shared_actor.initial_state(self.num_agents)
             self._critic_state = self.shared_critic.initial_state(self.num_agents)
@@ -185,7 +213,13 @@ class PairUpLightSystem(AgentSystem):
     # Acting
     # ------------------------------------------------------------------
     def _read_incoming(self, env: TrafficSignalEnv) -> np.ndarray:
-        """Gather each agent's incoming message (previous-step postings)."""
+        """Gather each agent's incoming message (previous-step postings).
+
+        When the environment injects communication faults the read goes
+        through the lossy channel; a lost message is then resolved by the
+        resilient reader (staleness-decayed reuse, then self-pairing) or
+        — for the no-fallback ablation — read as zeros.
+        """
         cfg = self.config
         incoming = np.zeros((self.num_agents, cfg.message_dim))
         if cfg.communicate:
@@ -193,7 +227,16 @@ class PairUpLightSystem(AgentSystem):
                 partner = select_partner(
                     env, agent_id, strategy=cfg.partner_strategy, rng=self._rng
                 )
-                incoming[index] = self.board.read(partner)
+                message: np.ndarray | None = self.board.read(partner)
+                if self._channel is not None:
+                    message = self._channel.deliver(agent_id, message)
+                if cfg.degrade_on_loss:
+                    message = self.resilient_reader.receive(
+                        agent_id, message, self.board.read(agent_id)
+                    )
+                elif message is None:
+                    message = np.zeros(cfg.message_dim)
+                incoming[index] = message
         return incoming
 
     def _sample_actions(
@@ -438,6 +481,33 @@ class PairUpLightSystem(AgentSystem):
     # ------------------------------------------------------------------
     # Checkpointing (see AgentSystem.save / AgentSystem.load)
     # ------------------------------------------------------------------
+    def training_state(self) -> dict[str, np.ndarray]:
+        """Optimizer moments plus every RNG stream, so a resumed run
+        continues the exact random sequence of the uninterrupted one."""
+        from repro.rl.checkpoint import pack_rng
+
+        state = {
+            f"optim.{name}": value
+            for name, value in self._optimizer.state_dict().items()
+        }
+        state["rng.agent"] = pack_rng(self._rng)
+        state["rng.regularizer"] = pack_rng(self.regularizer._rng)
+        state["rng.ppo"] = pack_rng(self._ppo._rng)
+        return state
+
+    def load_training_state(self, state: dict[str, np.ndarray]) -> None:
+        from repro.rl.checkpoint import unpack_rng
+
+        optim_state = {
+            name[len("optim.") :]: value
+            for name, value in state.items()
+            if name.startswith("optim.")
+        }
+        self._optimizer.load_state_dict(optim_state)
+        unpack_rng(self._rng, state["rng.agent"])
+        unpack_rng(self.regularizer._rng, state["rng.regularizer"])
+        unpack_rng(self._ppo._rng, state["rng.ppo"])
+
     def _checkpoint_modules(self) -> dict:
         if self.config.parameter_sharing:
             return {"actor": self.shared_actor, "critic": self.shared_critic}

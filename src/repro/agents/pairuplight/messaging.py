@@ -139,3 +139,99 @@ class MessageBoard:
     def reset(self) -> None:
         for agent_id in self._messages:
             self._messages[agent_id] = np.zeros(self.message_dim)
+
+
+class FaultyMessageChannel:
+    """Lossy transport between the board and a receiving agent.
+
+    Applies the communication faults of a
+    :class:`repro.faults.schedule.FaultSchedule` to every read: the
+    message may be *dropped* (``deliver`` returns ``None``), *delayed*
+    (the previous successful delivery to this receiver is repeated), or
+    *corrupted* (the payload is replaced by channel garbage).  What the
+    receiver does about a drop is the agent's graceful-degradation
+    policy, not the channel's — see :class:`ResilientMessageReader`.
+    """
+
+    def __init__(self, schedule, agent_ids: list[str], message_dim: int) -> None:
+        self.schedule = schedule
+        self.message_dim = message_dim
+        self._prev_delivered: dict[str, np.ndarray] = {
+            agent_id: np.zeros(message_dim) for agent_id in agent_ids
+        }
+
+    def reset(self) -> None:
+        for agent_id in self._prev_delivered:
+            self._prev_delivered[agent_id] = np.zeros(self.message_dim)
+
+    def deliver(self, receiver: str, message: np.ndarray) -> np.ndarray | None:
+        """Transport ``message`` to ``receiver``; ``None`` means lost."""
+        config = self.schedule.config
+        if config.message_drop and self.schedule.message_dropped():
+            return None
+        if config.message_delay and self.schedule.message_delayed():
+            delivered = self._prev_delivered[receiver].copy()
+        elif config.message_corrupt and self.schedule.message_corrupted():
+            delivered = self.schedule.corrupt(message)
+        else:
+            delivered = np.asarray(message, dtype=np.float64)
+        self._prev_delivered[receiver] = delivered.copy()
+        return delivered
+
+
+class ResilientMessageReader:
+    """Receive-side graceful degradation under message loss.
+
+    On a successful delivery the message is stored and passed through.
+    On a loss the reader reuses the **last received message**, attenuated
+    by ``decay ** staleness`` so stale coordination information fades
+    rather than being trusted forever; once ``staleness`` exceeds
+    ``max_staleness`` the reader falls back to *self-pairing* — it listens
+    to the agent's own previous outgoing message, the same degradation
+    the paper prescribes for intersections with no congested upstream
+    neighbour.
+    """
+
+    def __init__(
+        self,
+        agent_ids: list[str],
+        message_dim: int,
+        decay: float = 0.5,
+        max_staleness: int = 3,
+    ) -> None:
+        if not 0.0 <= decay <= 1.0:
+            raise ConfigError("message decay must lie in [0, 1]")
+        if max_staleness < 0:
+            raise ConfigError("max_staleness must be non-negative")
+        self.message_dim = message_dim
+        self.decay = decay
+        self.max_staleness = max_staleness
+        self._last: dict[str, np.ndarray] = {
+            agent_id: np.zeros(message_dim) for agent_id in agent_ids
+        }
+        self._staleness: dict[str, int] = {agent_id: 0 for agent_id in agent_ids}
+
+    def reset(self) -> None:
+        for agent_id in self._last:
+            self._last[agent_id] = np.zeros(self.message_dim)
+            self._staleness[agent_id] = 0
+
+    def staleness(self, agent_id: str) -> int:
+        return self._staleness[agent_id]
+
+    def receive(
+        self,
+        agent_id: str,
+        message: np.ndarray | None,
+        own_message: np.ndarray,
+    ) -> np.ndarray:
+        """Resolve one (possibly lost) delivery into a usable message."""
+        if message is not None:
+            self._last[agent_id] = np.asarray(message, dtype=np.float64).copy()
+            self._staleness[agent_id] = 0
+            return self._last[agent_id].copy()
+        self._staleness[agent_id] += 1
+        staleness = self._staleness[agent_id]
+        if staleness > self.max_staleness:
+            return np.asarray(own_message, dtype=np.float64).copy()
+        return self._last[agent_id] * (self.decay**staleness)

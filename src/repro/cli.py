@@ -12,6 +12,10 @@ Commands
     Run the Table II / Table III pipelines at a configurable scale.
 ``overhead``
     Print the Table IV communication-overhead analysis.
+``robustness``
+    Sweep fault rates (sensing / communication / controller faults) and
+    report degradation curves for PairUpLight, its no-fallback ablation
+    and the classical baselines.
 """
 
 from __future__ import annotations
@@ -23,9 +27,16 @@ import sys
 from repro.agents.base import AgentSystem
 from repro.env.tsc_env import TrafficSignalEnv
 from repro.errors import ConfigError
+from repro.errors import CheckpointError, FaultInjectionError
 from repro.eval.comm_overhead import formatted_overhead_table, overhead_table
 from repro.eval.comparison import default_model_factories, run_table2, run_table3
 from repro.eval.harness import ExperimentScale, GridExperiment
+from repro.eval.robustness import (
+    formatted_degradation_table,
+    run_degradation_comparison,
+)
+from repro.faults.config import FAULT_KINDS
+from repro.faults.controller import FALLBACK_POLICIES
 from repro.rl.runner import evaluate, train
 
 MODEL_CHOICES = (
@@ -97,9 +108,15 @@ def cmd_train(args: argparse.Namespace) -> int:
     env = experiment.train_env(args.pattern)
     agent = _build_agent(args.model, env, args.seed)
     history = train(agent, env, episodes=args.episodes, seed=args.seed,
-                    log_every=args.log_every)
+                    log_every=args.log_every,
+                    checkpoint_dir=args.checkpoint_dir or None,
+                    checkpoint_every=args.checkpoint_every,
+                    resume_from=args.resume_from or None)
     curve = history.wait_curve
     print(f"\n{args.model} trained {args.episodes} episodes on pattern {args.pattern}")
+    if history.aborted_episodes or history.rolled_back_episodes:
+        print(f"resilience: {len(history.aborted_episodes)} aborted, "
+              f"{len(history.rolled_back_episodes)} rolled-back episodes")
     print(f"wait: first-5 {curve[:5].mean():.2f} s, best {curve.min():.2f} s, "
           f"final-5 {curve[-5:].mean():.2f} s")
     if args.history_out:
@@ -153,6 +170,25 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_robustness(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    curves = run_degradation_comparison(
+        scale,
+        fault_rates=tuple(args.rates),
+        kinds=tuple(args.kinds),
+        pattern=args.pattern,
+        seed=args.seed,
+        train_episodes=args.episodes,
+        include_ablation=not args.no_ablation,
+        include_baselines=not args.no_baselines,
+        fallback=args.fallback,
+    )
+    kinds = "+".join(args.kinds)
+    print(f"Degradation sweep — {kinds} faults, avg travel time (s) vs fault rate")
+    print(formatted_degradation_table(curves))
+    return 0
+
+
 def cmd_overhead(args: argparse.Namespace) -> int:
     scale = _scale_from_args(args)
     experiment = GridExperiment(scale, seed=args.seed)
@@ -178,6 +214,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--log-every", type=int, default=10)
     p_train.add_argument("--history-out", type=str, default="")
     p_train.add_argument("--weights-out", type=str, default="")
+    p_train.add_argument("--checkpoint-dir", type=str, default="",
+                         help="write atomic training checkpoints here")
+    p_train.add_argument("--checkpoint-every", type=int, default=1)
+    p_train.add_argument("--resume-from", type=str, default="",
+                         help="checkpoint file or directory to resume from")
     p_train.set_defaults(func=cmd_train)
 
     p_eval = subparsers.add_parser("evaluate", help="train then evaluate")
@@ -198,6 +239,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_overhead = subparsers.add_parser("overhead", help="Table IV analysis")
     _add_scale_args(p_overhead)
     p_overhead.set_defaults(func=cmd_overhead)
+
+    p_robust = subparsers.add_parser(
+        "robustness", help="fault-rate degradation sweep"
+    )
+    _add_scale_args(p_robust)
+    p_robust.add_argument("--pattern", type=int, default=1, choices=range(1, 6))
+    p_robust.add_argument(
+        "--rates", type=float, nargs="+", default=[0.0, 0.1, 0.2, 0.4]
+    )
+    p_robust.add_argument(
+        "--kinds", nargs="+", choices=FAULT_KINDS, default=["message", "detector"]
+    )
+    p_robust.add_argument(
+        "--fallback", choices=FALLBACK_POLICIES, default="max_pressure"
+    )
+    p_robust.add_argument("--no-ablation", action="store_true")
+    p_robust.add_argument("--no-baselines", action="store_true")
+    p_robust.set_defaults(func=cmd_robustness)
     return parser
 
 
@@ -206,7 +265,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ConfigError as error:
+    except (CheckpointError, ConfigError, FaultInjectionError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

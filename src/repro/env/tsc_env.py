@@ -18,6 +18,7 @@ Two episode modes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +38,10 @@ from repro.sim.network import RoadNetwork
 from repro.sim.routing import Router
 from repro.sim.signal import PhasePlan
 
+if TYPE_CHECKING:  # runtime import is lazy to avoid a package cycle
+    from repro.faults.config import FaultConfig
+    from repro.faults.schedule import FaultSchedule
+
 
 @dataclass
 class EnvConfig:
@@ -52,6 +57,11 @@ class EnvConfig:
     saturation_rate: float = DEFAULT_SATURATION_RATE
     startup_lost_time: float = DEFAULT_STARTUP_LOST_TIME
     stochastic_demand: bool = True
+    #: Optional fault injection (see :mod:`repro.faults`); ``None`` = healthy.
+    faults: FaultConfig | None = None
+    #: Graceful sensing degradation: impute dropped detector readings
+    #: from last-known values.  ``False`` is the no-fallback ablation.
+    fault_degrade: bool = True
 
     def __post_init__(self) -> None:
         if self.delta_t <= 0:
@@ -117,6 +127,11 @@ class TrafficSignalEnv:
         self.detectors: DetectorSuite | None = None
         self._pressure_cache_time = -1
         self._pressure_cache: dict[str, np.ndarray] = {}
+        self.fault_schedule: FaultSchedule | None = None
+        if self.config.faults is not None and self.config.faults.active:
+            from repro.faults.schedule import FaultSchedule as _FaultSchedule
+
+            self.fault_schedule = _FaultSchedule(self.config.faults, seed=seed)
 
     # ------------------------------------------------------------------
     # Topology helpers used by coordinated agents
@@ -159,7 +174,19 @@ class TrafficSignalEnv:
             saturation_rate=self.config.saturation_rate,
             startup_lost_time=self.config.startup_lost_time,
         )
-        self.detectors = DetectorSuite(self.sim, coverage=self.config.coverage)
+        if self.fault_schedule is not None:
+            self.fault_schedule.begin_episode(seed)
+        if self.fault_schedule is not None and self.config.faults.any_detector_faults:
+            from repro.faults.detectors import FaultyDetectorSuite
+
+            self.detectors = FaultyDetectorSuite(
+                self.sim,
+                self.fault_schedule,
+                coverage=self.config.coverage,
+                degrade=self.config.fault_degrade,
+            )
+        else:
+            self.detectors = DetectorSuite(self.sim, coverage=self.config.coverage)
         return self._observe_all()
 
     def step(self, actions: dict[str, int]) -> StepResult:

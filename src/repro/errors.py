@@ -19,3 +19,11 @@ class DemandError(ReproError):
 
 class ConfigError(ReproError):
     """Raised for invalid experiment / agent configuration."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised for invalid fault-injection configuration or schedules."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint cannot be written, read, or applied."""

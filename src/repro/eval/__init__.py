@@ -26,6 +26,15 @@ from repro.eval.message_analysis import (
     probe_messages,
 )
 from repro.eval.multiseed import MultiSeedResult, SeedRun, run_multiseed
+from repro.eval.robustness import (
+    DEFAULT_FAULT_RATES,
+    DegradationCurve,
+    RobustnessPoint,
+    evaluate_under_faults,
+    formatted_degradation_table,
+    run_degradation_comparison,
+    run_robustness_sweep,
+)
 from repro.eval.reporting import (
     ascii_chart,
     export_comparison_csv,
@@ -38,23 +47,30 @@ __all__ = [
     "ALL_PATTERNS",
     "AgentFactory",
     "ComparisonTable",
+    "DEFAULT_FAULT_RATES",
+    "DegradationCurve",
     "ExperimentScale",
     "GridExperiment",
     "MessageLog",
     "MessageReport",
     "MultiSeedResult",
     "OverheadRow",
+    "RobustnessPoint",
     "SeedRun",
     "analyse",
     "ascii_chart",
     "default_model_factories",
+    "evaluate_under_faults",
     "export_comparison_csv",
     "export_history_csv",
+    "formatted_degradation_table",
     "formatted_overhead_table",
     "overhead_row",
     "overhead_table",
     "probe_messages",
+    "run_degradation_comparison",
     "run_multiseed",
+    "run_robustness_sweep",
     "run_table2",
     "run_table3",
     "sparkline",

@@ -21,6 +21,7 @@ from typing import Callable
 from repro.agents.base import AgentSystem
 from repro.env.tsc_env import EnvConfig, TrafficSignalEnv
 from repro.errors import ConfigError
+from repro.faults.config import FaultConfig
 from repro.rl.runner import EvaluationResult, TrainingHistory, evaluate, train
 from repro.scenarios.flows import flow_pattern
 from repro.scenarios.grid import GridScenario, build_grid
@@ -92,12 +93,19 @@ class GridExperiment:
             light_duration=self.scale.light_duration,
         )
 
-    def train_env(self, pattern: int) -> TrafficSignalEnv:
+    def train_env(
+        self,
+        pattern: int,
+        faults: FaultConfig | None = None,
+        fault_degrade: bool = True,
+    ) -> TrafficSignalEnv:
         """Fixed-horizon training environment for one flow pattern."""
         config = EnvConfig(
             horizon_ticks=self.scale.horizon_ticks,
             max_ticks=self.scale.max_ticks,
             drain=False,
+            faults=faults,
+            fault_degrade=fault_degrade,
         )
         return TrafficSignalEnv(
             self.scenario.network,
@@ -107,12 +115,19 @@ class GridExperiment:
             seed=self.seed,
         )
 
-    def eval_env(self, pattern: int) -> TrafficSignalEnv:
+    def eval_env(
+        self,
+        pattern: int,
+        faults: FaultConfig | None = None,
+        fault_degrade: bool = True,
+    ) -> TrafficSignalEnv:
         """Drain-mode evaluation environment for one flow pattern."""
         config = EnvConfig(
             horizon_ticks=self.scale.horizon_ticks,
             max_ticks=self.scale.max_ticks,
             drain=True,
+            faults=faults,
+            fault_degrade=fault_degrade,
         )
         return TrafficSignalEnv(
             self.scenario.network,

@@ -1,0 +1,216 @@
+"""Robustness evaluation: fault-rate sweeps and degradation curves.
+
+The experiment the paper does not run but a deployment review demands:
+how does control quality degrade as sensing, communication and
+controllers fail?  The harness sweeps a fault rate across the chosen
+fault families (:data:`repro.faults.config.FAULT_KINDS`), evaluates a
+frozen agent in drain mode at each rate, and reports the degradation
+curve — average travel time (and completion rate) vs. fault probability.
+
+:func:`run_degradation_comparison` additionally contrasts PairUpLight's
+graceful-degradation path against its own **no-fallback ablation** (lost
+messages read as zeros, dropped detector readings read as blind zeros)
+and the classical baselines, quantifying how much the degradation
+machinery is worth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.base import AgentSystem
+from repro.errors import ConfigError, FaultInjectionError
+from repro.eval.harness import ExperimentScale, GridExperiment
+from repro.faults.config import FAULT_KINDS, FaultConfig
+from repro.faults.controller import ControllerFaultWrapper
+from repro.rl.runner import EvaluationResult, evaluate, train
+
+#: Default sweep axis: fault probabilities from healthy to heavily degraded.
+DEFAULT_FAULT_RATES = (0.0, 0.1, 0.2, 0.4)
+
+
+@dataclass
+class RobustnessPoint:
+    """One evaluation at one fault rate."""
+
+    fault_rate: float
+    result: EvaluationResult
+
+
+@dataclass
+class DegradationCurve:
+    """Travel-time degradation of one agent across fault rates."""
+
+    agent_name: str
+    kinds: tuple[str, ...]
+    points: list[RobustnessPoint] = field(default_factory=list)
+
+    @property
+    def rates(self) -> list[float]:
+        return [point.fault_rate for point in self.points]
+
+    @property
+    def travel_times(self) -> list[float]:
+        return [point.result.average_travel_time for point in self.points]
+
+    @property
+    def completion_rates(self) -> list[float]:
+        return [point.result.completion_rate for point in self.points]
+
+    def degradation_ratio(self) -> float:
+        """Travel time at the worst fault rate relative to healthy."""
+        if len(self.points) < 2 or self.travel_times[0] == 0:
+            return 1.0
+        return self.travel_times[-1] / self.travel_times[0]
+
+
+def evaluate_under_faults(
+    agent: AgentSystem,
+    experiment: GridExperiment,
+    fault_rate: float,
+    kinds: tuple[str, ...] = ("detector", "message"),
+    pattern: int = 1,
+    episodes: int = 1,
+    seed: int = 0,
+    degrade: bool = True,
+    fallback: str = "max_pressure",
+) -> EvaluationResult:
+    """Drain-mode evaluation of ``agent`` at one fault rate.
+
+    ``degrade=False`` evaluates the no-fallback ablation at the sensing
+    layer (dropped detector readings become blind zeros); the agent's own
+    message-loss policy comes from its configuration.  Controller faults
+    (when swept) wrap the agent so dead intersections run ``fallback``.
+    """
+    faults = FaultConfig.uniform(fault_rate, kinds) if fault_rate > 0 else None
+    env = experiment.eval_env(pattern, faults=faults, fault_degrade=degrade)
+    subject: AgentSystem = agent
+    if faults is not None and faults.any_controller_faults:
+        subject = ControllerFaultWrapper(
+            agent, faults, fallback=fallback, seed=seed + 131
+        )
+    return evaluate(subject, env, episodes=episodes, seed=seed + 900)
+
+
+def run_robustness_sweep(
+    agent: AgentSystem,
+    experiment: GridExperiment,
+    fault_rates: tuple[float, ...] = DEFAULT_FAULT_RATES,
+    kinds: tuple[str, ...] = ("detector", "message"),
+    pattern: int = 1,
+    episodes: int = 1,
+    seed: int = 0,
+    degrade: bool = True,
+    fallback: str = "max_pressure",
+) -> DegradationCurve:
+    """Sweep fault rates for one frozen agent; returns its curve."""
+    unknown = set(kinds) - set(FAULT_KINDS)
+    if unknown:
+        raise ConfigError(f"unknown fault kinds {sorted(unknown)}")
+    for rate in fault_rates:
+        # Validate up front: a negative rate would otherwise silently
+        # short-circuit to "no faults" in evaluate_under_faults.
+        if not 0.0 <= rate <= 1.0:
+            raise FaultInjectionError(
+                f"fault rates must lie in [0, 1], got {rate}"
+            )
+    curve = DegradationCurve(agent_name=agent.name, kinds=tuple(kinds))
+    for rate in fault_rates:
+        result = evaluate_under_faults(
+            agent,
+            experiment,
+            rate,
+            kinds=tuple(kinds),
+            pattern=pattern,
+            episodes=episodes,
+            seed=seed,
+            degrade=degrade,
+            fallback=fallback,
+        )
+        curve.points.append(RobustnessPoint(fault_rate=rate, result=result))
+    return curve
+
+
+def run_degradation_comparison(
+    scale: ExperimentScale,
+    fault_rates: tuple[float, ...] = DEFAULT_FAULT_RATES,
+    kinds: tuple[str, ...] = ("detector", "message"),
+    pattern: int = 1,
+    seed: int = 0,
+    train_episodes: int | None = None,
+    include_ablation: bool = True,
+    include_baselines: bool = True,
+    fallback: str = "max_pressure",
+) -> list[DegradationCurve]:
+    """Degradation curves for PairUpLight vs. its ablation and baselines.
+
+    One PairUpLight system is trained fault-free on ``pattern`` (the
+    paper's protocol), then the *same frozen weights* are evaluated with
+    graceful degradation on and — as the ablation — off, alongside the
+    static baselines, under the identical fault schedules.
+    """
+    from repro.agents import FixedTimeSystem, MaxPressureSystem, PairUpLightSystem
+    from repro.agents.pairuplight.agent import PairUpLightConfig
+
+    experiment = GridExperiment(scale, seed=seed)
+    train_env = experiment.train_env(pattern)
+    episodes = scale.train_episodes if train_episodes is None else train_episodes
+    paired = PairUpLightSystem(train_env, seed=seed)
+    if episodes > 0:
+        train(paired, train_env, episodes=episodes, seed=seed)
+
+    # No-fallback ablation: identical weights, zeros on message loss and
+    # blind sensors on detector dropout.
+    ablation_env = experiment.train_env(pattern)
+    ablation = PairUpLightSystem(
+        ablation_env, PairUpLightConfig(degrade_on_loss=False), seed=seed
+    )
+    ablation.load_state_dict(paired.state_dict())
+    ablation.name = "PairUpLight-NoFallback"
+
+    curves = [
+        run_robustness_sweep(
+            paired, experiment, fault_rates, kinds, pattern,
+            seed=seed, degrade=True, fallback=fallback,
+        )
+    ]
+    if include_ablation:
+        curves.append(
+            run_robustness_sweep(
+                ablation, experiment, fault_rates, kinds, pattern,
+                seed=seed, degrade=False, fallback=fallback,
+            )
+        )
+    if include_baselines:
+        for baseline in (MaxPressureSystem(train_env), FixedTimeSystem(train_env)):
+            curves.append(
+                run_robustness_sweep(
+                    baseline, experiment, fault_rates, kinds, pattern,
+                    seed=seed, degrade=True, fallback=fallback,
+                )
+            )
+    return curves
+
+
+def formatted_degradation_table(curves: list[DegradationCurve]) -> str:
+    """ASCII degradation table: one row per agent, one column per rate.
+
+    Cells are average travel time in seconds with the completion rate in
+    parentheses; the final column is travel time at the worst fault rate
+    relative to the healthy run.
+    """
+    if not curves:
+        return "(no degradation curves)"
+    rates = curves[0].rates
+    header = f"{'Model':<24}" + "".join(f"{f'p={rate:.2f}':>16}" for rate in rates)
+    header += f"{'worst/healthy':>15}"
+    lines = [header, "-" * len(header)]
+    for curve in curves:
+        cells = "".join(
+            f"{point.result.average_travel_time:>9.1f}s ({point.result.completion_rate:>3.0%})"
+            for point in curve.points
+        )
+        lines.append(
+            f"{curve.agent_name:<24}{cells}{curve.degradation_ratio():>14.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Fault injection and graceful degradation.
+
+Composable fault models for the three layers of the stack a real
+deployment must survive:
+
+* :mod:`repro.faults.detectors` — sensing faults (dropout, stuck-at,
+  noise) applied to the range-limited detector readings,
+* message-channel faults (drop, corruption, one-step delay) applied by
+  :class:`repro.agents.pairuplight.messaging.FaultyMessageChannel`,
+* :mod:`repro.faults.controller` — per-episode controller deaths with
+  fixed-time or max-pressure fallback.
+
+Everything is driven by one seeded :class:`FaultSchedule`, so a faulty
+run is exactly reproducible.  See :mod:`repro.eval.robustness` for the
+fault-rate sweeps built on top.
+"""
+
+from repro.faults.config import FAULT_KINDS, FaultConfig
+from repro.faults.controller import FALLBACK_POLICIES, ControllerFaultWrapper
+from repro.faults.detectors import FaultyDetectorSuite
+from repro.faults.schedule import FaultSchedule
+
+__all__ = [
+    "ControllerFaultWrapper",
+    "FALLBACK_POLICIES",
+    "FAULT_KINDS",
+    "FaultConfig",
+    "FaultSchedule",
+    "FaultyDetectorSuite",
+]

@@ -1,0 +1,122 @@
+"""Controller-failure wrapper: dead RL controllers fall back gracefully.
+
+Wraps any :class:`repro.agents.base.AgentSystem`.  At each episode the
+fault schedule decides, per intersection, whether its RL controller is
+down; a dead intersection's action is replaced by a classical fallback —
+cyclic fixed-time or max-pressure — while the surviving agents keep
+running the learned policy.  The inner system still observes and learns
+from every step, so a transient outage degrades control quality without
+corrupting training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agents.base import AgentSystem
+from repro.env.tsc_env import StepResult, TrafficSignalEnv
+from repro.errors import FaultInjectionError
+from repro.faults.config import FaultConfig
+from repro.faults.schedule import FaultSchedule
+from repro.sim.signal import FixedTimeProgram
+
+#: Supported fallback policies for dead controllers.
+FALLBACK_POLICIES = ("fixed_time", "max_pressure")
+
+
+class ControllerFaultWrapper(AgentSystem):
+    """Inject per-episode controller deaths around an agent system."""
+
+    def __init__(
+        self,
+        inner: AgentSystem,
+        config: FaultConfig,
+        fallback: str = "max_pressure",
+        seed: int = 0,
+        fixed_stage_seconds: int = 5,
+    ) -> None:
+        if fallback not in FALLBACK_POLICIES:
+            raise FaultInjectionError(
+                f"unknown fallback {fallback!r}; choose from {FALLBACK_POLICIES}"
+            )
+        self.inner = inner
+        self.schedule = FaultSchedule(config, seed=seed)
+        self.fallback = fallback
+        self.fixed_stage_seconds = fixed_stage_seconds
+        self.name = f"{inner.name}+{fallback}-fallback"
+        self._programs: dict[str, FixedTimeProgram] = {}
+
+    # ------------------------------------------------------------------
+    # Delegated lifecycle
+    # ------------------------------------------------------------------
+    def begin_episode(self, env: TrafficSignalEnv, training: bool) -> None:
+        self.schedule.begin_episode()
+        self.inner.begin_episode(env, training)
+
+    def observe(self, result: StepResult, env: TrafficSignalEnv) -> None:
+        self.inner.observe(result, env)
+
+    def end_episode(self, env: TrafficSignalEnv, training: bool) -> dict:
+        return self.inner.end_episode(env, training)
+
+    def communication_bits_per_step(self, env: TrafficSignalEnv) -> int:
+        return self.inner.communication_bits_per_step(env)
+
+    def _checkpoint_modules(self) -> dict:
+        return self.inner._checkpoint_modules()
+
+    def training_state(self) -> dict[str, np.ndarray]:
+        return self.inner.training_state()
+
+    def load_training_state(self, state: dict[str, np.ndarray]) -> None:
+        self.inner.load_training_state(state)
+
+    # ------------------------------------------------------------------
+    # Acting with substitution
+    # ------------------------------------------------------------------
+    def act(
+        self,
+        observations: dict[str, np.ndarray],
+        env: TrafficSignalEnv,
+        training: bool,
+    ) -> dict[str, int]:
+        actions = self.inner.act(observations, env, training)
+        for node_id in env.agent_ids:
+            if self.schedule.controller_dead(node_id):
+                actions[node_id] = self._fallback_action(env, node_id)
+        return actions
+
+    def dead_controllers(self) -> list[str]:
+        """Intersections running on the fallback this episode."""
+        return self.schedule.dead_controllers()
+
+    # ------------------------------------------------------------------
+    def _fallback_action(self, env: TrafficSignalEnv, node_id: str) -> int:
+        if self.fallback == "fixed_time":
+            return self._fixed_time_action(env, node_id)
+        return self._max_pressure_action(env, node_id)
+
+    def _fixed_time_action(self, env: TrafficSignalEnv, node_id: str) -> int:
+        assert env.sim is not None
+        program = self._programs.get(node_id)
+        if program is None:
+            num_phases = env.action_spaces[node_id].n
+            program = FixedTimeProgram(
+                [(index, self.fixed_stage_seconds) for index in range(num_phases)]
+            )
+            self._programs[node_id] = program
+        return program.phase_at(env.sim.time)
+
+    def _max_pressure_action(self, env: TrafficSignalEnv, node_id: str) -> int:
+        assert env.detectors is not None
+        plan = env.phase_plans[node_id]
+        best_index = 0
+        best_pressure = -np.inf
+        for index, phase in enumerate(plan.phases):
+            pressure = sum(
+                env.detectors.movement_pressure(env.network.movements[key])
+                for key in phase.green_movements
+            )
+            if pressure > best_pressure:
+                best_index, best_pressure = index, pressure
+        return best_index

@@ -1,0 +1,92 @@
+"""Fault-injecting detector suite with graceful sensing degradation.
+
+Wraps :class:`repro.sim.detectors.DetectorSuite` so every reading that
+feeds the Eq. 5 observation — queue counts, approaching/downstream
+counts and head waits — passes through the fault model first:
+
+* **stuck-at**: the detector repeats its first reading of the episode,
+* **dropout**: the query returns nothing this step,
+* **noise**: additive Gaussian noise on the count.
+
+With ``degrade=True`` (the default) a dropped reading is *imputed from
+the last known good value* and noisy counts are clamped to valid
+non-negative integers, so observations stay well-formed and downstream
+pressure arithmetic never sees garbage.  With ``degrade=False`` — the
+no-fallback ablation — dropout reads as zero (a blind sensor) and noise
+is passed through raw, which is exactly the failure the robustness sweep
+quantifies.
+"""
+
+from __future__ import annotations
+
+from repro.faults.schedule import FaultSchedule
+from repro.sim.detectors import DEFAULT_COVERAGE_M, DetectorSuite
+from repro.sim.engine import Simulation
+
+
+class FaultyDetectorSuite(DetectorSuite):
+    """A :class:`DetectorSuite` whose readings can fail."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        schedule: FaultSchedule,
+        coverage: float = DEFAULT_COVERAGE_M,
+        degrade: bool = True,
+    ) -> None:
+        super().__init__(sim, coverage)
+        self.schedule = schedule
+        self.degrade = degrade
+        self._last_good: dict[str, float] = {}
+        self._dropped_reads = 0
+        self._total_reads = 0
+
+    # ------------------------------------------------------------------
+    def _reading(self, key: str, true_value: float) -> float:
+        """Route one raw count through the fault model."""
+        config = self.schedule.config
+        self._total_reads += 1
+        if config.detector_stuck and self.schedule.detector_stuck(key):
+            return self.schedule.frozen_value(key, float(true_value))
+        if config.detector_dropout and self.schedule.detector_dropped(key):
+            self._dropped_reads += 1
+            if self.degrade:
+                # Impute from the last healthy reading (0 before any).
+                return self._last_good.get(key, 0.0)
+            return 0.0
+        value = float(true_value)
+        if config.detector_noise:
+            value += self.schedule.detector_noise()
+            if self.degrade:
+                value = max(0.0, round(value))
+        self._last_good[key] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # Faulted overrides of every raw reading entry point.  Derived
+    # quantities (pressures, congestion scores) inherit the faults
+    # because they are computed from these.
+    # ------------------------------------------------------------------
+    def observed_queue(self, lane_id: str) -> float:  # type: ignore[override]
+        return self._reading(f"queue:{lane_id}", super().observed_queue(lane_id))
+
+    def observed_approaching(self, link_id: str) -> float:  # type: ignore[override]
+        return self._reading(
+            f"approach:{link_id}", super().observed_approaching(link_id)
+        )
+
+    def observed_downstream(self, link_id: str) -> float:  # type: ignore[override]
+        return self._reading(
+            f"downstream:{link_id}", super().observed_downstream(link_id)
+        )
+
+    def head_wait(self, link_id: str) -> float:  # type: ignore[override]
+        return self._reading(f"wait:{link_id}", super().head_wait(link_id))
+
+    # ------------------------------------------------------------------
+    @property
+    def dropout_fraction(self) -> float:
+        """Observed fraction of dropped reads (diagnostics)."""
+        if self._total_reads == 0:
+            return 0.0
+        return self._dropped_reads / self._total_reads

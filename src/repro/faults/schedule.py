@@ -1,0 +1,118 @@
+"""Seeded fault schedule: the single source of fault randomness.
+
+A :class:`FaultSchedule` owns one RNG stream per episode, deterministic in
+``(seed, episode_seed)``, so a faulty run is exactly reproducible: the
+same seeds produce the same dropped readings, corrupted messages and dead
+controllers regardless of which agent is being evaluated.
+
+Per-episode faults (stuck detectors, dead controllers) are decided
+lazily, on the first query for each key within an episode, from a
+dedicated sub-stream — so they do not depend on how often the per-event
+faults are sampled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+from repro.faults.config import FaultConfig
+
+
+class FaultSchedule:
+    """Samples fault events for one simulation run."""
+
+    def __init__(self, config: FaultConfig, seed: int = 0) -> None:
+        if not isinstance(config, FaultConfig):
+            raise FaultInjectionError("FaultSchedule needs a FaultConfig")
+        self.config = config
+        self._seed = seed
+        self._episode = -1
+        self._rng = np.random.default_rng(seed)
+        self._episode_rng = np.random.default_rng(seed)
+        self._stuck: dict[str, bool] = {}
+        self._frozen: dict[str, float] = {}
+        self._dead: dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Episode lifecycle
+    # ------------------------------------------------------------------
+    def begin_episode(self, episode_seed: int | None = None) -> None:
+        """Re-key the fault streams for a new episode."""
+        self._episode += 1
+        if episode_seed is None:
+            episode_seed = self._episode
+        self._rng = np.random.default_rng((self._seed, episode_seed))
+        self._episode_rng = np.random.default_rng((self._seed, episode_seed, 1))
+        self._stuck.clear()
+        self._frozen.clear()
+        self._dead.clear()
+
+    # ------------------------------------------------------------------
+    # Detector faults
+    # ------------------------------------------------------------------
+    def detector_stuck(self, key: str) -> bool:
+        """Whether detector ``key`` is frozen for this whole episode."""
+        if self.config.detector_stuck <= 0:
+            return False
+        stuck = self._stuck.get(key)
+        if stuck is None:
+            stuck = bool(self._episode_rng.random() < self.config.detector_stuck)
+            self._stuck[key] = stuck
+        return stuck
+
+    def frozen_value(self, key: str, current: float) -> float:
+        """Stuck-at value: the first reading seen this episode."""
+        return self._frozen.setdefault(key, current)
+
+    def detector_dropped(self, key: str) -> bool:
+        """Whether this particular detector query is lost."""
+        if self.config.detector_dropout <= 0:
+            return False
+        return bool(self._rng.random() < self.config.detector_dropout)
+
+    def detector_noise(self) -> float:
+        """Additive noise sample for one detector count."""
+        if self.config.detector_noise <= 0:
+            return 0.0
+        return float(self._rng.normal(0.0, self.config.detector_noise))
+
+    # ------------------------------------------------------------------
+    # Communication faults
+    # ------------------------------------------------------------------
+    def message_dropped(self) -> bool:
+        if self.config.message_drop <= 0:
+            return False
+        return bool(self._rng.random() < self.config.message_drop)
+
+    def message_corrupted(self) -> bool:
+        if self.config.message_corrupt <= 0:
+            return False
+        return bool(self._rng.random() < self.config.message_corrupt)
+
+    def message_delayed(self) -> bool:
+        if self.config.message_delay <= 0:
+            return False
+        return bool(self._rng.random() < self.config.message_delay)
+
+    def corrupt(self, message: np.ndarray) -> np.ndarray:
+        """Channel garbage with the payload's shape (uniform in [0, 1],
+        the codomain of the logistic-squashed messages)."""
+        return self._rng.uniform(0.0, 1.0, size=np.shape(message))
+
+    # ------------------------------------------------------------------
+    # Controller faults
+    # ------------------------------------------------------------------
+    def controller_dead(self, agent_id: str) -> bool:
+        """Whether ``agent_id``'s RL controller is down this episode."""
+        if self.config.controller_failure <= 0:
+            return False
+        dead = self._dead.get(agent_id)
+        if dead is None:
+            dead = bool(self._episode_rng.random() < self.config.controller_failure)
+            self._dead[agent_id] = dead
+        return dead
+
+    def dead_controllers(self) -> list[str]:
+        """Agents already determined dead this episode (diagnostics)."""
+        return sorted(a for a, dead in self._dead.items() if dead)

@@ -20,7 +20,12 @@ from repro.nn.linear import MLP, Linear, ReLU, Sigmoid, Tanh
 from repro.nn.lstm import LSTMCell
 from repro.nn.module import Module, Parameter, Sequential
 from repro.nn.optim import SGD, Adam, Optimizer, RMSProp, clip_grad_norm
-from repro.nn.serialization import load_state, save_state
+from repro.nn.serialization import (
+    atomic_savez,
+    load_state,
+    read_archive,
+    save_state,
+)
 from repro.nn.tensor import Tensor, concat, stack, where
 
 __all__ = [
@@ -39,11 +44,13 @@ __all__ = [
     "Sigmoid",
     "Tanh",
     "Tensor",
+    "atomic_savez",
     "clip_grad_norm",
     "concat",
     "functional",
     "initialize",
     "load_state",
+    "read_archive",
     "save_state",
     "stack",
     "where",

@@ -25,6 +25,39 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Serialization (crash-safe training resume)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of the optimizer's internal state (moments, step count)."""
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`.
+
+        Raises ``KeyError`` / ``ValueError`` on mismatched keys or
+        shapes, mirroring :meth:`repro.nn.module.Module.load_state_dict`.
+        """
+        if state:
+            raise KeyError(f"unexpected optimizer state keys {sorted(state)}")
+
+    @staticmethod
+    def _load_slots(
+        slots: list[np.ndarray], state: dict[str, np.ndarray], prefix: str
+    ) -> None:
+        """Fill per-parameter slot arrays (moments) from a state dict."""
+        for index, slot in enumerate(slots):
+            key = f"{prefix}{index}"
+            if key not in state:
+                raise KeyError(f"optimizer state missing {key}")
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != slot.shape:
+                raise ValueError(
+                    f"optimizer state shape mismatch for {key}: "
+                    f"expected {slot.shape}, got {value.shape}"
+                )
+            slot[...] = value
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -43,6 +76,12 @@ class SGD(Optimizer):
             velocity *= self.momentum
             velocity -= self.lr * param.grad
             param.data = param.data + velocity
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {f"velocity.{i}": v.copy() for i, v in enumerate(self._velocity)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._load_slots(self._velocity, state, "velocity.")
 
 
 class Adam(Optimizer):
@@ -78,6 +117,19 @@ class Adam(Optimizer):
             v_hat = v / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {"step": np.asarray(self._step)}
+        state.update({f"m.{i}": m.copy() for i, m in enumerate(self._m)})
+        state.update({f"v.{i}": v.copy() for i, v in enumerate(self._v)})
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if "step" not in state:
+            raise KeyError("optimizer state missing step")
+        self._load_slots(self._m, state, "m.")
+        self._load_slots(self._v, state, "v.")
+        self._step = int(state["step"])
+
 
 class RMSProp(Optimizer):
     """RMSProp — the optimizer MA2C's reference implementation uses."""
@@ -101,6 +153,12 @@ class RMSProp(Optimizer):
             sq *= self.alpha
             sq += (1.0 - self.alpha) * param.grad**2
             param.data = param.data - self.lr * param.grad / (np.sqrt(sq) + self.eps)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {f"sq.{i}": sq.copy() for i, sq in enumerate(self._sq)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._load_slots(self._sq, state, "sq.")
 
 
 def clip_grad_norm(parameters, max_norm: float) -> float:

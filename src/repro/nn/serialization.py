@@ -2,25 +2,81 @@
 
 Checkpoints are plain ``.npz`` archives so they stay portable and
 inspectable without this library.
+
+Writes are **atomic**: the archive is written to a temporary sibling file
+and moved into place with :func:`os.replace`, so a crash mid-write can
+never leave a truncated checkpoint behind — the previous one survives
+intact.  Loads are **validated**: unreadable archives and missing /
+unexpected / shape-mismatched keys raise
+:class:`repro.errors.CheckpointError` instead of leaking raw
+``KeyError`` / ``zipfile`` internals.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
+import zipfile
 
 import numpy as np
 
+from repro.errors import CheckpointError
 from repro.nn.module import Module
 
 
+def atomic_savez(path: str | os.PathLike, arrays: dict[str, np.ndarray]) -> None:
+    """Write ``arrays`` to an ``.npz`` archive atomically.
+
+    ``np.savez`` appends ``.npz`` when missing, so the temporary file is
+    created with the suffix already in place and renamed over ``path``.
+    """
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".tmp", suffix=".npz", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def read_archive(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Load every array of an ``.npz`` archive written by us.
+
+    Raises :class:`CheckpointError` for missing or unreadable files
+    (e.g. a checkpoint truncated by a non-atomic writer).
+    """
+    try:
+        with np.load(path) as archive:
+            return {name: archive[name] for name in archive.files}
+    except FileNotFoundError as error:
+        raise CheckpointError(f"checkpoint not found: {path}") from error
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError) as error:
+        raise CheckpointError(f"unreadable checkpoint {path}: {error}") from error
+
+
 def save_state(module: Module, path: str | os.PathLike) -> None:
-    """Write ``module.state_dict()`` to an ``.npz`` archive."""
-    state = module.state_dict()
-    np.savez(path, **state)
+    """Write ``module.state_dict()`` to an ``.npz`` archive atomically."""
+    atomic_savez(path, module.state_dict())
 
 
 def load_state(module: Module, path: str | os.PathLike) -> None:
-    """Load an archive written by :func:`save_state` into ``module``."""
-    with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files}
-    module.load_state_dict(state)
+    """Load an archive written by :func:`save_state` into ``module``.
+
+    Validates the archive against the module: missing, unexpected or
+    shape-mismatched keys raise :class:`CheckpointError`.
+    """
+    state = read_archive(path)
+    try:
+        module.load_state_dict(state)
+    except (KeyError, ValueError) as error:
+        raise CheckpointError(
+            f"checkpoint {os.fspath(path)} does not match module: {error}"
+        ) from error

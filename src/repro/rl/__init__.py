@@ -2,6 +2,12 @@
 
 from repro.rl.a2c import A2CConfig, A2CStats, A2CUpdater
 from repro.rl.buffer import ReplayBuffer, RolloutBuffer
+from repro.rl.checkpoint import (
+    CHECKPOINT_FILENAME,
+    load_training_checkpoint,
+    resolve_checkpoint_path,
+    save_training_checkpoint,
+)
 from repro.rl.dqn import DQNConfig, DQNStats, DQNUpdater
 from repro.rl.gae import compute_gae, discounted_returns, normalize_advantages
 from repro.rl.normalize import (
@@ -25,6 +31,7 @@ __all__ = [
     "A2CConfig",
     "A2CStats",
     "A2CUpdater",
+    "CHECKPOINT_FILENAME",
     "DQNConfig",
     "DQNStats",
     "DQNUpdater",
@@ -44,8 +51,11 @@ __all__ = [
     "compute_gae",
     "discounted_returns",
     "evaluate",
+    "load_training_checkpoint",
     "normalize_advantages",
+    "resolve_checkpoint_path",
     "run_episode",
+    "save_training_checkpoint",
     "train",
     "train_with_eval",
 ]

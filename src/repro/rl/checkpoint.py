@@ -1,0 +1,110 @@
+"""Crash-safe training checkpoints.
+
+A training checkpoint is one atomic ``.npz`` archive holding everything
+needed to resume a run exactly where it stopped:
+
+* ``weights.*`` — the agent's network parameters,
+* ``training.*`` — optimizer moments and RNG streams
+  (:meth:`repro.agents.base.AgentSystem.training_state`),
+* ``meta`` — a JSON blob with the episode index and the per-episode
+  history so the resumed :class:`~repro.rl.runner.TrainingHistory` is
+  complete.
+
+RNG streams are serialized through ``Generator.bit_generator.state``
+(a JSON-safe dict), so a resumed run continues the *same* random
+sequence — a killed-and-resumed training run reproduces the
+uninterrupted one bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.nn.serialization import atomic_savez, read_archive
+
+#: Bumped when the archive layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+#: Default checkpoint filename inside a checkpoint directory.
+CHECKPOINT_FILENAME = "checkpoint.npz"
+
+
+def pack_rng(rng: np.random.Generator) -> np.ndarray:
+    """Serialize a Generator's state into a 0-d unicode array."""
+    return np.asarray(json.dumps(rng.bit_generator.state))
+
+
+def unpack_rng(rng: np.random.Generator, packed: np.ndarray) -> None:
+    """Restore a Generator from :func:`pack_rng` output (in place)."""
+    try:
+        rng.bit_generator.state = json.loads(str(packed))
+    except (json.JSONDecodeError, TypeError, ValueError) as error:
+        raise CheckpointError(f"corrupt RNG state in checkpoint: {error}") from error
+
+
+def resolve_checkpoint_path(path: str | os.PathLike) -> str:
+    """Accept either a checkpoint file (``*.npz``) or a directory."""
+    path = os.fspath(path)
+    if path.endswith(".npz"):
+        return path
+    return os.path.join(path, CHECKPOINT_FILENAME)
+
+
+def save_training_checkpoint(path: str | os.PathLike, agent, meta: dict) -> None:
+    """Atomically persist agent weights + training state + ``meta``."""
+    resolved = resolve_checkpoint_path(path)
+    directory = os.path.dirname(resolved)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    for name, value in agent.state_dict().items():
+        arrays[f"weights.{name}"] = value
+    for name, value in agent.training_state().items():
+        arrays[f"training.{name}"] = value
+    payload = dict(meta)
+    payload["version"] = CHECKPOINT_VERSION
+    payload["agent_name"] = agent.name
+    arrays["meta"] = np.asarray(json.dumps(payload))
+    atomic_savez(resolved, arrays)
+
+
+def load_training_checkpoint(path: str | os.PathLike, agent) -> dict:
+    """Restore a checkpoint into ``agent``; returns the ``meta`` dict.
+
+    Raises :class:`CheckpointError` for unreadable archives, missing
+    metadata, or weight/state mismatches against the agent.
+    """
+    resolved = resolve_checkpoint_path(path)
+    arrays = read_archive(resolved)
+    if "meta" not in arrays:
+        raise CheckpointError(f"{resolved} is not a training checkpoint (no meta)")
+    try:
+        meta = json.loads(str(arrays.pop("meta")))
+    except json.JSONDecodeError as error:
+        raise CheckpointError(f"corrupt checkpoint metadata: {error}") from error
+    if meta.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {meta.get('version')!r} != {CHECKPOINT_VERSION}"
+        )
+    weights = {
+        name[len("weights.") :]: value
+        for name, value in arrays.items()
+        if name.startswith("weights.")
+    }
+    training = {
+        name[len("training.") :]: value
+        for name, value in arrays.items()
+        if name.startswith("training.")
+    }
+    try:
+        agent.load_state_dict(weights)
+        agent.load_training_state(training)
+    except (KeyError, ValueError) as error:
+        raise CheckpointError(
+            f"checkpoint {resolved} does not match agent {agent.name}: {error}"
+        ) from error
+    return meta

@@ -6,17 +6,28 @@ Implements the experiment protocols of Section VI:
   average waiting time (the y-axis of Figs. 7, 8 and 10).
 * :func:`evaluate` — run drain-mode episodes with greedy policies and
   report average travel time (the Table II / III metric).
+
+:func:`train` is **crash-safe**: it can write periodic atomic
+checkpoints (weights + optimizer + RNG streams + episode index) and
+resume from them via ``resume_from=``; a NaN/divergence guard detects
+poisoned updates and rolls the agent back to its last good state; and a
+``SimulationError`` aborts only the offending episode, not the run.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from repro.agents.base import AgentSystem
 from repro.env.tsc_env import TrafficSignalEnv
+from repro.errors import SimulationError
+from repro.rl.checkpoint import (
+    load_training_checkpoint,
+    save_training_checkpoint,
+)
 
 
 @dataclass
@@ -36,6 +47,10 @@ class TrainingHistory:
 
     agent_name: str
     episodes: list[EpisodeLog] = field(default_factory=list)
+    #: Episodes whose simulation raised ``SimulationError`` and was contained.
+    aborted_episodes: list[int] = field(default_factory=list)
+    #: Episodes whose update was non-finite and rolled back by the guard.
+    rolled_back_episodes: list[int] = field(default_factory=list)
 
     @property
     def wait_curve(self) -> np.ndarray:
@@ -85,21 +100,116 @@ def run_episode(
     return avg_wait, total_reward, info
 
 
+def _capture_agent_state(agent: AgentSystem) -> tuple[dict, dict]:
+    """Snapshot weights + training state for guard rollback."""
+    return agent.state_dict(), agent.training_state()
+
+
+def _restore_agent_state(agent: AgentSystem, snapshot: tuple[dict, dict]) -> None:
+    weights, training = snapshot
+    if weights:
+        agent.load_state_dict(weights)
+    if training:
+        agent.load_training_state(training)
+
+
+def _episode_is_finite(
+    agent: AgentSystem, avg_wait: float, total_reward: float, stats: dict
+) -> bool:
+    """NaN/divergence guard: episode metrics, update diagnostics and the
+    resulting weights must all be finite."""
+    if not (np.isfinite(avg_wait) and np.isfinite(total_reward)):
+        return False
+    for value in stats.values():
+        if isinstance(value, (int, float)) and not np.isfinite(value):
+            return False
+    for array in agent.state_dict().values():
+        if not np.all(np.isfinite(array)):
+            return False
+    return True
+
+
+def _checkpoint_meta(history: TrainingHistory, next_episode: int, seed: int) -> dict:
+    return {
+        "next_episode": next_episode,
+        "seed": seed,
+        "history": [asdict(log) for log in history.episodes],
+        "aborted_episodes": list(history.aborted_episodes),
+        "rolled_back_episodes": list(history.rolled_back_episodes),
+    }
+
+
 def train(
     agent: AgentSystem,
     env: TrafficSignalEnv,
     episodes: int,
     seed: int = 0,
     log_every: int = 0,
+    *,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 1,
+    resume_from: str | None = None,
+    nan_guard: bool = True,
+    max_episode_failures: int | None = None,
 ) -> TrainingHistory:
-    """Train ``agent`` for ``episodes`` episodes on ``env``."""
+    """Train ``agent`` for ``episodes`` episodes on ``env``.
+
+    Resilience features (all optional, defaults preserve behaviour on
+    healthy runs):
+
+    * ``checkpoint_dir`` — write an atomic checkpoint (weights +
+      optimizer + RNG streams + history) every ``checkpoint_every``
+      completed episodes.
+    * ``resume_from`` — a checkpoint file or directory to restore before
+      training; the run continues from the recorded episode index with
+      identical RNG streams, so an interrupted run reproduces the
+      uninterrupted one.
+    * ``nan_guard`` — after each update, verify episode metrics, update
+      diagnostics and weights are finite; a poisoned update is rolled
+      back to the last good state and the episode recorded in
+      ``history.rolled_back_episodes``.
+    * ``SimulationError`` containment — an episode whose simulation
+      blows up is recorded in ``history.aborted_episodes`` and skipped;
+      after ``max_episode_failures`` such failures (``None`` = no limit)
+      the error propagates.
+    """
     history = TrainingHistory(agent_name=agent.name)
-    for episode in range(episodes):
+    start_episode = 0
+    if resume_from is not None:
+        meta = load_training_checkpoint(resume_from, agent)
+        history.episodes = [EpisodeLog(**log) for log in meta.get("history", [])]
+        history.aborted_episodes = [int(e) for e in meta.get("aborted_episodes", [])]
+        history.rolled_back_episodes = [
+            int(e) for e in meta.get("rolled_back_episodes", [])
+        ]
+        start_episode = int(meta.get("next_episode", len(history.episodes)))
+    snapshot = _capture_agent_state(agent) if nan_guard else None
+    failures = 0
+    for episode in range(start_episode, episodes):
         started = time.perf_counter()
-        avg_wait, total_reward, _ = run_episode(
-            agent, env, training=True, seed=seed + episode
-        )
-        stats = agent.end_episode(env, training=True)
+        try:
+            avg_wait, total_reward, _ = run_episode(
+                agent, env, training=True, seed=seed + episode
+            )
+            stats = agent.end_episode(env, training=True)
+        except SimulationError as error:
+            failures += 1
+            history.aborted_episodes.append(episode)
+            if max_episode_failures is not None and failures > max_episode_failures:
+                raise
+            if log_every:
+                print(f"[{agent.name}] episode {episode + 1} aborted: {error}")
+            continue
+        if nan_guard and not _episode_is_finite(agent, avg_wait, total_reward, stats):
+            if snapshot is not None:
+                _restore_agent_state(agent, snapshot)
+            history.rolled_back_episodes.append(episode)
+            if log_every:
+                print(
+                    f"[{agent.name}] episode {episode + 1} diverged; "
+                    "rolled back to last good state"
+                )
+            continue
         log = EpisodeLog(
             episode=episode,
             avg_wait=avg_wait,
@@ -108,6 +218,14 @@ def train(
             update_stats=stats,
         )
         history.episodes.append(log)
+        if nan_guard:
+            snapshot = _capture_agent_state(agent)
+        if checkpoint_dir is not None and (
+            (episode + 1) % max(1, checkpoint_every) == 0 or episode == episodes - 1
+        ):
+            save_training_checkpoint(
+                checkpoint_dir, agent, _checkpoint_meta(history, episode + 1, seed)
+            )
         if log_every and (episode + 1) % log_every == 0:
             print(
                 f"[{agent.name}] episode {episode + 1}/{episodes} "
@@ -169,6 +287,9 @@ class EvaluationResult:
     finished_vehicles: int
     total_created: int
     episodes: int
+    #: Episodes that produced no travel-time sample (e.g. a drain-mode
+    #: episode where no vehicle finished); excluded from the mean.
+    invalid_episodes: int = 0
 
     @property
     def completion_rate(self) -> float:
@@ -183,7 +304,12 @@ def evaluate(
     episodes: int = 1,
     seed: int = 10_000,
 ) -> EvaluationResult:
-    """Evaluate with greedy policies; env should be in drain mode."""
+    """Evaluate with greedy policies; env should be in drain mode.
+
+    An episode with no finished vehicles has no travel-time sample; such
+    episodes are counted in ``invalid_episodes`` and excluded from the
+    mean instead of poisoning it with NaN.
+    """
     travel_times: list[float] = []
     waits: list[float] = []
     finished = 0
@@ -197,11 +323,17 @@ def evaluate(
         waits.append(avg_wait)
         finished += info.get("finished_vehicles", 0)
         created += info.get("total_created", 0)
+    samples = np.asarray(travel_times, dtype=np.float64)
+    invalid = int(np.count_nonzero(np.isnan(samples)))
+    average_tt = (
+        float(np.nanmean(samples)) if invalid < len(samples) else float("nan")
+    )
     return EvaluationResult(
         agent_name=agent.name,
-        average_travel_time=float(np.mean(travel_times)),
+        average_travel_time=average_tt,
         average_wait=float(np.mean(waits)),
         finished_vehicles=finished,
         total_created=created,
         episodes=episodes,
+        invalid_episodes=invalid,
     )

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.agents.pairuplight import PairUpLightConfig, PairUpLightSystem
+from repro.errors import CheckpointError
 from repro.env.tsc_env import EnvConfig, TrafficSignalEnv
 from repro.rl.ppo import PPOConfig
 from repro.rl.runner import run_episode, train
@@ -46,7 +47,7 @@ class TestSharedCheckpoint:
         other = PairUpLightSystem(
             env, PairUpLightConfig(hidden_size=32), seed=0
         )
-        with pytest.raises((KeyError, ValueError)):
+        with pytest.raises(CheckpointError):
             other.load(path)
 
 

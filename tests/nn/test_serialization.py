@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.errors import CheckpointError
 from repro.nn.linear import MLP
 from repro.nn.serialization import load_state, save_state
 from repro.nn.tensor import Tensor
@@ -25,7 +26,7 @@ def test_load_into_wrong_architecture_fails(tmp_path, rng):
     path = tmp_path / "model.npz"
     save_state(model, path)
     wrong = MLP(4, [16], 2, rng)
-    with pytest.raises((KeyError, ValueError)):
+    with pytest.raises(CheckpointError):
         load_state(wrong, path)
 
 

@@ -110,3 +110,62 @@ class TestSimulatorLongRun:
             + len(sim.finished_vehicles)
         )
         assert total == sim.total_created
+
+
+class TestMessageRegularizerAdversarial:
+    """The communication channel must stay finite under hostile inputs:
+    saturated message heads, near-degenerate noise, and the corrupted or
+    dropped deliveries the fault layer produces."""
+
+    def test_extreme_message_means_stay_finite(self):
+        from repro.agents.pairuplight.messaging import MessageRegularizer
+
+        reg = MessageRegularizer(sigma=0.25, seed=0)
+        for mean in (-1e8, -50.0, 50.0, 1e8):
+            m_hat, raw, logprob = reg.transmit(np.array([mean]), training=True)
+            assert np.all(np.isfinite(m_hat))
+            assert 0.0 <= m_hat[0] <= 1.0
+            assert np.isfinite(logprob)
+
+    def test_sigma_near_zero_logprob_finite(self):
+        from repro.agents.pairuplight.messaging import MessageRegularizer
+
+        reg = MessageRegularizer(sigma=1e-12, seed=0)
+        _, raw, logprob = reg.transmit(np.array([0.3]), training=True)
+        assert np.isfinite(logprob)
+        # Greedy execution: zero deviation, huge positive density, finite.
+        _, _, greedy_lp = reg.transmit(np.array([0.3]), training=False)
+        assert np.isfinite(greedy_lp)
+
+    def test_corrupted_message_logprob_finite(self):
+        from repro.agents.pairuplight.messaging import MessageRegularizer
+
+        reg = MessageRegularizer(sigma=0.25, seed=0)
+        # A corrupted raw sample far outside the policy's support must
+        # yield a very unlikely but finite log-density.
+        lp = reg.logprob(np.array([1e6]), np.array([0.0]))
+        assert np.isfinite(lp)
+        assert lp < -1e9
+
+    def test_dropped_messages_keep_reader_output_finite(self):
+        from repro.agents.pairuplight.messaging import ResilientMessageReader
+
+        reader = ResilientMessageReader(["a"], 1, decay=0.5, max_staleness=3)
+        own = np.array([0.2])
+        reader.receive("a", np.array([1e8]), own)  # hostile stored message
+        for _ in range(10):  # sustained outage, past self-pairing fallback
+            out = reader.receive("a", None, own)
+            assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(own[0])
+
+    def test_channel_garbage_is_bounded(self):
+        from repro.agents.pairuplight.messaging import FaultyMessageChannel
+        from repro.faults import FaultConfig, FaultSchedule
+
+        schedule = FaultSchedule(FaultConfig(message_corrupt=1.0), seed=0)
+        schedule.begin_episode(0)
+        channel = FaultyMessageChannel(schedule, ["a"], message_dim=1)
+        for _ in range(50):
+            delivered = channel.deliver("a", np.array([np.inf]))
+            assert delivered is not None
+            assert np.all((delivered >= 0.0) & (delivered <= 1.0))

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.agents",
     "repro.env",
     "repro.eval",
+    "repro.faults",
     "repro.nn",
     "repro.rl",
     "repro.scenarios",
