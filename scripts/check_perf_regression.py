@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""CI perf gate: fail when engine throughput drops >20% vs the committed
+``benchmarks/BENCH_engine.json``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_perf_regression.py
+
+Exit code 0 = within budget, 1 = regression, 2 = baseline missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.perf.regression import DEFAULT_THRESHOLD, check_engine_regression
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join("benchmarks", "BENCH_engine.json"),
+        help="committed benchmark file to gate against",
+    )
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+    if not os.path.exists(args.baseline):
+        print(f"error: baseline file {args.baseline!r} not found", file=sys.stderr)
+        return 2
+    verdict = check_engine_regression(
+        args.baseline, threshold=args.threshold, repeats=args.repeats
+    )
+    print(verdict.summary())
+    return 0 if verdict.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

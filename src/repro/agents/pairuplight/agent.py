@@ -45,7 +45,7 @@ from repro.env.tsc_env import StepResult, TrafficSignalEnv
 from repro.errors import ConfigError
 from repro.nn import functional as F
 from repro.nn.optim import Adam
-from repro.nn.tensor import Tensor, stack
+from repro.nn.tensor import Tensor, no_grad, stack
 from repro.rl.buffer import RolloutBuffer
 from repro.rl.gae import compute_gae
 from repro.rl.ppo import PPOConfig, PPOUpdater
@@ -158,6 +158,11 @@ class PairUpLightSystem(AgentSystem):
             self._unique_actors = [self.actors[a] for a in self.agent_ids]
             self._unique_critics = [self.critics[a] for a in self.agent_ids]
 
+        # Stacking widths are fixed by the network topology — resolve once.
+        self._obs_width_cached = max(self.actors[a].obs_dim for a in self.agent_ids)
+        self._feat_width_cached = max(
+            self.critics[a].feature_dim for a in self.agent_ids
+        )
         params = [
             p
             for net in self._unique_actors + self._unique_critics
@@ -267,31 +272,35 @@ class PairUpLightSystem(AgentSystem):
         incoming = self._read_incoming(env)
         obs_rows = [observations[a] for a in self.agent_ids]
 
-        if cfg.parameter_sharing:
-            obs = np.stack(obs_rows)
-            logits_t, msg_mean_t, new_state = self.shared_actor(
-                obs, incoming, self._actor_state
-            )
-            self._actor_state = (new_state[0].detach(), new_state[1].detach())
-            logits = logits_t.data
-            msg_means = msg_mean_t.data
-        else:
-            logits_rows = []
-            msg_rows = []
-            for index, agent_id in enumerate(self.agent_ids):
-                logit, msg_mean, new_state = self.actors[agent_id](
-                    obs_rows[index].reshape(1, -1),
-                    incoming[index].reshape(1, -1),
-                    self._actor_state[agent_id],
+        # Acting only ever reads ``.data`` from these forwards — PPO
+        # re-evaluates the stored transitions at update time — so skip
+        # graph construction entirely.
+        with no_grad():
+            if cfg.parameter_sharing:
+                obs = np.stack(obs_rows)
+                logits_t, msg_mean_t, new_state = self.shared_actor(
+                    obs, incoming, self._actor_state
                 )
-                self._actor_state[agent_id] = (
-                    new_state[0].detach(),
-                    new_state[1].detach(),
-                )
-                logits_rows.append(logit.data[0])
-                msg_rows.append(msg_mean.data[0])
-            logits = logits_rows
-            msg_means = np.stack(msg_rows)
+                self._actor_state = (new_state[0].detach(), new_state[1].detach())
+                logits = logits_t.data
+                msg_means = msg_mean_t.data
+            else:
+                logits_rows = []
+                msg_rows = []
+                for index, agent_id in enumerate(self.agent_ids):
+                    logit, msg_mean, new_state = self.actors[agent_id](
+                        obs_rows[index].reshape(1, -1),
+                        incoming[index].reshape(1, -1),
+                        self._actor_state[agent_id],
+                    )
+                    self._actor_state[agent_id] = (
+                        new_state[0].detach(),
+                        new_state[1].detach(),
+                    )
+                    logits_rows.append(logit.data[0])
+                    msg_rows.append(msg_mean.data[0])
+                logits = logits_rows
+                msg_means = np.stack(msg_rows)
 
         probs_rows = [_softmax_1d(np.asarray(row)) for row in logits]
         actions, action_logprobs = self._sample_actions(probs_rows, training)
@@ -324,13 +333,21 @@ class PairUpLightSystem(AgentSystem):
         }
 
     def _obs_width(self) -> int:
-        return max(self.actors[a].obs_dim for a in self.agent_ids)
+        return self._obs_width_cached
 
     def _feat_width(self) -> int:
-        return max(self.critics[a].feature_dim for a in self.agent_ids)
+        return self._feat_width_cached
 
     def _critic_values(self, feats: np.ndarray, advance_state: bool) -> np.ndarray:
-        """Critic forward over all agents; optionally updates LSTM state."""
+        """Critic forward over all agents; optionally updates LSTM state.
+
+        Rollout-only (GAE targets come from stored values; the update
+        re-evaluates through the graph), so runs without autograd.
+        """
+        with no_grad():
+            return self._critic_values_inner(feats, advance_state)
+
+    def _critic_values_inner(self, feats: np.ndarray, advance_state: bool) -> np.ndarray:
         if self.config.parameter_sharing:
             values_t, new_state = self.shared_critic(feats, self._critic_state)
             if advance_state:

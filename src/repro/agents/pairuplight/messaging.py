@@ -28,10 +28,10 @@ _LOG_2PI = math.log(2.0 * math.pi)
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return np.where(
-        x >= 0, 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500))),
-        np.exp(np.clip(x, -500, 500)) / (1.0 + np.exp(np.clip(x, -500, 500))),
-    )
+    # Single shared exp(-|x|): equals 1/(1+exp(-x)) for x >= 0 and
+    # exp(x)/(1+exp(x)) for x < 0, same values as the two-branch form.
+    e = np.exp(-np.abs(np.clip(x, -500, 500)))
+    return np.where(x >= 0, 1.0 / (1.0 + e), e / (1.0 + e))
 
 
 class MessageRegularizer:

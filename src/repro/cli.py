@@ -16,6 +16,12 @@ Commands
     Sweep fault rates (sensing / communication / controller faults) and
     report degradation curves for PairUpLight, its no-fallback ablation
     and the classical baselines.
+``multiseed``
+    Repeat a train/evaluate pipeline over several seeds (optionally in
+    parallel worker processes) and report mean +- std.
+``bench``
+    Run the engine / training throughput benchmarks and write
+    ``BENCH_*.json`` files for the perf regression gate.
 """
 
 from __future__ import annotations
@@ -189,6 +195,49 @@ def cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_multiseed(args: argparse.Namespace) -> int:
+    from repro.eval.multiseed import run_multiseed
+
+    scale = _scale_from_args(args)
+    result = run_multiseed(
+        scale,
+        lambda env, seed: _build_agent(args.model, env, seed),
+        model_name=args.model,
+        seeds=list(args.seeds),
+        train_pattern=args.pattern,
+        workers=args.workers,
+    )
+    print(result.summary())
+    for run in result.runs:
+        print(
+            f"  seed {run.seed}: travel time {run.eval_travel_time:.1f} s, "
+            f"completion {run.completion_rate:.0%}"
+        )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import write_benchmarks
+
+    written = write_benchmarks(args.out, which=args.which)
+    for name, path in written.items():
+        with open(path) as handle:
+            payload = json.load(handle)
+        if name == "engine":
+            print(
+                f"engine: {payload['ticks_per_second']} ticks/s "
+                f"({payload['speedup_vs_baseline']}x baseline) -> {path}"
+            )
+        else:
+            print(
+                f"train: {payload['env_steps_per_second']} env-steps/s, "
+                f"{payload['agent_steps_per_second']} agent-steps/s, "
+                f"update {payload['update_seconds_per_episode']} s/episode "
+                f"({payload['speedup_vs_baseline']}x baseline) -> {path}"
+            )
+    return 0
+
+
 def cmd_overhead(args: argparse.Namespace) -> int:
     scale = _scale_from_args(args)
     experiment = GridExperiment(scale, seed=args.seed)
@@ -257,6 +306,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_robust.add_argument("--no-ablation", action="store_true")
     p_robust.add_argument("--no-baselines", action="store_true")
     p_robust.set_defaults(func=cmd_robustness)
+
+    p_multi = subparsers.add_parser(
+        "multiseed", help="repeat train/evaluate over several seeds"
+    )
+    _add_scale_args(p_multi)
+    p_multi.add_argument("--model", choices=MODEL_CHOICES, default="PairUpLight")
+    p_multi.add_argument("--pattern", type=int, default=1, choices=range(1, 6))
+    p_multi.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    p_multi.add_argument(
+        "--workers", type=int, default=0,
+        help="forked worker processes (0 = serial; results are identical)",
+    )
+    p_multi.set_defaults(func=cmd_multiseed)
+
+    p_bench = subparsers.add_parser(
+        "bench", help="run throughput benchmarks, write BENCH_*.json"
+    )
+    p_bench.add_argument("--which", choices=("all", "engine", "train"), default="all")
+    p_bench.add_argument("--out", type=str, default="benchmarks")
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

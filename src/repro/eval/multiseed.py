@@ -75,18 +75,27 @@ def run_multiseed(
     seeds: list[int],
     train_pattern: int = 1,
     eval_pattern: int | None = None,
+    workers: int = 0,
 ) -> MultiSeedResult:
     """Train/evaluate the same configuration under several seeds.
 
     ``factory(env, seed)`` builds a fresh agent per run; per-seed
     variation covers network init, exploration noise, and demand
     randomisation (via the experiment seed).
+
+    ``workers > 1`` distributes seeds over forked worker processes.
+    Each seed's run is fully self-contained (its own experiment, env,
+    agent and RNG streams), so the result is identical to the serial
+    run for any worker count — only wall-clock changes.
     """
+    from repro.perf.parallel import parallel_map
+
     if not seeds:
         raise ConfigError("need at least one seed")
     eval_pattern = train_pattern if eval_pattern is None else eval_pattern
     result = MultiSeedResult(model=model_name, pattern=eval_pattern)
-    for seed in seeds:
+
+    def run_one_seed(seed: int) -> SeedRun:
         experiment = GridExperiment(scale, seed=seed)
 
         def seeded_factory(environment, s=seed):
@@ -94,12 +103,12 @@ def run_multiseed(
 
         agent, history = experiment.train_agent(seeded_factory, pattern=train_pattern)
         evaluation = experiment.evaluate_agent(agent, eval_pattern)
-        result.runs.append(
-            SeedRun(
-                seed=seed,
-                wait_curve=history.wait_curve,
-                eval_travel_time=evaluation.average_travel_time,
-                completion_rate=evaluation.completion_rate,
-            )
+        return SeedRun(
+            seed=seed,
+            wait_curve=history.wait_curve,
+            eval_travel_time=evaluation.average_travel_time,
+            completion_rate=evaluation.completion_rate,
         )
+
+    result.runs.extend(parallel_map(run_one_seed, seeds, workers=workers))
     return result

@@ -35,6 +35,10 @@ class FaultyDetectorSuite(DetectorSuite):
         degrade: bool = True,
     ) -> None:
         super().__init__(sim, coverage)
+        # Every read consumes fault-schedule RNG, so readings are not
+        # pure functions of simulation state — memoizing them would
+        # change the random stream.  Disable the per-tick cache.
+        self._cache_enabled = False
         self.schedule = schedule
         self.degrade = degrade
         self._last_good: dict[str, float] = {}

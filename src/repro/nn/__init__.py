@@ -26,7 +26,7 @@ from repro.nn.serialization import (
     read_archive,
     save_state,
 )
-from repro.nn.tensor import Tensor, concat, stack, where
+from repro.nn.tensor import Tensor, concat, no_grad, stack, where
 
 __all__ = [
     "Adam",
@@ -50,6 +50,7 @@ __all__ = [
     "functional",
     "initialize",
     "load_state",
+    "no_grad",
     "read_archive",
     "save_state",
     "stack",

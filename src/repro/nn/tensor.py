@@ -22,13 +22,63 @@ import numpy as np
 ArrayLike = Union[np.ndarray, float, int, Sequence[float]]
 
 
+_FLOAT64 = np.dtype(np.float64)
+
+#: Global graph-construction switch; see :class:`no_grad`.
+_grad_enabled = True
+
+
+class no_grad:
+    """Context manager disabling autograd graph construction.
+
+    Values are computed exactly as usual, but no parents or backward
+    closures are recorded and every op output has
+    ``requires_grad=False``.  Use around rollout/inference forwards
+    whose outputs are only ever read as ``.data``.  Re-entrant.
+    """
+
+    __slots__ = ("_previous",)
+
+    def __enter__(self) -> "no_grad":
+        global _grad_enabled
+        self._previous = _grad_enabled
+        _grad_enabled = False
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        global _grad_enabled
+        _grad_enabled = self._previous
+        return False
+
+
 def _as_array(value: ArrayLike) -> np.ndarray:
-    """Coerce ``value`` to a float64 numpy array."""
-    if isinstance(value, np.ndarray):
-        if value.dtype != np.float64:
-            return value.astype(np.float64)
-        return value
+    """Coerce ``value`` to a float64 numpy array.
+
+    Already-float64 arrays pass through without a copy; python floats
+    (the scalar constants sprinkled through every loss expression) take
+    a direct construction path.
+    """
+    if type(value) is np.ndarray:
+        if value.dtype is _FLOAT64 or value.dtype == _FLOAT64:
+            return value
+        return value.astype(np.float64)
+    if type(value) is float:
+        return np.array(value)
     return np.asarray(value, dtype=np.float64)
+
+
+def _is_basic_index(key) -> bool:
+    """True when ``key`` uses only ints/slices (no fancy index arrays).
+
+    Basic indexing never visits the same element twice, so the gradient
+    scatter can use ``+=`` instead of ``np.add.at``.
+    """
+    if isinstance(key, tuple):
+        return all(
+            isinstance(k, (int, np.integer, slice)) or k is Ellipsis or k is None
+            for k in key
+        )
+    return isinstance(key, (int, np.integer, slice)) or key is Ellipsis or key is None
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -83,12 +133,28 @@ class Tensor:
         parents: Iterable["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        parents = tuple(parents)
-        requires = any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires)
+        # Op outputs are produced by numpy arithmetic on float64 arrays,
+        # so skip __init__'s coercion; only 0-d results (numpy scalars)
+        # need re-wrapping.
+        if type(data) is not np.ndarray:
+            data = np.asarray(data, dtype=np.float64)
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        if not _grad_enabled:
+            requires = False
+        elif isinstance(parents, tuple):
+            requires = any(p.requires_grad for p in parents)
+        else:
+            parents = tuple(parents)
+            requires = any(p.requires_grad for p in parents)
+        out.requires_grad = requires
         if requires:
             out._parents = parents
             out._backward = backward
+        else:
+            out._parents = ()
+            out._backward = None
         return out
 
     @staticmethod
@@ -256,13 +322,11 @@ class Tensor:
         return Tensor._from_op(out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic.
-        out_data = np.where(
-            self.data >= 0,
-            1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500))),
-            np.exp(np.clip(self.data, -500, 500))
-            / (1.0 + np.exp(np.clip(self.data, -500, 500))),
-        )
+        # Numerically stable logistic with a single exp: for x >= 0 this
+        # is 1/(1+exp(-x)), for x < 0 it is exp(x)/(1+exp(x)) — the same
+        # two branches as the textbook formulation, sharing exp(-|x|).
+        e = np.exp(-np.abs(np.clip(self.data, -500, 500)))
+        out_data = np.where(self.data >= 0, 1.0 / (1.0 + e), e / (1.0 + e))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -408,11 +472,17 @@ class Tensor:
 
     def __getitem__(self, key) -> "Tensor":
         out_data = self.data[key]
+        basic = _is_basic_index(key)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
-                np.add.at(full, key, grad)
+                if basic:
+                    # Basic indexing selects unique positions, so a plain
+                    # in-place add avoids np.add.at's slow buffered path.
+                    full[key] += grad
+                else:
+                    np.add.at(full, key, grad)
                 self._accumulate(full)
 
         return Tensor._from_op(np.asarray(out_data), (self,), backward)
@@ -422,9 +492,11 @@ class Tensor:
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
+            # Copy: the incoming gradient may be shared with other nodes.
             self.grad = np.array(grad, dtype=np.float64)
         else:
-            self.grad = self.grad + grad
+            # self.grad is always our private copy — add in place.
+            self.grad += grad
 
     def backward(self, grad: ArrayLike | None = None) -> None:
         """Backpropagate from this tensor through the recorded graph.

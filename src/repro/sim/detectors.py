@@ -7,9 +7,17 @@ raw queue length.  This module computes exactly those observed
 quantities: vehicles visible within ``coverage`` metres of a stop line,
 per lane, per movement (with equal splitting for shared lanes), and the
 resulting link- and intersection-level pressures.
+
+Readings are memoized per simulation tick: the simulation only changes
+state inside :meth:`Simulation.step`, so any quantity queried twice at
+the same ``sim.time`` is identical.  Subclasses whose readings are *not*
+pure functions of simulation state (fault injection consumes RNG on
+every read) must set ``_cache_enabled = False``.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.sim.engine import Simulation
@@ -36,6 +44,205 @@ class DetectorSuite:
             raise SimulationError("detector coverage must be positive")
         self.sim = sim
         self.coverage = coverage
+        network = sim.network
+        # Static per-network lookups, resolved once so the per-tick hot
+        # path does no list comprehensions or property formatting.
+        self._visible_slots = int(coverage // VEHICLE_SPACE_M)
+        self._link_geom: dict[str, tuple[float, float, tuple[str, ...], float]] = {}
+        for link_id, link in network.links.items():
+            spillback_threshold = max(0.0, link.length - coverage) / VEHICLE_SPACE_M
+            self._link_geom[link_id] = (
+                link.length,
+                link.speed_limit,
+                tuple(lane.lane_id for lane in link.lanes),
+                spillback_threshold,
+            )
+        self._out_num_lanes = {
+            link_id: link.num_lanes for link_id, link in network.links.items()
+        }
+        # Per movement: the (lane_id, sharer count) pairs contributing to
+        # its incoming count, in the reference iteration order, with
+        # zero-sharer lanes already filtered out.
+        self._movement_lanes: dict[object, tuple[tuple[str, int], ...]] = {}
+        for movement in network.movements.values():
+            pairs = []
+            for lane in network.lanes_for_movement(movement):
+                sharers = len(network.movements_for_lane(lane))
+                if sharers:
+                    pairs.append((lane.lane_id, sharers))
+            self._movement_lanes[movement.key] = tuple(pairs)
+        self._in_link_movement_count = {
+            link_id: len(network.movements_from(link_id))
+            for link_id in network.links
+        }
+        self._movements_from = {
+            link_id: tuple(network.movements_from(link_id))
+            for link_id in network.links
+        }
+        self._movements_at = {
+            node_id: tuple(network.movements_at(node_id))
+            for node_id in network.nodes
+        }
+        self._node_incoming = {
+            node_id: tuple(node.incoming) for node_id, node in network.nodes.items()
+        }
+        # Per-tick memo: valid only while ``sim.time`` is unchanged.
+        self._cache_enabled = True
+        self._cache_time = -1
+        self._cache: dict[object, float | int] = {}
+        # Bulk mode computes every link/movement/node quantity of a tick
+        # in one vectorized pass.  It replicates the raw computations
+        # element-for-element (including float accumulation order), but
+        # it bypasses the overridable ``observed_*`` methods — so it is
+        # restricted to the exact base class.
+        self._bulk_enabled = type(self) is DetectorSuite
+        self._bulk_time = -1
+        if self._bulk_enabled:
+            self._build_bulk_index()
+
+    def _build_bulk_index(self) -> None:
+        """Static index arrays mapping the scatter-add aggregations back
+        to the reference iteration order of the per-call raw methods."""
+        network = self.sim.network
+        self._link_order = tuple(self._link_geom)
+        self._link_index = {l: i for i, l in enumerate(self._link_order)}
+        lane_order: list[str] = []
+        for link_id in self._link_order:
+            lane_order.extend(self._link_geom[link_id][2])
+        self._lane_order = tuple(lane_order)
+        lane_index = {l: i for i, l in enumerate(lane_order)}
+        self._node_order = tuple(network.nodes)
+        self._node_index = {n: i for i, n in enumerate(self._node_order)}
+        movements = list(network.movements.values())
+        self._mv_index = {m.key: i for i, m in enumerate(movements)}
+
+        # queued-per-link: lanes grouped per link, in link lane order.
+        self._onl_link = np.repeat(
+            np.arange(len(self._link_order)),
+            [len(self._link_geom[l][2]) for l in self._link_order],
+        )
+        # movement incoming: (movement, lane, sharers) triples in the
+        # _movement_lanes order, lanes-before-approaching per movement.
+        in_mv, in_lane, in_sharers = [], [], []
+        for mv_i, movement in enumerate(movements):
+            for lane_id, sharers in self._movement_lanes[movement.key]:
+                in_mv.append(mv_i)
+                in_lane.append(lane_index[lane_id])
+                in_sharers.append(float(sharers))
+        self._in_mv = np.asarray(in_mv, dtype=np.intp)
+        self._in_lane = np.asarray(in_lane, dtype=np.intp)
+        self._in_sharers = np.asarray(in_sharers)
+        self._mv_in_link = np.asarray(
+            [self._link_index[m.in_link] for m in movements], dtype=np.intp
+        )
+        in_counts = np.asarray(
+            [float(self._in_link_movement_count[m.in_link]) for m in movements]
+        )
+        # The raw method skips the approaching term when the in-link has
+        # no movements; avoid 0/0 while contributing exactly nothing.
+        self._mv_in_scale = np.where(in_counts > 0, 1.0, 0.0)
+        self._mv_in_count = np.where(in_counts > 0, in_counts, 1.0)
+        self._mv_out_link = np.asarray(
+            [self._link_index[m.out_link] for m in movements], dtype=np.intp
+        )
+        self._mv_out_lanes = np.asarray(
+            [float(self._out_num_lanes[m.out_link]) for m in movements]
+        )
+        # link pressure / intersection pressure groupings, in the
+        # _movements_from / _movements_at iteration order.
+        lp_link, lp_mv = [], []
+        for link_i, link_id in enumerate(self._link_order):
+            for m in self._movements_from[link_id]:
+                lp_link.append(link_i)
+                lp_mv.append(self._mv_index[m.key])
+        self._lp_link = np.asarray(lp_link, dtype=np.intp)
+        self._lp_mv = np.asarray(lp_mv, dtype=np.intp)
+        ip_node, ip_mv = [], []
+        ic_node, ic_link = [], []
+        for node_i, node_id in enumerate(self._node_order):
+            for m in self._movements_at[node_id]:
+                ip_node.append(node_i)
+                ip_mv.append(self._mv_index[m.key])
+            for link_id in self._node_incoming[node_id]:
+                ic_node.append(node_i)
+                ic_link.append(self._link_index[link_id])
+        self._ip_node = np.asarray(ip_node, dtype=np.intp)
+        self._ip_mv = np.asarray(ip_mv, dtype=np.intp)
+        self._ic_node = np.asarray(ic_node, dtype=np.intp)
+        self._ic_link = np.asarray(ic_link, dtype=np.intp)
+
+    def _bulk_compute(self) -> None:
+        """One vectorized pass over the whole network for this tick."""
+        sim = self.sim
+        now = sim.time
+        coverage = self.coverage
+        running = sim.running
+        queue_length = sim.queue_length
+        num_links = len(self._link_order)
+        queue_len = np.fromiter(
+            (queue_length(lane_id) for lane_id in self._lane_order),
+            dtype=np.int64,
+            count=len(self._lane_order),
+        )
+        queue_obs = np.minimum(queue_len, self._visible_slots)
+        app = np.zeros(num_links, dtype=np.int64)
+        down = np.zeros(num_links, dtype=np.int64)
+        lane_cursor = 0
+        for link_i, link_id in enumerate(self._link_order):
+            length, speed_limit, lane_ids, spillback_threshold = self._link_geom[
+                link_id
+            ]
+            approaching = near_entry = 0
+            for vehicle in running[link_id]:
+                travelled = speed_limit * (now - vehicle.run_start)
+                if max(0.0, length - travelled) <= coverage:
+                    approaching += 1
+                if travelled <= coverage:
+                    near_entry += 1
+            for lane_offset in range(len(lane_ids)):
+                overflow = queue_len[lane_cursor + lane_offset] - spillback_threshold
+                if overflow > 0:
+                    near_entry += int(overflow)
+            lane_cursor += len(lane_ids)
+            app[link_i] = approaching
+            down[link_i] = near_entry
+        onl = np.zeros(num_links, dtype=np.int64)
+        np.add.at(onl, self._onl_link, queue_obs)
+        onl += app
+
+        incoming = np.zeros(len(self._mv_index))
+        np.add.at(
+            incoming, self._in_mv, queue_obs[self._in_lane] / self._in_sharers
+        )
+        incoming += (app[self._mv_in_link] / self._mv_in_count) * self._mv_in_scale
+        mp = incoming - down[self._mv_out_link] / self._mv_out_lanes
+        lp = np.zeros(num_links)
+        np.add.at(lp, self._lp_link, mp[self._lp_mv])
+        ip = np.zeros(len(self._node_order))
+        np.add.at(ip, self._ip_node, np.abs(mp[self._ip_mv]))
+        ic = np.zeros(len(self._node_order), dtype=np.int64)
+        np.add.at(ic, self._ic_node, onl[self._ic_link])
+
+        self._bulk_app = app
+        self._bulk_down = down
+        self._bulk_onl = onl
+        self._bulk_mp = mp
+        self._bulk_lp = lp
+        self._bulk_ip = ip
+        self._bulk_ic = ic
+        self._bulk_time = now
+
+    def _bulk_ready(self) -> bool:
+        if self._bulk_time != self.sim.time:
+            self._bulk_compute()
+        return True
+
+    def _tick_cache(self) -> dict[object, float | int]:
+        sim_time = self.sim.time
+        if sim_time != self._cache_time:
+            self._cache_time = sim_time
+            self._cache.clear()
+        return self._cache
 
     # ------------------------------------------------------------------
     # Lane-level observation
@@ -48,24 +255,49 @@ class DetectorSuite:
         visible regardless of the true queue length — the sensing
         limitation the paper's Fig. 2 illustrates.
         """
-        visible_slots = int(self.coverage // VEHICLE_SPACE_M)
-        return min(self.sim.queue_length(lane_id), visible_slots)
+        return min(self.sim.queue_length(lane_id), self._visible_slots)
 
     def observed_approaching(self, link_id: str) -> int:
         """Running vehicles within ``coverage`` of the link's stop line."""
-        link = self.sim.network.links[link_id]
+        if not self._cache_enabled:
+            return self._observed_approaching_raw(link_id)
+        if self._bulk_enabled and self._bulk_ready():
+            return int(self._bulk_app[self._link_index[link_id]])
+        cache = self._tick_cache()
+        key = ("app", link_id)
+        value = cache.get(key)
+        if value is None:
+            value = cache[key] = self._observed_approaching_raw(link_id)
+        return value
+
+    def _observed_approaching_raw(self, link_id: str) -> int:
+        length, speed_limit, _, _ = self._link_geom[link_id]
+        now = self.sim.time
+        coverage = self.coverage
         count = 0
         for vehicle in self.sim.running[link_id]:
-            travelled = link.speed_limit * (self.sim.time - vehicle.run_start)
-            distance_to_stop = max(0.0, link.length - travelled)
-            if distance_to_stop <= self.coverage:
+            travelled = speed_limit * (now - vehicle.run_start)
+            distance_to_stop = max(0.0, length - travelled)
+            if distance_to_stop <= coverage:
                 count += 1
         return count
 
     def observed_on_link(self, link_id: str) -> int:
         """All vehicles visible on a link near its stop line."""
-        link = self.sim.network.links[link_id]
-        queued = sum(self.observed_queue(lane.lane_id) for lane in link.lanes)
+        if not self._cache_enabled:
+            return self._observed_on_link_raw(link_id)
+        if self._bulk_enabled and self._bulk_ready():
+            return int(self._bulk_onl[self._link_index[link_id]])
+        cache = self._tick_cache()
+        key = ("onl", link_id)
+        value = cache.get(key)
+        if value is None:
+            value = cache[key] = self._observed_on_link_raw(link_id)
+        return value
+
+    def _observed_on_link_raw(self, link_id: str) -> int:
+        lane_ids = self._link_geom[link_id][2]
+        queued = sum(self.observed_queue(lane_id) for lane_id in lane_ids)
         return queued + self.observed_approaching(link_id)
 
     def observed_downstream(self, link_id: str) -> int:
@@ -74,16 +306,30 @@ class DetectorSuite:
         Used as the outgoing-side term of pressure: a congested receiving
         link shows many vehicles still near its upstream end.
         """
-        link = self.sim.network.links[link_id]
+        if not self._cache_enabled:
+            return self._observed_downstream_raw(link_id)
+        if self._bulk_enabled and self._bulk_ready():
+            return int(self._bulk_down[self._link_index[link_id]])
+        cache = self._tick_cache()
+        key = ("down", link_id)
+        value = cache.get(key)
+        if value is None:
+            value = cache[key] = self._observed_downstream_raw(link_id)
+        return value
+
+    def _observed_downstream_raw(self, link_id: str) -> int:
+        _, speed_limit, lane_ids, spillback_threshold = self._link_geom[link_id]
+        sim = self.sim
+        now = sim.time
+        coverage = self.coverage
         count = 0
-        for vehicle in self.sim.running[link_id]:
-            travelled = link.speed_limit * (self.sim.time - vehicle.run_start)
-            if travelled <= self.coverage:
+        for vehicle in sim.running[link_id]:
+            travelled = speed_limit * (now - vehicle.run_start)
+            if travelled <= coverage:
                 count += 1
         # A queue that has spilled back past (length - coverage) is visible too.
-        spillback_threshold = max(0.0, link.length - self.coverage) / VEHICLE_SPACE_M
-        for lane in link.lanes:
-            overflow = self.sim.queue_length(lane.lane_id) - spillback_threshold
+        for lane_id in lane_ids:
+            overflow = sim.queue_length(lane_id) - spillback_threshold
             if overflow > 0:
                 count += int(overflow)
         return count
@@ -98,31 +344,51 @@ class DetectorSuite:
         sharing that lane (paper Fig. 2: "If multiple movements share one
         lane, it is equally distributed to link level").
         """
-        network = self.sim.network
         total = 0.0
-        for lane in network.lanes_for_movement(movement):
-            sharers = len(network.movements_for_lane(lane))
-            if sharers == 0:
-                continue
-            total += self.observed_queue(lane.lane_id) / sharers
+        for lane_id, sharers in self._movement_lanes[movement.key]:
+            total += self.observed_queue(lane_id) / sharers
         # Approaching vehicles are attributed proportionally to lane shares.
-        link = network.links[movement.in_link]
-        movements_here = network.movements_from(movement.in_link)
+        movements_here = self._in_link_movement_count[movement.in_link]
         if movements_here:
-            total += self.observed_approaching(movement.in_link) / len(movements_here)
+            total += self.observed_approaching(movement.in_link) / movements_here
         return total
 
     def movement_pressure(self, movement: Movement) -> float:
         """Pressure of one movement: incoming minus outgoing observation,
         normalized per lane of the receiving link."""
-        out_link = self.sim.network.links[movement.out_link]
-        outgoing = self.observed_downstream(movement.out_link) / out_link.num_lanes
+        if not self._cache_enabled:
+            return self._movement_pressure_raw(movement)
+        if self._bulk_enabled and self._bulk_ready():
+            return float(self._bulk_mp[self._mv_index[movement.key]])
+        cache = self._tick_cache()
+        key = ("mp", movement.key)
+        value = cache.get(key)
+        if value is None:
+            value = cache[key] = self._movement_pressure_raw(movement)
+        return value
+
+    def _movement_pressure_raw(self, movement: Movement) -> float:
+        outgoing = (
+            self.observed_downstream(movement.out_link)
+            / self._out_num_lanes[movement.out_link]
+        )
         return self.movement_incoming_count(movement) - outgoing
 
     def link_pressure(self, link_id: str) -> float:
         """Link-level pressure: sum of its movements' pressures."""
-        movements = self.sim.network.movements_from(link_id)
-        return sum(self.movement_pressure(m) for m in movements)
+        if not self._cache_enabled:
+            return self._link_pressure_raw(link_id)
+        if self._bulk_enabled and self._bulk_ready():
+            return float(self._bulk_lp[self._link_index[link_id]])
+        cache = self._tick_cache()
+        key = ("lp", link_id)
+        value = cache.get(key)
+        if value is None:
+            value = cache[key] = self._link_pressure_raw(link_id)
+        return value
+
+    def _link_pressure_raw(self, link_id: str) -> float:
+        return sum(self.movement_pressure(m) for m in self._movements_from[link_id])
 
     def intersection_pressure(self, node_id: str) -> float:
         """Total absolute pressure at an intersection.
@@ -131,8 +397,20 @@ class DetectorSuite:
         communication partner; absolute values so that both starved and
         flooded approaches register as imbalance.
         """
+        if not self._cache_enabled:
+            return self._intersection_pressure_raw(node_id)
+        if self._bulk_enabled and self._bulk_ready():
+            return float(self._bulk_ip[self._node_index[node_id]])
+        cache = self._tick_cache()
+        key = ("ip", node_id)
+        value = cache.get(key)
+        if value is None:
+            value = cache[key] = self._intersection_pressure_raw(node_id)
+        return value
+
+    def _intersection_pressure_raw(self, node_id: str) -> float:
         return sum(
-            abs(self.movement_pressure(m)) for m in self.sim.network.movements_at(node_id)
+            abs(self.movement_pressure(m)) for m in self._movements_at[node_id]
         )
 
     def intersection_congestion(self, node_id: str) -> float:
@@ -141,9 +419,23 @@ class DetectorSuite:
         The paper pairs each intersection with "the most congested
         upstream intersection"; this score ranks candidates.
         """
-        node = self.sim.network.nodes[node_id]
+        if not self._cache_enabled:
+            return self._intersection_congestion_raw(node_id)
+        if self._bulk_enabled and self._bulk_ready():
+            return float(self._bulk_ic[self._node_index[node_id]])
+        cache = self._tick_cache()
+        key = ("ic", node_id)
+        value = cache.get(key)
+        if value is None:
+            value = cache[key] = self._intersection_congestion_raw(node_id)
+        return value
+
+    def _intersection_congestion_raw(self, node_id: str) -> float:
         return float(
-            sum(self.observed_on_link(link_id) for link_id in node.incoming)
+            sum(
+                self.observed_on_link(link_id)
+                for link_id in self._node_incoming[node_id]
+            )
         )
 
     def head_wait(self, link_id: str) -> int:

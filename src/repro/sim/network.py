@@ -144,6 +144,7 @@ class RoadNetwork:
         self.movements: dict[MovementKey, Movement] = {}
         self._movements_by_in_link: dict[str, list[Movement]] = {}
         self._movements_by_node: dict[str, list[Movement]] = {}
+        self._heading_cache: dict[str, tuple[float, float]] = {}
         self._validated = False
 
     # ------------------------------------------------------------------
@@ -225,14 +226,23 @@ class RoadNetwork:
     # Queries
     # ------------------------------------------------------------------
     def link_heading(self, link_id: str) -> tuple[float, float]:
-        """Unit direction vector of a link."""
+        """Unit direction vector of a link.
+
+        Node coordinates are fixed once a link exists, so headings are
+        cached after the first computation.
+        """
+        cached = self._heading_cache.get(link_id)
+        if cached is not None:
+            return cached
         link = self.links[link_id]
         a, b = self.nodes[link.from_node], self.nodes[link.to_node]
         dx, dy = b.x - a.x, b.y - a.y
         norm = math.hypot(dx, dy)
         if norm == 0:
             raise NetworkError(f"link {link_id!r} has zero length geometry")
-        return (dx / norm, dy / norm)
+        heading = (dx / norm, dy / norm)
+        self._heading_cache[link_id] = heading
+        return heading
 
     def movements_from(self, in_link: str) -> list[Movement]:
         return self._movements_by_in_link.get(in_link, [])

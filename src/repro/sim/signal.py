@@ -124,6 +124,10 @@ class FixedTimeProgram:
         for index, duration in self.stages:
             if duration <= 0:
                 raise NetworkError("fixed-time stage durations must be positive")
+        # Expanded second-by-second schedule, built lazily on first
+        # phase_at() call so per-tick queries are one table lookup instead
+        # of a stage scan.  Only valid for integer durations.
+        self._phase_table: tuple[int, ...] | None = None
 
     @property
     def cycle_length(self) -> int:
@@ -131,12 +135,21 @@ class FixedTimeProgram:
 
     def phase_at(self, t: int) -> int:
         """Phase index scheduled at absolute second ``t``."""
-        offset = t % self.cycle_length
-        for phase_index, duration in self.stages:
-            if offset < duration:
-                return phase_index
-            offset -= duration
-        raise AssertionError("unreachable")
+        table = self._phase_table
+        if table is None:
+            if all(isinstance(duration, int) for _, duration in self.stages):
+                expanded: list[int] = []
+                for phase_index, duration in self.stages:
+                    expanded.extend([phase_index] * duration)
+                table = self._phase_table = tuple(expanded)
+            else:  # fractional durations: keep the exact scan semantics
+                offset = t % self.cycle_length
+                for phase_index, duration in self.stages:
+                    if offset < duration:
+                        return phase_index
+                    offset -= duration
+                raise AssertionError("unreachable")
+        return table[t % len(table)]
 
 
 def default_four_phase_plan(network: RoadNetwork, node_id: str) -> PhasePlan:

@@ -15,7 +15,7 @@ class VehicleState(Enum):
     FINISHED = "finished"  # left the network
 
 
-@dataclass
+@dataclass(slots=True)
 class Vehicle:
     """A single vehicle with a fixed route.
 
@@ -35,15 +35,35 @@ class Vehicle:
     # Running bookkeeping.
     run_start: int = 0
     run_arrival: int = 0
-    # Queue bookkeeping.
+    # Queue bookkeeping.  Waits are accrued lazily: while a vehicle is
+    # queued, ``wait_anchor`` holds the tick it joined the queue and
+    # ``wait_clock`` the owning simulation, so the counters derive from
+    # the clock instead of being incremented every tick; the engine
+    # materializes them into the ``*_base`` fields on dequeue.
     lane_id: str | None = None
-    wait_total: int = 0
-    wait_current_link: int = 0
+    wait_base: int = 0
+    wait_link_base: int = 0
+    wait_anchor: int = -1
+    wait_clock: object | None = None
     links_travelled: int = field(default=0)
 
     def __post_init__(self) -> None:
         if not self.route:
             raise ValueError(f"vehicle {self.vehicle_id} has an empty route")
+
+    @property
+    def wait_total(self) -> int:
+        """Total ticks spent halted, across all links so far."""
+        if self.wait_anchor >= 0:
+            return self.wait_base + self.wait_clock.time - self.wait_anchor
+        return self.wait_base
+
+    @property
+    def wait_current_link(self) -> int:
+        """Ticks halted on the current link (0 while running)."""
+        if self.wait_anchor >= 0:
+            return self.wait_clock.time - self.wait_anchor
+        return self.wait_link_base
 
     @property
     def current_link(self) -> str:

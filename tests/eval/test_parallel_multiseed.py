@@ -1,0 +1,90 @@
+"""Parallel workers must be invisible: same seeds -> same results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import ExperimentScale
+from repro.eval.multiseed import run_multiseed
+from repro.perf.parallel import parallel_map
+
+TINY = ExperimentScale(
+    rows=2,
+    cols=2,
+    peak_rate=600.0,
+    t_peak=60.0,
+    light_duration=120.0,
+    horizon_ticks=80,
+    max_ticks=3600,
+    train_episodes=1,
+    eval_episodes=1,
+)
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        items = list(range(23))
+        assert parallel_map(lambda x: x * x, items, workers=4) == [
+            x * x for x in items
+        ]
+
+    def test_serial_fallback(self):
+        assert parallel_map(lambda x: x + 1, [1, 2, 3], workers=0) == [2, 3, 4]
+        assert parallel_map(lambda x: x + 1, [1, 2, 3], workers=1) == [2, 3, 4]
+
+    def test_more_workers_than_items(self):
+        assert parallel_map(lambda x: -x, [5, 6], workers=8) == [-5, -6]
+
+    def test_empty_items(self):
+        assert parallel_map(lambda x: x, [], workers=4) == []
+
+    def test_closures_cross_fork(self):
+        offset = 100
+        assert parallel_map(lambda x: x + offset, [1, 2, 3, 4], workers=2) == [
+            101,
+            102,
+            103,
+            104,
+        ]
+
+    def test_worker_error_propagates(self):
+        def boom(x):
+            if x == 2:
+                raise ValueError("bad item")
+            return x
+
+        with pytest.raises(RuntimeError, match="bad item"):
+            parallel_map(boom, [1, 2, 3], workers=2)
+
+    def test_seeded_rng_determinism(self):
+        def draw(seed):
+            return float(np.random.default_rng(seed).normal())
+
+        serial = parallel_map(draw, [0, 1, 2, 3, 4], workers=0)
+        forked = parallel_map(draw, [0, 1, 2, 3, 4], workers=3)
+        assert serial == forked
+
+
+class TestMultiSeedWorkers:
+    def _run(self, workers: int):
+        from repro.agents import MaxPressureSystem
+
+        return run_multiseed(
+            TINY,
+            lambda env, seed: MaxPressureSystem(env),
+            model_name="MaxPressure",
+            seeds=[0, 1, 2],
+            workers=workers,
+        )
+
+    def test_parallel_matches_serial(self):
+        serial = self._run(workers=0)
+        parallel = self._run(workers=3)
+        assert len(serial.runs) == len(parallel.runs) == 3
+        for run_s, run_p in zip(serial.runs, parallel.runs):
+            assert run_s.seed == run_p.seed
+            assert run_s.eval_travel_time == run_p.eval_travel_time
+            assert run_s.completion_rate == run_p.completion_rate
+            np.testing.assert_array_equal(run_s.wait_curve, run_p.wait_curve)
+        assert serial.travel_time_mean == parallel.travel_time_mean

@@ -1,0 +1,228 @@
+"""Fast paths in the autograd core must not change values or gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, _as_array, _is_basic_index, no_grad
+
+
+class TestAsArray:
+    def test_float64_array_not_copied(self):
+        array = np.arange(6, dtype=np.float64)
+        assert _as_array(array) is array
+
+    def test_other_dtypes_coerced(self):
+        array = np.arange(6, dtype=np.float32)
+        out = _as_array(array)
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, array.astype(np.float64))
+
+    def test_scalar_float_fast_path(self):
+        out = _as_array(2.5)
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.float64
+        assert out.shape == ()
+        assert float(out) == 2.5
+
+    def test_lists_and_ints(self):
+        assert _as_array([1.0, 2.0]).dtype == np.float64
+        assert _as_array(3).dtype == np.float64
+
+
+class TestFromOp:
+    def test_requires_grad_propagates(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3))
+        assert (a + b).requires_grad
+        assert not (b + b).requires_grad
+
+    def test_no_grad_output_has_no_graph(self):
+        a = Tensor(np.ones(3))
+        out = a * 2.0
+        assert out._parents == ()
+        assert out._backward is None
+
+    def test_scalar_result_rewrapped(self):
+        a = Tensor(np.array(2.0), requires_grad=True)
+        out = a * Tensor(np.array(3.0))
+        assert isinstance(out.data, np.ndarray)
+        out.backward()
+        assert float(a.grad) == 3.0
+
+
+class TestSigmoid:
+    @staticmethod
+    def _reference(x: np.ndarray) -> np.ndarray:
+        # The original two-branch stable logistic, three exp calls.
+        return np.where(
+            x >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(x, -500, 500))),
+            np.exp(np.clip(x, -500, 500)) / (1.0 + np.exp(np.clip(x, -500, 500))),
+        )
+
+    def test_bit_exact_vs_reference(self):
+        x = np.concatenate(
+            [
+                np.linspace(-30, 30, 997),
+                np.array([0.0, -0.0, 1e-300, -1e-300, 700.0, -700.0]),
+            ]
+        )
+        out = Tensor(x).sigmoid().data
+        np.testing.assert_array_equal(out, self._reference(x))
+
+    def test_messaging_sigmoid_bit_exact(self):
+        from repro.agents.pairuplight.messaging import _sigmoid
+
+        x = np.linspace(-20, 20, 503)
+        np.testing.assert_array_equal(_sigmoid(x), self._reference(x))
+
+    def test_gradient(self):
+        x = Tensor(np.array([-2.0, 0.0, 3.0]), requires_grad=True)
+        y = x.sigmoid()
+        y.backward(np.ones(3))
+        s = y.data
+        np.testing.assert_allclose(x.grad, s * (1 - s), rtol=1e-12)
+
+
+class TestGetitemBackward:
+    def test_basic_index_detection(self):
+        assert _is_basic_index(slice(0, 3))
+        assert _is_basic_index(2)
+        assert _is_basic_index((slice(None), slice(0, 4)))
+        assert _is_basic_index((0, slice(None)))
+        assert not _is_basic_index(np.array([0, 1]))
+        assert not _is_basic_index((slice(None), np.array([0, 0])))
+        assert not _is_basic_index([0, 1])
+
+    def test_slice_gradient(self):
+        x = Tensor(np.arange(12, dtype=np.float64).reshape(3, 4), requires_grad=True)
+        y = x[:, 1:3]
+        y.backward(np.ones((3, 2)))
+        expected = np.zeros((3, 4))
+        expected[:, 1:3] = 1.0
+        np.testing.assert_array_equal(x.grad, expected)
+
+    def test_fancy_index_with_duplicates_accumulates(self):
+        x = Tensor(np.zeros(4), requires_grad=True)
+        index = np.array([1, 1, 2])
+        y = x[index]
+        y.backward(np.ones(3))
+        np.testing.assert_array_equal(x.grad, [0.0, 2.0, 1.0, 0.0])
+
+    def test_int_row_gradient(self):
+        x = Tensor(np.ones((3, 4)), requires_grad=True)
+        y = x[1]
+        y.backward(np.full(4, 2.0))
+        expected = np.zeros((3, 4))
+        expected[1] = 2.0
+        np.testing.assert_array_equal(x.grad, expected)
+
+
+class TestAccumulate:
+    def test_incoming_gradient_not_mutated(self):
+        """The first accumulate copies; later in-place adds must never
+        write into a gradient array owned by another node."""
+        x = Tensor(np.zeros(3), requires_grad=True)
+        shared = np.ones(3)
+        x._accumulate(shared)
+        x._accumulate(shared)
+        np.testing.assert_array_equal(shared, np.ones(3))
+        np.testing.assert_array_equal(x.grad, np.full(3, 2.0))
+
+    def test_diamond_graph_gradients(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        out = (a + b).sum()
+        out.backward()
+        np.testing.assert_allclose(x.grad, [5.0, 5.0])
+
+
+class TestNoGrad:
+    def test_values_identical_graph_absent(self):
+        a = Tensor(np.arange(4, dtype=np.float64), requires_grad=True)
+        b = Tensor(np.full(4, 0.5), requires_grad=True)
+        reference = ((a * b).sigmoid() + a).sum()
+        with no_grad():
+            inference = ((a * b).sigmoid() + a).sum()
+        np.testing.assert_array_equal(inference.data, reference.data)
+        assert not inference.requires_grad
+        assert inference._parents == ()
+        assert inference._backward is None
+
+    def test_grad_mode_restored_after_exit(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            pass
+        assert (a * 2.0).requires_grad
+
+    def test_restored_after_exception_and_reentrant(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                with no_grad():
+                    pass
+                assert not (a * 2.0).requires_grad
+                raise RuntimeError("boom")
+        assert (a * 2.0).requires_grad
+
+    def test_training_still_learns_through_act_no_grad(self):
+        """PairUpLight act() runs without autograd; the PPO update must
+        still produce parameter gradients and change the weights."""
+        from repro.agents.pairuplight import PairUpLightSystem
+        from repro.eval.harness import ExperimentScale, GridExperiment
+
+        scale = ExperimentScale(
+            rows=2, cols=2, peak_rate=600.0, t_peak=60.0, light_duration=120.0,
+            horizon_ticks=60, max_ticks=3600, train_episodes=1, eval_episodes=1,
+        )
+        env = GridExperiment(scale, seed=1).train_env(1)
+        agent = PairUpLightSystem(env, seed=1)
+        before = next(iter(agent.shared_actor.parameters())).data.copy()
+        observations = env.reset(seed=1)
+        agent.begin_episode(env, True)
+        done = False
+        while not done:
+            actions = agent.act(observations, env, True)
+            result = env.step(actions)
+            agent.observe(result, env)
+            observations = result.observations
+            done = result.done
+        stats = agent.end_episode(env, training=True)
+        assert stats  # an update ran
+        after = next(iter(agent.shared_actor.parameters())).data
+        assert not np.array_equal(before, after)
+
+
+class TestLSTMGradientRegression:
+    def test_lstm_step_matches_numerical_gradient(self):
+        """End-to-end check that the slice fast path keeps LSTM grads right."""
+        from repro.nn.lstm import LSTMCell
+
+        rng = np.random.default_rng(0)
+        cell = LSTMCell(3, 4, rng)
+        x = np.array([[0.3, -0.2, 0.5], [0.1, 0.0, -0.4]])
+        state = cell.initial_state(2)
+
+        def loss_value() -> float:
+            h, _ = cell(Tensor(x), state)
+            return float((h * h).sum().data)
+
+        h, _ = cell(Tensor(x), state)
+        loss = (h * h).sum()
+        for p in cell.parameters():
+            p.zero_grad()
+        loss.backward()
+        weight = cell.weight
+        eps = 1e-6
+        for index in [(0, 0), (2, 5), (6, 15)]:
+            original = weight.data[index]
+            weight.data[index] = original + eps
+            up = loss_value()
+            weight.data[index] = original - eps
+            down = loss_value()
+            weight.data[index] = original
+            numerical = (up - down) / (2 * eps)
+            assert weight.grad[index] == pytest.approx(numerical, rel=1e-4, abs=1e-7)

@@ -1,0 +1,150 @@
+"""Perf harness: timers, regression gate logic, and the smoke benchmark.
+
+The smoke benchmark (marked ``perf``) is excluded from the default /
+tier-1 run via ``addopts = -m "not perf"``; select it explicitly with
+``pytest -m perf``.  The timer and gate-logic tests are plain fast unit
+tests and always run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.regression import evaluate_gate
+from repro.perf.timers import PhaseTimers
+
+
+class TestPhaseTimers:
+    def test_disabled_sections_record_nothing(self):
+        timers = PhaseTimers()
+        with timers.section("work"):
+            pass
+        assert timers.report() == {}
+        assert timers.seconds("work") == 0.0
+
+    def test_enabled_sections_accumulate(self):
+        timers = PhaseTimers()
+        timers.enable()
+        for _ in range(3):
+            with timers.section("work"):
+                pass
+        report = timers.report()
+        assert report["work"]["calls"] == 3
+        assert report["work"]["seconds"] >= 0.0
+
+    def test_reset_clears(self):
+        timers = PhaseTimers()
+        timers.enable()
+        with timers.section("a"):
+            pass
+        timers.reset()
+        assert timers.report() == {}
+
+    def test_add_external_measurement(self):
+        timers = PhaseTimers()
+        timers.add("sim_tick", 1.5, calls=600)
+        assert timers.seconds("sim_tick") == 1.5
+        assert timers.calls("sim_tick") == 600
+
+    def test_section_survives_exception(self):
+        timers = PhaseTimers()
+        timers.enable()
+        with pytest.raises(ValueError):
+            with timers.section("bad"):
+                raise ValueError("boom")
+        assert timers.calls("bad") == 1
+
+    def test_runner_hooks_record_phases(self):
+        """train() phases show up in the global registry when enabled."""
+        from repro.agents import MaxPressureSystem
+        from repro.eval.harness import ExperimentScale, GridExperiment
+        from repro.perf.timers import TIMERS
+        from repro.rl.runner import train
+
+        scale = ExperimentScale(
+            rows=2, cols=2, peak_rate=600.0, t_peak=60.0, light_duration=120.0,
+            horizon_ticks=60, max_ticks=3600, train_episodes=1, eval_episodes=1,
+        )
+        env = GridExperiment(scale, seed=0).train_env(1)
+        TIMERS.reset()
+        TIMERS.enable()
+        try:
+            train(MaxPressureSystem(env), env, episodes=1, seed=0)
+        finally:
+            TIMERS.disable()
+        report = TIMERS.report()
+        assert report["forward"]["calls"] > 0
+        assert report["env_step"]["calls"] > 0
+        assert report["update"]["calls"] == 1
+        TIMERS.reset()
+
+
+class TestRegressionGate:
+    def test_within_budget_passes(self):
+        verdict = evaluate_gate(current=900.0, baseline=1000.0, threshold=0.2)
+        assert verdict.ok
+        assert "OK" in verdict.summary()
+
+    def test_exact_floor_passes(self):
+        assert evaluate_gate(800.0, 1000.0, threshold=0.2).ok
+
+    def test_below_floor_fails(self):
+        verdict = evaluate_gate(current=799.0, baseline=1000.0, threshold=0.2)
+        assert not verdict.ok
+        assert "REGRESSION" in verdict.summary()
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(1.0, 0.0)
+        with pytest.raises(ValueError):
+            evaluate_gate(1.0, 1.0, threshold=1.5)
+
+    def test_check_against_file(self, tmp_path, monkeypatch):
+        import repro.perf.regression as regression
+
+        baseline_file = tmp_path / "BENCH_engine.json"
+        baseline_file.write_text(json.dumps({"ticks_per_second": 1000.0}))
+        monkeypatch.setattr(
+            regression,
+            "bench_engine",
+            lambda repeats, measure_ticks: {"ticks_per_second": 950.0},
+        )
+        verdict = regression.check_engine_regression(str(baseline_file))
+        assert verdict.ok
+        assert verdict.baseline_ticks_per_second == 1000.0
+
+    def test_gate_script_exit_codes(self, tmp_path, monkeypatch):
+        import sys
+
+        sys.path.insert(0, "scripts")
+        try:
+            import check_perf_regression
+        finally:
+            sys.path.pop(0)
+        assert check_perf_regression.main(["--baseline", str(tmp_path / "none.json")]) == 2
+
+
+@pytest.mark.perf
+class TestSmokeBenchmarks:
+    """Tiny-budget runs of the real benchmark entry points."""
+
+    def test_engine_smoke(self):
+        from repro.perf.bench import bench_engine
+
+        result = bench_engine(warmup_ticks=50, measure_ticks=100, repeats=1)
+        assert result["benchmark"] == "engine"
+        assert result["ticks_per_second"] > 0
+        assert result["baseline"]["ticks_per_second"] > 0
+
+    def test_write_benchmarks_engine(self, tmp_path):
+        from repro.perf.bench import write_benchmarks
+
+        written = write_benchmarks(
+            str(tmp_path), which="engine", warmup_ticks=50, measure_ticks=100,
+            repeats=1,
+        )
+        payload = json.loads((tmp_path / "BENCH_engine.json").read_text())
+        assert payload["ticks_per_second"] > 0
+        assert written["engine"].endswith("BENCH_engine.json")
