@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Line-coverage floor for the telemetry package (stdlib only).
+
+This environment has no ``coverage``/``pytest-cov``, so the gate runs
+the observability test suite under the standard library's ``trace``
+module and computes line coverage over ``src/repro/obs``.  Fails (exit
+1) when package coverage drops below the floor.
+
+Run from the repository root::
+
+    python scripts/check_obs_coverage.py [--floor 80]
+
+Exit code 0 = floor met, 1 = below floor or tests failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import sys
+import trace
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+sys.path.insert(0, os.path.join(REPO, "tests"))
+
+#: Package whose coverage is gated.
+TARGET = os.path.join(REPO, "src", "repro", "obs")
+
+#: Test selection that exercises the target package.
+DEFAULT_TESTS = ["tests/obs", "tests/test_cli.py::TestObsCommands"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--floor", type=float, default=80.0,
+                        help="minimum package line coverage percent")
+    parser.add_argument("--tests", nargs="*", default=DEFAULT_TESTS,
+                        help="pytest selection to run under the tracer")
+    args = parser.parse_args(argv)
+
+    import pytest
+
+    tracer = trace.Trace(
+        count=1, trace=0, ignoredirs=[sys.prefix, sys.exec_prefix]
+    )
+    exit_code = tracer.runfunc(
+        pytest.main, [*args.tests, "-q", "-p", "no:cacheprovider"]
+    )
+    if exit_code != 0:
+        print(f"error: traced test run failed (exit {exit_code})",
+              file=sys.stderr)
+        return 1
+
+    hits: dict[str, set[int]] = {}
+    for (filename, lineno), count in tracer.results().counts.items():
+        if count > 0:
+            hits.setdefault(os.path.abspath(filename), set()).add(lineno)
+
+    total_executable = total_covered = 0
+    print(f"\n{'file':<40} {'lines':>6} {'hit':>6} {'cover':>7}")
+    for path in sorted(glob.glob(os.path.join(TARGET, "*.py"))):
+        executable = set(trace._find_executable_linenos(path))
+        covered = executable & hits.get(os.path.abspath(path), set())
+        total_executable += len(executable)
+        total_covered += len(covered)
+        percent = 100.0 * len(covered) / len(executable) if executable else 100.0
+        name = os.path.relpath(path, REPO)
+        print(f"{name:<40} {len(executable):>6} {len(covered):>6} {percent:>6.1f}%")
+
+    if total_executable == 0:
+        print("error: no executable lines found under src/repro/obs",
+              file=sys.stderr)
+        return 1
+    package_percent = 100.0 * total_covered / total_executable
+    print(f"\nsrc/repro/obs package coverage: {package_percent:.1f}% "
+          f"(floor {args.floor:.0f}%)")
+    if package_percent < args.floor:
+        print("error: coverage below floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

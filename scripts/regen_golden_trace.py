@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Regenerate the golden telemetry trace fixture.
+
+Runs the canonical seeded scenario from ``tests/obs/golden_util.py`` and
+replaces ``tests/obs/golden/events.jsonl``.  Only run this after an
+*intentional* change to the telemetry schema or the simulation's
+deterministic behaviour, and review the fixture diff before committing.
+
+Usage:
+    PYTHONPATH=src python scripts/regen_golden_trace.py
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+sys.path.insert(0, os.path.join(REPO, "tests"))
+sys.path.insert(0, os.path.join(REPO, "tests", "obs"))
+
+from golden_util import generate_golden_run  # noqa: E402
+
+
+def main() -> int:
+    golden_dir = os.path.join(REPO, "tests", "obs", "golden")
+    os.makedirs(golden_dir, exist_ok=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        run_dir = os.path.join(tmp, "run")
+        generate_golden_run(run_dir)
+        shutil.copy(
+            os.path.join(run_dir, "events.jsonl"),
+            os.path.join(golden_dir, "events.jsonl"),
+        )
+    print(f"wrote {os.path.join(golden_dir, 'events.jsonl')}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

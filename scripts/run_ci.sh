@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate. Runs, in order:
+#   1. the default test suite (pytest.ini excludes -m perf),
+#   2. the engine perf-regression gate,
+#   3. the telemetry coverage floor (stdlib trace; no coverage package).
+#
+# Usage, from the repository root:
+#   bash scripts/run_ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tier-1 test suite =="
+python -m pytest
+
+echo "== perf regression gate =="
+python scripts/check_perf_regression.py
+
+echo "== telemetry coverage floor (src/repro/obs) =="
+python scripts/check_obs_coverage.py
+
+echo "CI OK"

@@ -51,6 +51,17 @@ class AgentSystem:
         return 0
 
     # ------------------------------------------------------------------
+    # Telemetry (opt-in; see repro.obs)
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, telemetry) -> None:
+        """Give the system a :class:`repro.obs.telemetry.Telemetry` sink.
+
+        The default is a no-op; wrappers that own their own fault
+        schedules (e.g. :class:`repro.faults.controller.ControllerFaultWrapper`)
+        override this to route activation events into the sink.
+        """
+
+    # ------------------------------------------------------------------
     # Checkpointing (default implementation over named networks)
     # ------------------------------------------------------------------
     def _checkpoint_modules(self) -> dict:

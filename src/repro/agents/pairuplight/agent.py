@@ -199,7 +199,10 @@ class PairUpLightSystem(AgentSystem):
         schedule = getattr(env, "fault_schedule", None)
         if schedule is not None and schedule.config.any_message_faults:
             self._channel = FaultyMessageChannel(
-                schedule, self.agent_ids, self.config.message_dim
+                schedule,
+                self.agent_ids,
+                self.config.message_dim,
+                clock=lambda: env.sim.time if env.sim is not None else None,
             )
         else:
             self._channel = None

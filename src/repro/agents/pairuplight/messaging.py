@@ -153,9 +153,18 @@ class FaultyMessageChannel:
     policy, not the channel's — see :class:`ResilientMessageReader`.
     """
 
-    def __init__(self, schedule, agent_ids: list[str], message_dim: int) -> None:
+    def __init__(
+        self,
+        schedule,
+        agent_ids: list[str],
+        message_dim: int,
+        clock=None,
+    ) -> None:
         self.schedule = schedule
         self.message_dim = message_dim
+        #: Optional zero-arg callable returning the current simulation
+        #: tick; only invoked when the schedule has a telemetry sink.
+        self.clock = clock
         self._prev_delivered: dict[str, np.ndarray] = {
             agent_id: np.zeros(message_dim) for agent_id in agent_ids
         }
@@ -168,15 +177,25 @@ class FaultyMessageChannel:
         """Transport ``message`` to ``receiver``; ``None`` means lost."""
         config = self.schedule.config
         if config.message_drop and self.schedule.message_dropped():
+            self._emit("message_drop", receiver)
             return None
         if config.message_delay and self.schedule.message_delayed():
+            self._emit("message_delay", receiver)
             delivered = self._prev_delivered[receiver].copy()
         elif config.message_corrupt and self.schedule.message_corrupted():
+            self._emit("message_corrupt", receiver)
             delivered = self.schedule.corrupt(message)
         else:
             delivered = np.asarray(message, dtype=np.float64)
         self._prev_delivered[receiver] = delivered.copy()
         return delivered
+
+    def _emit(self, kind: str, receiver: str) -> None:
+        """First-activation telemetry (no-op without an attached sink)."""
+        if self.schedule.event_sink is None:
+            return
+        tick = self.clock() if self.clock is not None else None
+        self.schedule.emit_activation(kind, receiver, tick=tick)
 
 
 class ResilientMessageReader:

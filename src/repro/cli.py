@@ -22,6 +22,11 @@ Commands
 ``bench``
     Run the engine / training throughput benchmarks and write
     ``BENCH_*.json`` files for the perf regression gate.
+``obs``
+    Telemetry tooling: ``obs report <run_dir>`` re-renders the training
+    curve and event summary of a persisted run (written by ``train
+    --telemetry-dir``) without re-simulating; ``obs tail <run_dir>``
+    pretty-prints the latest events of a (possibly live) run.
 """
 
 from __future__ import annotations
@@ -113,11 +118,35 @@ def cmd_train(args: argparse.Namespace) -> int:
     experiment = GridExperiment(scale, seed=args.seed)
     env = experiment.train_env(args.pattern)
     agent = _build_agent(args.model, env, args.seed)
-    history = train(agent, env, episodes=args.episodes, seed=args.seed,
-                    log_every=args.log_every,
-                    checkpoint_dir=args.checkpoint_dir or None,
-                    checkpoint_every=args.checkpoint_every,
-                    resume_from=args.resume_from or None)
+    telemetry = None
+    if args.telemetry_dir:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry(
+            args.telemetry_dir,
+            config={
+                "model": args.model,
+                "pattern": args.pattern,
+                "episodes": args.episodes,
+                "rows": args.rows,
+                "cols": args.cols,
+                "horizon": args.horizon,
+            },
+            seed=args.seed,
+            agent_name=args.model,
+            trace_spans=args.trace_spans,
+        )
+    try:
+        history = train(agent, env, episodes=args.episodes, seed=args.seed,
+                        log_every=args.log_every,
+                        checkpoint_dir=args.checkpoint_dir or None,
+                        checkpoint_every=args.checkpoint_every,
+                        resume_from=args.resume_from or None,
+                        telemetry=telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+            print(f"telemetry written to {telemetry.run_dir}")
     curve = history.wait_curve
     print(f"\n{args.model} trained {args.episodes} episodes on pattern {args.pattern}")
     if history.aborted_episodes or history.rolled_back_episodes:
@@ -238,6 +267,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.report import export_run_csv, render_report, tail_events
+
+    if args.obs_command == "report":
+        print(render_report(args.run_dir, width=args.width))
+        if args.csv_out:
+            export_run_csv(args.run_dir, args.csv_out)
+            print(f"episode CSV written to {args.csv_out}")
+    else:
+        for line in tail_events(args.run_dir, n=args.n):
+            print(line)
+    return 0
+
+
 def cmd_overhead(args: argparse.Namespace) -> int:
     scale = _scale_from_args(args)
     experiment = GridExperiment(scale, seed=args.seed)
@@ -268,6 +311,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--checkpoint-every", type=int, default=1)
     p_train.add_argument("--resume-from", type=str, default="",
                          help="checkpoint file or directory to resume from")
+    p_train.add_argument("--telemetry-dir", type=str, default="",
+                         help="write a structured telemetry run directory "
+                              "(events.jsonl + manifest.json + metrics.json)")
+    p_train.add_argument("--trace-spans", action="store_true",
+                         help="also export phase-timer trace spans "
+                              "(trace.json, Chrome trace format)")
     p_train.set_defaults(func=cmd_train)
 
     p_eval = subparsers.add_parser("evaluate", help="train then evaluate")
@@ -326,6 +375,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--which", choices=("all", "engine", "train"), default="all")
     p_bench.add_argument("--out", type=str, default="benchmarks")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_obs = subparsers.add_parser(
+        "obs", help="telemetry run-directory tooling (report / tail)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_report = obs_sub.add_parser(
+        "report", help="render a run directory without re-simulating"
+    )
+    p_report.add_argument("run_dir", help="telemetry run directory (or events.jsonl)")
+    p_report.add_argument("--width", type=int, default=60)
+    p_report.add_argument("--csv-out", type=str, default="",
+                          help="also export the per-episode series as CSV")
+    p_report.set_defaults(func=cmd_obs)
+    p_tail = obs_sub.add_parser("tail", help="print the latest events of a run")
+    p_tail.add_argument("run_dir", help="telemetry run directory (or events.jsonl)")
+    p_tail.add_argument("-n", type=int, default=10)
+    p_tail.set_defaults(func=cmd_obs)
     return parser
 
 

@@ -132,6 +132,9 @@ class TrafficSignalEnv:
             from repro.faults.schedule import FaultSchedule as _FaultSchedule
 
             self.fault_schedule = _FaultSchedule(self.config.faults, seed=seed)
+        #: Optional telemetry sink (see :meth:`attach_telemetry`).
+        self._telemetry = None
+        self._teleports_seen = 0
 
     # ------------------------------------------------------------------
     # Topology helpers used by coordinated agents
@@ -151,6 +154,25 @@ class TrafficSignalEnv:
         obs_dims = {space.dim for space in self.observation_spaces.values()}
         act_dims = {space.n for space in self.action_spaces.values()}
         return len(obs_dims) == 1 and len(act_dims) == 1
+
+    # ------------------------------------------------------------------
+    # Telemetry (opt-in; zero overhead and zero RNG impact when unset)
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, telemetry) -> None:
+        """Stream env/sim/fault observability into ``telemetry``.
+
+        Wires the metric registry into the simulation engine, surfaces
+        teleport events, and routes the fault schedule's activation
+        events into the sink.  Everything here only *reads* state —
+        no RNG stream is ever touched, so an instrumented run is
+        bit-exact with an uninstrumented one.
+        """
+        self._telemetry = telemetry
+        if self.fault_schedule is not None:
+            self.fault_schedule.event_sink = telemetry
+        if self.sim is not None:
+            self.sim.metrics = telemetry.metrics
+            self._teleports_seen = self.sim.teleport_count
 
     # ------------------------------------------------------------------
     # Episode control
@@ -174,6 +196,9 @@ class TrafficSignalEnv:
             saturation_rate=self.config.saturation_rate,
             startup_lost_time=self.config.startup_lost_time,
         )
+        if self._telemetry is not None:
+            self.sim.metrics = self._telemetry.metrics
+            self._teleports_seen = 0
         if self.fault_schedule is not None:
             self.fault_schedule.begin_episode(seed)
         if self.fault_schedule is not None and self.config.faults.any_detector_faults:
@@ -214,6 +239,18 @@ class TrafficSignalEnv:
             info["average_travel_time"] = average_travel_time(self.sim)
             info["finished_vehicles"] = len(self.sim.finished_vehicles)
             info["total_created"] = self.sim.total_created
+        if self._telemetry is not None:
+            self._telemetry.metrics.count("env.steps")
+            if self.sim.teleport_count != self._teleports_seen:
+                self._telemetry.teleport(
+                    self.sim.time, self.sim.teleport_count - self._teleports_seen
+                )
+                self._teleports_seen = self.sim.teleport_count
+            if done:
+                self._telemetry.metrics.gauge("env.last_episode_ticks", self.sim.time)
+                self._telemetry.metrics.gauge(
+                    "env.last_vehicles_in_network", info["vehicles_in_network"]
+                )
         return StepResult(observations, rewards, done, info)
 
     def _is_done(self) -> bool:

@@ -76,6 +76,7 @@ def run_multiseed(
     train_pattern: int = 1,
     eval_pattern: int | None = None,
     workers: int = 0,
+    telemetry=None,
 ) -> MultiSeedResult:
     """Train/evaluate the same configuration under several seeds.
 
@@ -87,6 +88,11 @@ def run_multiseed(
     Each seed's run is fully self-contained (its own experiment, env,
     agent and RNG streams), so the result is identical to the serial
     run for any worker count — only wall-clock changes.
+
+    ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`) records one
+    ``multiseed_seed`` event per run plus aggregate gauges.  Events are
+    emitted *after* the runs complete, in the parent process, so the
+    sink composes with forked workers and cannot perturb any run.
     """
     from repro.perf.parallel import parallel_map
 
@@ -111,4 +117,21 @@ def run_multiseed(
         )
 
     result.runs.extend(parallel_map(run_one_seed, seeds, workers=workers))
+    if telemetry is not None:
+        for run in result.runs:
+            telemetry.events.emit(
+                "multiseed_seed",
+                model=model_name,
+                pattern=eval_pattern,
+                seed=run.seed,
+                eval_travel_time=float(run.eval_travel_time),
+                completion_rate=float(run.completion_rate),
+                episodes=int(run.wait_curve.size),
+            )
+            telemetry.metrics.observe(
+                "multiseed.eval_travel_time", run.eval_travel_time
+            )
+        telemetry.metrics.gauge("multiseed.travel_time_mean", result.travel_time_mean)
+        telemetry.metrics.gauge("multiseed.travel_time_std", result.travel_time_std)
+        telemetry.metrics.count("multiseed.runs", len(result.runs))
     return result

@@ -19,22 +19,72 @@ from repro.rl.runner import TrainingHistory
 #: Characters used for vertical resolution inside one text row.
 _BLOCKS = " .:-=+*#%@"
 
+#: Glyph rendered for non-finite samples (NaN/inf gaps in a series).
+_GAP = "?"
+
+
+def _resample(data: np.ndarray, width: int) -> np.ndarray:
+    """Average-pool ``data`` down to ``width`` (NaN-aware)."""
+    if data.size <= width:
+        return data
+    edges = np.linspace(0, data.size, width + 1).astype(int)
+    pooled = np.empty(width)
+    for index, (a, b) in enumerate(zip(edges[:-1], edges[1:])):
+        window = data[a:b]
+        finite = window[np.isfinite(window)]
+        # A bucket with any finite sample averages those; an entirely
+        # non-finite bucket stays NaN and renders as a gap.
+        pooled[index] = finite.mean() if finite.size else np.nan
+    return pooled
+
+
+def _finite_bounds(data: np.ndarray, label: str) -> tuple[float, float]:
+    """(lo, hi) over finite samples; rejects series with none."""
+    finite = data[np.isfinite(data)]
+    if finite.size == 0:
+        raise ConfigError(f"{label} has no finite values to chart")
+    return float(finite.min()), float(finite.max())
+
 
 def sparkline(values: Sequence[float], width: int = 60) -> str:
-    """One-line character chart of a series (resampled to ``width``)."""
+    """One-line character chart of a series (resampled to ``width``).
+
+    Non-finite samples (NaN/±inf) render as ``?`` gaps; the scale is
+    computed over the finite samples only.  A series with no finite
+    sample at all raises :class:`~repro.errors.ConfigError`.
+    """
+    if width <= 0:
+        raise ConfigError("width must be positive")
     data = np.asarray(list(values), dtype=np.float64)
     if data.size == 0:
         raise ConfigError("cannot chart an empty series")
-    if data.size > width:
-        # Average-pool down to the target width.
-        edges = np.linspace(0, data.size, width + 1).astype(int)
-        data = np.array([data[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
-    lo, hi = float(data.min()), float(data.max())
+    data = _resample(data, width)
+    lo, hi = _finite_bounds(data, "series")
     span = hi - lo
-    if span == 0:
-        return _BLOCKS[0] * data.size
-    levels = ((data - lo) / span * (len(_BLOCKS) - 1)).round().astype(int)
-    return "".join(_BLOCKS[level] for level in levels)
+    chars = []
+    for value in data:
+        if not np.isfinite(value):
+            chars.append(_GAP)
+        elif span == 0:
+            chars.append(_BLOCKS[0])
+        else:
+            level = int(round(_fraction(value, lo, span) * (len(_BLOCKS) - 1)))
+            chars.append(_BLOCKS[min(max(level, 0), len(_BLOCKS) - 1)])
+    return "".join(chars)
+
+
+def _fraction(value: float, lo: float, span: float) -> float:
+    """``(value - lo) / span`` hardened against float overflow.
+
+    With a huge range (e.g. ±1e308) either the numerator or the span
+    can overflow to inf; map those cases onto the nearest bound instead
+    of letting NaN reach an array index.
+    """
+    with np.errstate(over="ignore", invalid="ignore"):
+        fraction = (value - lo) / span
+    if np.isnan(fraction):
+        return 1.0 if value > lo else 0.0
+    return float(min(max(fraction, 0.0), 1.0))
 
 
 def ascii_chart(
@@ -50,18 +100,17 @@ def ascii_chart(
     """
     if not series:
         raise ConfigError("ascii_chart needs at least one series")
+    if height < 2 or width <= 0:
+        raise ConfigError("need height >= 2 and width > 0")
     markers = "ox+*#@%&"
     resampled: dict[str, np.ndarray] = {}
     for name, values in series.items():
         data = np.asarray(list(values), dtype=np.float64)
         if data.size == 0:
             raise ConfigError(f"series {name!r} is empty")
-        if data.size > width:
-            edges = np.linspace(0, data.size, width + 1).astype(int)
-            data = np.array([data[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
-        resampled[name] = data
+        resampled[name] = _resample(data, width)
     all_values = np.concatenate(list(resampled.values()))
-    lo, hi = float(all_values.min()), float(all_values.max())
+    lo, hi = _finite_bounds(all_values, "chart")
     span = hi - lo or 1.0
 
     canvas_width = max(len(d) for d in resampled.values())
@@ -69,8 +118,13 @@ def ascii_chart(
     for index, (name, data) in enumerate(resampled.items()):
         marker = markers[index % len(markers)]
         for x, value in enumerate(data):
-            y = int(round((hi - value) / span * (height - 1)))
-            canvas[y][x] = marker
+            if not np.isfinite(value):
+                continue  # non-finite samples leave a gap in the line
+            if hi == lo:
+                y = 0
+            else:
+                y = int(round((1.0 - _fraction(value, lo, span)) * (height - 1)))
+            canvas[min(max(y, 0), height - 1)][x] = marker
 
     lines = []
     if title:

@@ -71,6 +71,11 @@ class ControllerFaultWrapper(AgentSystem):
     def load_training_state(self, state: dict[str, np.ndarray]) -> None:
         self.inner.load_training_state(state)
 
+    def attach_telemetry(self, telemetry) -> None:
+        """Route this wrapper's fault schedule into the telemetry sink."""
+        self.schedule.event_sink = telemetry
+        self.inner.attach_telemetry(telemetry)
+
     # ------------------------------------------------------------------
     # Acting with substitution
     # ------------------------------------------------------------------
@@ -83,6 +88,11 @@ class ControllerFaultWrapper(AgentSystem):
         actions = self.inner.act(observations, env, training)
         for node_id in env.agent_ids:
             if self.schedule.controller_dead(node_id):
+                if self.schedule.event_sink is not None:
+                    tick = env.sim.time if env.sim is not None else None
+                    self.schedule.emit_activation(
+                        "controller_death", node_id, tick=tick, scope="episode"
+                    )
                 actions[node_id] = self._fallback_action(env, node_id)
         return actions
 

@@ -49,11 +49,20 @@ class FaultyDetectorSuite(DetectorSuite):
     def _reading(self, key: str, true_value: float) -> float:
         """Route one raw count through the fault model."""
         config = self.schedule.config
+        sink = self.schedule.event_sink
         self._total_reads += 1
         if config.detector_stuck and self.schedule.detector_stuck(key):
+            if sink is not None:
+                self.schedule.emit_activation(
+                    "detector_stuck", key, tick=self.sim.time, scope="episode"
+                )
             return self.schedule.frozen_value(key, float(true_value))
         if config.detector_dropout and self.schedule.detector_dropped(key):
             self._dropped_reads += 1
+            if sink is not None:
+                self.schedule.emit_activation(
+                    "detector_dropout", key, tick=self.sim.time
+                )
             if self.degrade:
                 # Impute from the last healthy reading (0 before any).
                 return self._last_good.get(key, 0.0)
@@ -61,6 +70,10 @@ class FaultyDetectorSuite(DetectorSuite):
         value = float(true_value)
         if config.detector_noise:
             value += self.schedule.detector_noise()
+            if sink is not None:
+                self.schedule.emit_activation(
+                    "detector_noise", key, tick=self.sim.time
+                )
             if self.degrade:
                 value = max(0.0, round(value))
         self._last_good[key] = value

@@ -33,6 +33,12 @@ class FaultSchedule:
         self._stuck: dict[str, bool] = {}
         self._frozen: dict[str, float] = {}
         self._dead: dict[str, bool] = {}
+        #: Optional telemetry sink (:class:`repro.obs.telemetry.Telemetry`)
+        #: receiving one activation per (fault kind, target) per episode.
+        #: Never consulted by the sampling paths, so attaching it cannot
+        #: change any RNG draw.
+        self.event_sink = None
+        self._activated: set[tuple[str, str]] = set()
 
     # ------------------------------------------------------------------
     # Episode lifecycle
@@ -47,6 +53,34 @@ class FaultSchedule:
         self._stuck.clear()
         self._frozen.clear()
         self._dead.clear()
+        self._activated.clear()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def emit_activation(
+        self,
+        kind: str,
+        fault_id: str,
+        tick: int | None = None,
+        scope: str = "event",
+    ) -> None:
+        """Report the first firing of fault ``kind`` on ``fault_id``.
+
+        Deduplicated per (kind, target) per episode: each fault family
+        produces exactly one activation event per target per episode, no
+        matter how many individual readings/messages it corrupts.  No-op
+        without an attached :attr:`event_sink`.
+        """
+        if self.event_sink is None:
+            return
+        key = (kind, str(fault_id))
+        if key in self._activated:
+            return
+        self._activated.add(key)
+        self.event_sink.fault_activation(
+            kind, fault_id, max(self._episode, 0), tick, scope
+        )
 
     # ------------------------------------------------------------------
     # Detector faults

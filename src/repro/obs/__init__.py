@@ -1,0 +1,42 @@
+"""Structured telemetry: event logs, manifests, metrics and trace spans.
+
+A run directory produced by this subsystem is a complete, append-only
+record of one training run:
+
+* ``events.jsonl`` — schema-versioned JSONL event stream
+  (:class:`~repro.obs.events.EventLog`): episode begin/end, update
+  stats, checkpoint writes, fault activations, NaN rollbacks, teleports.
+* ``manifest.json`` — :class:`~repro.obs.manifest.RunManifest`: config,
+  seed, git SHA, platform and package versions at run start.
+* ``metrics.json`` — final :class:`~repro.obs.metrics.MetricRegistry`
+  snapshot (counters / gauges / histograms).
+* ``trace.json`` — optional Chrome-trace spans exported from the
+  :class:`repro.perf.timers.PhaseTimers` sections.
+
+The whole layer is **opt-in** (``telemetry=None`` everywhere), adds no
+overhead when disabled, and never draws from any RNG stream — training
+with telemetry on is bit-exact with telemetry off.  ``python -m repro
+obs report <dir>`` re-renders the training curve from the persisted
+events without re-simulating anything.
+"""
+
+from repro.obs.events import SCHEMA_VERSION, EventLog, read_events
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricRegistry
+from repro.obs.report import RunReport, load_run, render_report, tail_events
+from repro.obs.spans import SpanRecorder
+from repro.obs.telemetry import Telemetry
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EventLog",
+    "MetricRegistry",
+    "RunManifest",
+    "RunReport",
+    "SpanRecorder",
+    "Telemetry",
+    "load_run",
+    "read_events",
+    "render_report",
+    "tail_events",
+]

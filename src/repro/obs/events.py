@@ -1,0 +1,163 @@
+"""Schema-versioned JSONL event log with buffered, torn-tail-safe writes.
+
+Every event is one JSON object per line::
+
+    {"schema": 1, "seq": 7, "wall": 1722950000.123, "type": "episode_end",
+     "data": {"episode": 3, "avg_wait": 12.5, ...}}
+
+Writes are buffered in memory and flushed as a **single append** (one
+``write`` on an ``O_APPEND`` descriptor followed by ``fsync``), so a
+crash can at worst truncate the final line; it can never interleave or
+corrupt earlier events.  :func:`read_events` tolerates such a torn tail
+by skipping a trailing partial line, which makes ``obs tail`` safe to
+run against a live log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.errors import ConfigError
+
+#: Bumped when the event layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Default filename inside a run directory.
+EVENTS_FILENAME = "events.jsonl"
+
+#: Keys reserved by the envelope; event payloads live under ``data``.
+ENVELOPE_KEYS = ("schema", "seq", "wall", "type", "data")
+
+
+class EventLog:
+    """Append-only JSONL event writer for one run.
+
+    Parameters
+    ----------
+    path:
+        Target ``.jsonl`` file (parent directories are created).
+    flush_every:
+        Buffered events are written out every ``flush_every`` emissions
+        (and always on :meth:`flush` / :meth:`close`).
+    """
+
+    def __init__(self, path: str | os.PathLike, flush_every: int = 64) -> None:
+        if flush_every <= 0:
+            raise ConfigError("flush_every must be positive")
+        self.path = os.fspath(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self.flush_every = flush_every
+        self._seq = 0
+        self._buffer: list[str] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def emit(self, event_type: str, **data) -> dict:
+        """Record one event; returns the envelope that will be written."""
+        if self._closed:
+            raise ConfigError("EventLog is closed")
+        if not event_type:
+            raise ConfigError("event type must be non-empty")
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "seq": self._seq,
+            "wall": time.time(),
+            "type": str(event_type),
+            "data": data,
+        }
+        self._seq += 1
+        self._buffer.append(json.dumps(envelope, sort_keys=True, default=_jsonify))
+        if len(self._buffer) >= self.flush_every:
+            self.flush()
+        return envelope
+
+    def flush(self) -> None:
+        """Append all buffered events in one write, then fsync."""
+        if not self._buffer:
+            return
+        blob = ("\n".join(self._buffer) + "\n").encode("utf-8")
+        self._buffer.clear()
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, blob)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def close(self) -> None:
+        if not self._closed:
+            self.flush()
+            self._closed = True
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def events_emitted(self) -> int:
+        return self._seq
+
+
+def _jsonify(value):
+    """Fallback encoder: numpy scalars/arrays -> plain python."""
+    if hasattr(value, "item") and getattr(value, "ndim", None) == 0:
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    raise TypeError(f"cannot serialize {type(value).__name__} in an event")
+
+
+def read_events(path: str | os.PathLike, strict: bool = False) -> list[dict]:
+    """Parse a JSONL event file written by :class:`EventLog`.
+
+    A truncated final line (torn tail after a crash) is skipped unless
+    ``strict=True``.  Raises :class:`~repro.errors.ConfigError` for
+    missing files, schema mismatches, or mid-file corruption.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        raise ConfigError(f"no event log at {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().split("\n")
+    # A well-formed log ends with "\n", so the final split element is "".
+    torn = lines and lines[-1] != ""
+    body = lines[:-1]
+    events: list[dict] = []
+    for index, line in enumerate(body):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ConfigError(
+                f"{path}:{index + 1}: corrupt event line: {error}"
+            ) from error
+        _validate_envelope(event, path, index + 1)
+        events.append(event)
+    if torn:
+        if strict:
+            raise ConfigError(f"{path} ends with a truncated event line")
+        # Torn tail: try to parse it anyway (it may simply lack the
+        # final newline); drop it silently if it is partial JSON.
+        try:
+            event = json.loads(lines[-1])
+            _validate_envelope(event, path, len(lines))
+            events.append(event)
+        except (json.JSONDecodeError, ConfigError):
+            pass
+    return events
+
+
+def _validate_envelope(event: dict, path: str, lineno: int) -> None:
+    if not isinstance(event, dict) or "type" not in event or "data" not in event:
+        raise ConfigError(f"{path}:{lineno}: not an event envelope")
+    if event.get("schema") != SCHEMA_VERSION:
+        raise ConfigError(
+            f"{path}:{lineno}: schema {event.get('schema')!r} != {SCHEMA_VERSION}"
+        )

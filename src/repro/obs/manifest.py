@@ -1,0 +1,106 @@
+"""Run manifest: everything needed to say *what* produced a run.
+
+Captured once at run start and written atomically as ``manifest.json``
+inside the run directory: the experiment config, base seed, git SHA of
+the working tree (when available), platform triple, Python and package
+versions.  Comparing two manifests answers "were these runs comparable"
+without re-reading any code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.version import __version__
+
+#: Default filename inside a run directory.
+MANIFEST_FILENAME = "manifest.json"
+
+
+def _git_sha() -> str | None:
+    """Best-effort git SHA of the current working tree (None outside git)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+@dataclass
+class RunManifest:
+    """Immutable provenance record for one run."""
+
+    seed: int
+    config: dict = field(default_factory=dict)
+    agent_name: str = ""
+    git_sha: str | None = None
+    platform: str = ""
+    python_version: str = ""
+    numpy_version: str = ""
+    repro_version: str = ""
+    argv: list[str] = field(default_factory=list)
+    started_at: float = 0.0
+
+    @classmethod
+    def capture(
+        cls, seed: int, config: dict | None = None, agent_name: str = ""
+    ) -> "RunManifest":
+        """Snapshot the current process environment."""
+        return cls(
+            seed=int(seed),
+            config=dict(config or {}),
+            agent_name=agent_name,
+            git_sha=_git_sha(),
+            platform=platform.platform(),
+            python_version=sys.version.split()[0],
+            numpy_version=np.__version__,
+            repro_version=__version__,
+            argv=list(sys.argv),
+            started_at=time.time(),
+        )
+
+    # ------------------------------------------------------------------
+    def write(self, run_dir: str | os.PathLike) -> str:
+        """Atomically write ``manifest.json`` into ``run_dir``."""
+        run_dir = os.fspath(run_dir)
+        os.makedirs(run_dir, exist_ok=True)
+        path = os.path.join(run_dir, MANIFEST_FILENAME)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(asdict(self), handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, run_dir: str | os.PathLike) -> "RunManifest":
+        """Read a manifest back from a run directory (or direct path)."""
+        path = os.fspath(run_dir)
+        if os.path.isdir(path):
+            path = os.path.join(path, MANIFEST_FILENAME)
+        if not os.path.exists(path):
+            raise ConfigError(f"no manifest at {path}")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ConfigError(f"corrupt manifest {path}: {error}") from error
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        return cls(**{k: v for k, v in payload.items() if k in known})

@@ -1,0 +1,146 @@
+"""In-process metric registry: counters, gauges and histograms.
+
+A :class:`MetricRegistry` is a plain accumulator — no background
+threads, no sampling, no RNG.  Instruments are created lazily on first
+touch, so call sites can stay one guarded line::
+
+    if metrics is not None:
+        metrics.count("sim.teleports")
+
+The registry snapshots to a JSON-safe dict (written as ``metrics.json``
+by :class:`repro.obs.telemetry.Telemetry`) and can merge another
+snapshot, which is how multi-seed runs aggregate per-seed registries.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+from repro.errors import ConfigError
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/last)."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "last")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.last = float("nan")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        self.last = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def to_dict(self) -> dict:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "last": self.last,
+        }
+
+
+class MetricRegistry:
+    """Named counters, gauges and histograms for one run."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: float = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (monotonic)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest ``value``."""
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one sample to histogram ``name``."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> float:
+        if name not in self._gauges:
+            raise ConfigError(f"unknown gauge {name!r}")
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            raise ConfigError(f"unknown histogram {name!r}")
+        return self._histograms[name]
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe view of every instrument."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: self._histograms[name].to_dict()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add; gauges take the incoming value; histograms combine
+        their summaries (``last`` takes the incoming one).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, payload in snapshot.get("histograms", {}).items():
+            if payload.get("count", 0) == 0:
+                continue
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.count += int(payload["count"])
+            histogram.total += float(payload["sum"])
+            histogram.minimum = min(histogram.minimum, float(payload["min"]))
+            histogram.maximum = max(histogram.maximum, float(payload["max"]))
+            histogram.last = float(payload["last"])
+
+    def write(self, path: str | os.PathLike) -> None:
+        """Atomically write the snapshot as JSON."""
+        path = os.fspath(path)
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)

@@ -1,0 +1,180 @@
+"""Render a persisted run directory back into human-readable reports.
+
+This is the read side of the telemetry layer: ``obs report`` rebuilds
+the training curve (the paper's Fig. 7/8/10 series) from the persisted
+``events.jsonl`` — no re-simulation — and renders it through the same
+ASCII charts used by the live evaluation pipeline
+(:mod:`repro.eval.reporting`); ``obs tail`` pretty-prints the most
+recent events of a (possibly still-running) log.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.obs.events import EVENTS_FILENAME, read_events
+from repro.obs.manifest import MANIFEST_FILENAME, RunManifest
+
+
+def _events_path(run_dir: str | os.PathLike) -> str:
+    path = os.fspath(run_dir)
+    if os.path.isdir(path):
+        return os.path.join(path, EVENTS_FILENAME)
+    return path
+
+
+@dataclass
+class RunReport:
+    """Parsed view of one run directory."""
+
+    run_dir: str
+    events: list[dict]
+    manifest: RunManifest | None = None
+    agent_name: str = ""
+    episodes: list[dict] = field(default_factory=list)
+    update_stats: list[dict] = field(default_factory=list)
+    fault_activations: list[dict] = field(default_factory=list)
+    nan_rollbacks: list[int] = field(default_factory=list)
+    aborted_episodes: list[int] = field(default_factory=list)
+    checkpoints: int = 0
+    teleports: int = 0
+    complete: bool = False
+
+    @property
+    def wait_curve(self) -> np.ndarray:
+        return np.asarray([e["avg_wait"] for e in self.episodes], dtype=np.float64)
+
+    @property
+    def reward_curve(self) -> np.ndarray:
+        return np.asarray(
+            [e["total_reward"] for e in self.episodes], dtype=np.float64
+        )
+
+
+def load_run(run_dir: str | os.PathLike) -> RunReport:
+    """Parse a run directory (or a bare ``events.jsonl``) into a report."""
+    events = read_events(_events_path(run_dir))
+    report = RunReport(run_dir=os.fspath(run_dir), events=events)
+    manifest_path = os.path.join(os.fspath(run_dir), MANIFEST_FILENAME)
+    if os.path.isdir(os.fspath(run_dir)) and os.path.exists(manifest_path):
+        report.manifest = RunManifest.load(run_dir)
+        report.agent_name = report.manifest.agent_name
+    seen: dict[int, dict] = {}
+    for event in events:
+        kind, data = event["type"], event["data"]
+        if kind == "run_begin":
+            report.agent_name = data.get("agent") or report.agent_name
+        elif kind == "episode_end":
+            # Resumed runs may replay an episode index; last write wins.
+            seen[int(data["episode"])] = data
+        elif kind == "update":
+            report.update_stats.append(data)
+        elif kind == "fault_activation":
+            report.fault_activations.append(data)
+        elif kind == "nan_rollback":
+            report.nan_rollbacks.append(int(data["episode"]))
+        elif kind == "episode_aborted":
+            report.aborted_episodes.append(int(data["episode"]))
+        elif kind == "checkpoint":
+            report.checkpoints += 1
+        elif kind == "teleport":
+            report.teleports += int(data.get("count", 1))
+        elif kind == "run_end":
+            report.complete = True
+    report.episodes = [seen[episode] for episode in sorted(seen)]
+    return report
+
+
+def render_report(run_dir: str | os.PathLike, width: int = 60) -> str:
+    """Human-readable summary of one run (the ``obs report`` output)."""
+    from repro.eval.reporting import ascii_chart, sparkline
+
+    report = load_run(run_dir)
+    lines: list[str] = []
+    header = f"run: {report.run_dir}"
+    if report.agent_name:
+        header += f"  model: {report.agent_name}"
+    if report.manifest is not None:
+        header += f"  seed: {report.manifest.seed}"
+        if report.manifest.git_sha:
+            header += f"  git: {report.manifest.git_sha[:10]}"
+    lines.append(header)
+    if not report.complete:
+        lines.append("(run still in progress — no run_end event yet)")
+    curve = report.wait_curve
+    if curve.size == 0:
+        lines.append("no completed episodes recorded")
+        return "\n".join(lines)
+    finite = curve[np.isfinite(curve)]
+    lines.append(
+        f"episodes: {curve.size}  wait: first {curve[0]:.1f}s  "
+        f"best {finite.min():.1f}s  final {curve[-1]:.1f}s"
+        if finite.size
+        else f"episodes: {curve.size} (no finite wait samples)"
+    )
+    lines.append(sparkline(curve, width=width))
+    if curve.size >= 2:
+        lines.append("")
+        lines.append(
+            ascii_chart(
+                {"avg_wait": curve}, height=10, width=width,
+                title="average waiting time per episode (s)",
+            )
+        )
+    counts = [
+        f"checkpoints {report.checkpoints}",
+        f"fault activations {len(report.fault_activations)}",
+        f"nan rollbacks {len(report.nan_rollbacks)}",
+        f"aborted episodes {len(report.aborted_episodes)}",
+        f"teleports {report.teleports}",
+    ]
+    lines.append("")
+    lines.append("events: " + ", ".join(counts))
+    return "\n".join(lines)
+
+
+def export_run_csv(run_dir: str | os.PathLike, path: str | os.PathLike) -> None:
+    """Write the persisted per-episode series as CSV (re-plot anywhere)."""
+    report = load_run(run_dir)
+    if not report.episodes:
+        raise ConfigError(f"{report.run_dir} has no completed episodes")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["episode", "avg_wait_s", "total_reward", "duration_s"])
+        for entry in report.episodes:
+            writer.writerow(
+                [
+                    entry["episode"],
+                    f"{entry['avg_wait']:.4f}",
+                    f"{entry['total_reward']:.4f}",
+                    f"{entry.get('duration_s', 0.0):.4f}",
+                ]
+            )
+
+
+def tail_events(run_dir: str | os.PathLike, n: int = 10) -> list[str]:
+    """Pretty-print the last ``n`` events (the ``obs tail`` output)."""
+    if n <= 0:
+        raise ConfigError("n must be positive")
+    events = read_events(_events_path(run_dir))
+    lines = []
+    for event in events[-n:]:
+        stamp = time.strftime("%H:%M:%S", time.localtime(event.get("wall", 0)))
+        data = event["data"]
+        detail = " ".join(f"{k}={_fmt(v)}" for k, v in sorted(data.items()))
+        lines.append(f"{stamp} #{event['seq']:<5d} {event['type']:<16s} {detail}")
+    return lines
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, dict):
+        return "{" + ",".join(sorted(map(str, value))) + "}"
+    return str(value)

@@ -44,6 +44,10 @@ class PhaseTimers:
         self.enabled = False
         self._totals: dict[str, float] = {}
         self._counts: dict[str, int] = {}
+        #: Optional span hook ``(name, start_s, duration_s) -> None``
+        #: called at every section exit while enabled — how
+        #: :class:`repro.obs.spans.SpanRecorder` exports trace spans.
+        self.span_sink = None
 
     def enable(self) -> None:
         self.enabled = True
@@ -70,6 +74,8 @@ class PhaseTimers:
             elapsed = time.perf_counter() - started
             self._totals[name] = self._totals.get(name, 0.0) + elapsed
             self._counts[name] = self._counts.get(name, 0) + 1
+            if self.span_sink is not None:
+                self.span_sink(name, started, elapsed)
 
     def add(self, name: str, seconds: float, calls: int = 1) -> None:
         """Record externally-measured time (e.g. from a benchmark loop)."""

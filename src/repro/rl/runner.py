@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,6 +30,9 @@ from repro.rl.checkpoint import (
     load_training_checkpoint,
     save_training_checkpoint,
 )
+
+if TYPE_CHECKING:  # runtime import is lazy; telemetry is opt-in
+    from repro.obs.telemetry import Telemetry
 
 
 @dataclass
@@ -154,6 +158,7 @@ def train(
     resume_from: str | None = None,
     nan_guard: bool = True,
     max_episode_failures: int | None = None,
+    telemetry: "Telemetry | None" = None,
 ) -> TrainingHistory:
     """Train ``agent`` for ``episodes`` episodes on ``env``.
 
@@ -175,7 +180,15 @@ def train(
       blows up is recorded in ``history.aborted_episodes`` and skipped;
       after ``max_episode_failures`` such failures (``None`` = no limit)
       the error propagates.
+    * ``telemetry`` — a :class:`repro.obs.telemetry.Telemetry` sink
+      recording episode/update/checkpoint/fault events into a run
+      directory.  Telemetry only *reads* run state and never draws from
+      any RNG stream, so an instrumented run is **bit-exact** with an
+      uninstrumented one (enforced by the test suite).
     """
+    if telemetry is not None:
+        env.attach_telemetry(telemetry)
+        agent.attach_telemetry(telemetry)
     history = TrainingHistory(agent_name=agent.name)
     start_episode = 0
     if resume_from is not None:
@@ -190,6 +203,8 @@ def train(
     failures = 0
     for episode in range(start_episode, episodes):
         started = time.perf_counter()
+        if telemetry is not None:
+            telemetry.episode_begin(episode, seed + episode)
         try:
             avg_wait, total_reward, _ = run_episode(
                 agent, env, training=True, seed=seed + episode
@@ -199,6 +214,8 @@ def train(
         except SimulationError as error:
             failures += 1
             history.aborted_episodes.append(episode)
+            if telemetry is not None:
+                telemetry.episode_aborted(episode, str(error))
             if max_episode_failures is not None and failures > max_episode_failures:
                 raise
             if log_every:
@@ -208,6 +225,8 @@ def train(
             if snapshot is not None:
                 _restore_agent_state(agent, snapshot)
             history.rolled_back_episodes.append(episode)
+            if telemetry is not None:
+                telemetry.nan_rollback(episode)
             if log_every:
                 print(
                     f"[{agent.name}] episode {episode + 1} diverged; "
@@ -222,6 +241,9 @@ def train(
             update_stats=stats,
         )
         history.episodes.append(log)
+        if telemetry is not None:
+            telemetry.episode_end(episode, avg_wait, total_reward, log.duration_s)
+            telemetry.update_stats(episode, stats)
         if nan_guard:
             snapshot = _capture_agent_state(agent)
         if checkpoint_dir is not None and (
@@ -230,6 +252,8 @@ def train(
             save_training_checkpoint(
                 checkpoint_dir, agent, _checkpoint_meta(history, episode + 1, seed)
             )
+            if telemetry is not None:
+                telemetry.checkpoint_written(episode + 1, checkpoint_dir)
         if log_every and (episode + 1) % log_every == 0:
             print(
                 f"[{agent.name}] episode {episode + 1}/{episodes} "

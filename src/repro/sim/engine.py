@@ -113,6 +113,10 @@ class Simulation:
         #: the paper-faithful setting where gridlock is gridlock.
         self.teleport_time = teleport_time
         self.teleport_count = 0
+        #: Optional :class:`repro.obs.metrics.MetricRegistry` sink
+        #: (attached by ``TrafficSignalEnv.attach_telemetry``); one
+        #: ``is not None`` check per :meth:`step` call when unset.
+        self.metrics = None
         self.phase_plans = phase_plans
         self._opposing_link = self._build_opposing_map()
 
@@ -294,6 +298,8 @@ class Simulation:
         """Advance the simulation by ``ticks`` seconds."""
         for _ in range(ticks):
             self._step_once()
+        if self.metrics is not None:
+            self.metrics.count("sim.ticks", ticks)
 
     def _step_once(self) -> None:
         self._update_signals()

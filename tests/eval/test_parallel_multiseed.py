@@ -88,3 +88,28 @@ class TestMultiSeedWorkers:
             assert run_s.completion_rate == run_p.completion_rate
             np.testing.assert_array_equal(run_s.wait_curve, run_p.wait_curve)
         assert serial.travel_time_mean == parallel.travel_time_mean
+
+
+class TestMultiSeedTelemetry:
+    def test_telemetry_records_each_run(self, tmp_path):
+        from repro.agents import MaxPressureSystem
+        from repro.obs.events import read_events
+        from repro.obs.telemetry import Telemetry
+
+        with Telemetry(tmp_path / "run") as telemetry:
+            result = run_multiseed(
+                TINY,
+                lambda env, seed: MaxPressureSystem(env),
+                model_name="MaxPressure",
+                seeds=[0, 1],
+                workers=2,
+                telemetry=telemetry,
+            )
+            assert telemetry.metrics.counter_value("multiseed.runs") == 2
+            assert telemetry.metrics.gauge_value(
+                "multiseed.travel_time_mean"
+            ) == pytest.approx(result.travel_time_mean)
+        events = read_events(tmp_path / "run" / "events.jsonl")
+        per_seed = [e for e in events if e["type"] == "multiseed_seed"]
+        assert [e["data"]["seed"] for e in per_seed] == [0, 1]
+        assert all(e["data"]["model"] == "MaxPressure" for e in per_seed)

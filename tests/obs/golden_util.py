@@ -1,0 +1,84 @@
+"""The canonical seeded run behind the golden-trace fixture.
+
+``generate_golden_run`` produces a deterministic telemetry run directory:
+a FixedTime controller on the 2x2 grid with guaranteed detector dropout
+(so fault activations appear in the trace), two training episodes, short
+horizon.  ``scripts/regen_golden_trace.py`` uses the same function to
+refresh the committed fixture after an intentional schema change, and
+``test_golden_trace.py`` replays it to compare against the fixture.
+
+Keep this free of wall-clock or machine-dependent values in everything
+the comparison looks at; VOLATILE_FIELDS lists the event data keys the
+comparison must strip because they are timing-dependent.
+"""
+
+from __future__ import annotations
+
+from repro.agents import FixedTimeSystem
+from repro.env.tsc_env import EnvConfig, TrafficSignalEnv
+from repro.faults.config import FaultConfig
+from repro.obs.telemetry import Telemetry
+from repro.rl.runner import train
+from repro.scenarios.flows import flow_pattern
+from repro.scenarios.grid import build_grid
+
+#: Event data keys whose values are wall-clock dependent.
+VOLATILE_FIELDS = {"duration_s", "wall_s"}
+
+#: Envelope keys that vary between runs (wall-clock timestamps).
+VOLATILE_ENVELOPE = {"wall"}
+
+GOLDEN_SEED = 2024
+GOLDEN_EPISODES = 2
+GOLDEN_HORIZON = 120
+
+
+def _golden_env() -> TrafficSignalEnv:
+    scenario = build_grid(2, 2)
+    flows = flow_pattern(
+        scenario, 1, peak_rate=500.0, t_peak=120.0, light_duration=240.0
+    )
+    config = EnvConfig(
+        horizon_ticks=GOLDEN_HORIZON,
+        max_ticks=GOLDEN_HORIZON * 8,
+        drain=False,
+        faults=FaultConfig(detector_dropout=0.3),
+    )
+    return TrafficSignalEnv(
+        scenario.network, scenario.phase_plans, flows, config, seed=GOLDEN_SEED
+    )
+
+
+def generate_golden_run(run_dir) -> None:
+    """Run the canonical scenario, leaving telemetry artifacts in run_dir."""
+    env = _golden_env()
+    agent = FixedTimeSystem(env)
+    telemetry = Telemetry(
+        run_dir,
+        config={"model": "fixed_time", "rows": 2, "cols": 2,
+                "episodes": GOLDEN_EPISODES, "horizon": GOLDEN_HORIZON},
+        seed=GOLDEN_SEED,
+        agent_name=agent.name,
+    )
+    try:
+        train(
+            agent, env, episodes=GOLDEN_EPISODES, seed=GOLDEN_SEED,
+            telemetry=telemetry,
+        )
+    finally:
+        telemetry.close()
+
+
+def strip_volatile(event: dict) -> dict:
+    """Copy of an event with wall-clock-dependent values removed."""
+    cleaned = {
+        key: value
+        for key, value in event.items()
+        if key not in VOLATILE_ENVELOPE and key != "data"
+    }
+    cleaned["data"] = {
+        key: value
+        for key, value in event.get("data", {}).items()
+        if key not in VOLATILE_FIELDS
+    }
+    return cleaned

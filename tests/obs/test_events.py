@@ -1,0 +1,160 @@
+"""EventLog: JSONL schema, buffering, atomicity and torn-tail recovery."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.events import SCHEMA_VERSION, EventLog, read_events
+
+pytestmark = pytest.mark.obs
+
+
+class TestEmitAndRead:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("alpha", x=1)
+            log.emit("beta", y=2.5, name="n")
+        events = read_events(path)
+        assert [e["type"] for e in events] == ["alpha", "beta"]
+        assert events[0]["data"] == {"x": 1}
+        assert events[1]["data"] == {"y": 2.5, "name": "n"}
+
+    def test_seq_monotonic_and_schema_stamped(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with EventLog(path) as log:
+            for index in range(10):
+                log.emit("tick", i=index)
+        events = read_events(path)
+        assert [e["seq"] for e in events] == list(range(10))
+        assert all(e["schema"] == SCHEMA_VERSION for e in events)
+
+    def test_numpy_payloads_serialized(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with EventLog(path) as log:
+            log.emit("np", scalar=np.float64(1.5), vec=np.arange(3))
+        data = read_events(path)[0]["data"]
+        assert data["scalar"] == 1.5
+        assert data["vec"] == [0, 1, 2]
+
+    def test_unserializable_payload_rejected(self, tmp_path):
+        with EventLog(tmp_path / "e.jsonl") as log:
+            with pytest.raises(TypeError):
+                log.emit("bad", value=object())
+
+    def test_empty_type_rejected(self, tmp_path):
+        with EventLog(tmp_path / "e.jsonl") as log:
+            with pytest.raises(ConfigError):
+                log.emit("")
+
+    def test_closed_log_rejects_emits(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl")
+        log.emit("a")
+        log.close()
+        with pytest.raises(ConfigError):
+            log.emit("b")
+
+
+class TestBuffering:
+    def test_nothing_on_disk_before_flush(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLog(path, flush_every=100)
+        log.emit("a")
+        assert not path.exists() or path.read_text() == ""
+        log.flush()
+        assert len(read_events(path)) == 1
+        log.close()
+
+    def test_auto_flush_at_threshold(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLog(path, flush_every=3)
+        log.emit("a")
+        log.emit("b")
+        log.emit("c")  # hits the threshold
+        assert len(read_events(path)) == 3
+        log.close()
+
+    def test_append_across_instances(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with EventLog(path) as log:
+            log.emit("first")
+        with EventLog(path) as log:
+            log.emit("second")
+        assert [e["type"] for e in read_events(path)] == ["first", "second"]
+
+    def test_invalid_flush_every(self, tmp_path):
+        with pytest.raises(ConfigError):
+            EventLog(tmp_path / "e.jsonl", flush_every=0)
+
+
+class TestTornTail:
+    def _log_two(self, path):
+        with EventLog(path) as log:
+            log.emit("keep", i=0)
+            log.emit("keep", i=1)
+
+    def test_truncated_final_line_skipped(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        self._log_two(path)
+        with open(path, "a") as handle:
+            handle.write('{"schema": 1, "seq": 2, "type": "torn", "da')
+        events = read_events(path)
+        assert [e["data"]["i"] for e in events] == [0, 1]
+
+    def test_torn_tail_strict_raises(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        self._log_two(path)
+        with open(path, "a") as handle:
+            handle.write("{partial")
+        with pytest.raises(ConfigError):
+            read_events(path, strict=True)
+
+    def test_complete_tail_without_newline_kept(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        self._log_two(path)
+        tail = {"schema": SCHEMA_VERSION, "seq": 2, "wall": 0.0,
+                "type": "keep", "data": {"i": 2}}
+        with open(path, "a") as handle:
+            handle.write(json.dumps(tail))  # no trailing newline
+        events = read_events(path)
+        assert [e["data"]["i"] for e in events] == [0, 1, 2]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with open(path, "w") as handle:
+            handle.write("not json\n")
+            handle.write('{"schema": 1, "seq": 0, "type": "a", "data": {}}\n')
+        with pytest.raises(ConfigError):
+            read_events(path)
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with open(path, "w") as handle:
+            handle.write('{"schema": 99, "seq": 0, "type": "a", "data": {}}\n')
+        with pytest.raises(ConfigError):
+            read_events(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigError):
+            read_events(tmp_path / "nope.jsonl")
+
+
+class TestAtomicity:
+    def test_flush_is_single_append(self, tmp_path):
+        """A flush appends complete lines only — no interleaved partials."""
+        path = tmp_path / "e.jsonl"
+        log = EventLog(path, flush_every=1000)
+        for index in range(50):
+            log.emit("burst", i=index)
+        log.flush()
+        size_after_one_flush = os.path.getsize(path)
+        raw = path.read_text()
+        assert raw.endswith("\n")
+        assert raw.count("\n") == 50
+        log.close()  # run_end not emitted here; close only flushes
+        assert os.path.getsize(path) == size_after_one_flush

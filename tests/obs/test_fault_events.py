@@ -1,0 +1,224 @@
+"""Fault activation events: one per (kind, target) per episode.
+
+Each injectable fault family — detector dropout/stuck/noise, message
+drop/corrupt/delay, controller death — must emit exactly one
+``fault_activation`` through the schedule's ``event_sink``, carrying the
+faulted target's id, a tick inside the episode window, and the right
+scope ("episode" for faults pinned for the whole episode, "event" for
+per-occurrence faults).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from helpers import make_env
+from repro.agents import FixedTimeSystem
+from repro.faults.config import FaultConfig
+from repro.faults.controller import ControllerFaultWrapper
+from repro.faults.detectors import FaultyDetectorSuite
+from repro.faults.schedule import FaultSchedule
+from repro.agents.pairuplight.messaging import FaultyMessageChannel
+
+pytestmark = pytest.mark.obs
+
+
+class SinkStub:
+    """Records fault_activation calls the way Telemetry would receive them."""
+
+    def __init__(self) -> None:
+        self.calls: list[dict] = []
+
+    def fault_activation(self, kind, fault_id, episode, tick, scope):
+        self.calls.append(
+            {
+                "kind": kind,
+                "id": str(fault_id),
+                "episode": episode,
+                "tick": tick,
+                "scope": scope,
+            }
+        )
+
+
+def _detector_suite(env, config):
+    env.reset(seed=0)
+    schedule = FaultSchedule(config, seed=0)
+    schedule.begin_episode(0)
+    sink = SinkStub()
+    schedule.event_sink = sink
+    suite = FaultyDetectorSuite(env.sim, schedule, degrade=True)
+    link = next(iter(env.network.links))
+    return suite, schedule, sink, link
+
+
+class TestDetectorFaultEvents:
+    def test_dropout_emits_once_per_key(self, tiny_env):
+        suite, _, sink, link = _detector_suite(
+            tiny_env, FaultConfig(detector_dropout=1.0)
+        )
+        for _ in range(4):
+            suite.observed_approaching(link)
+        assert len(sink.calls) == 1
+        call = sink.calls[0]
+        assert call["kind"] == "detector_dropout"
+        assert call["id"] == f"approach:{link}"
+        assert call["scope"] == "event"
+        assert call["tick"] == tiny_env.sim.time
+        assert call["episode"] == 0
+
+    def test_stuck_is_episode_scoped(self, tiny_env):
+        suite, _, sink, link = _detector_suite(
+            tiny_env, FaultConfig(detector_stuck=1.0)
+        )
+        suite.observed_approaching(link)
+        tiny_env.sim.step(5)
+        suite.observed_approaching(link)
+        assert len(sink.calls) == 1
+        assert sink.calls[0]["kind"] == "detector_stuck"
+        assert sink.calls[0]["scope"] == "episode"
+
+    def test_noise_emits_once_per_key(self, tiny_env):
+        suite, _, sink, link = _detector_suite(
+            tiny_env, FaultConfig(detector_noise=2.0)
+        )
+        for _ in range(3):
+            suite.observed_approaching(link)
+        noise_calls = [c for c in sink.calls if c["kind"] == "detector_noise"]
+        assert len(noise_calls) == 1
+        assert noise_calls[0]["id"] == f"approach:{link}"
+        assert noise_calls[0]["scope"] == "event"
+
+    def test_distinct_detectors_each_activate(self, tiny_env):
+        suite, _, sink, link = _detector_suite(
+            tiny_env, FaultConfig(detector_dropout=1.0)
+        )
+        suite.observed_approaching(link)
+        suite.head_wait(link)
+        ids = sorted(c["id"] for c in sink.calls)
+        assert ids == sorted([f"approach:{link}", f"wait:{link}"])
+
+    def test_new_episode_resets_dedupe(self, tiny_env):
+        suite, schedule, sink, link = _detector_suite(
+            tiny_env, FaultConfig(detector_dropout=1.0)
+        )
+        suite.observed_approaching(link)
+        schedule.begin_episode(1)
+        suite.observed_approaching(link)
+        assert len(sink.calls) == 2
+        assert [c["episode"] for c in sink.calls] == [0, 1]
+
+    def test_healthy_reads_emit_nothing(self, tiny_env):
+        suite, _, sink, link = _detector_suite(tiny_env, FaultConfig())
+        for _ in range(5):
+            suite.observed_approaching(link)
+        assert sink.calls == []
+
+
+class TestMessageFaultEvents:
+    def _channel(self, config):
+        schedule = FaultSchedule(config, seed=0)
+        schedule.begin_episode(0)
+        sink = SinkStub()
+        schedule.event_sink = sink
+        channel = FaultyMessageChannel(
+            schedule, ["I0_0", "I0_1"], message_dim=4, clock=lambda: 42
+        )
+        return channel, schedule, sink
+
+    @pytest.mark.parametrize(
+        "field, kind",
+        [
+            ("message_drop", "message_drop"),
+            ("message_corrupt", "message_corrupt"),
+            ("message_delay", "message_delay"),
+        ],
+    )
+    def test_each_kind_emits_once_per_receiver(self, field, kind):
+        channel, _, sink = self._channel(FaultConfig(**{field: 1.0}))
+        payload = np.full(4, 0.5)
+        for _ in range(3):
+            channel.deliver("I0_0", payload)
+        assert len(sink.calls) == 1
+        call = sink.calls[0]
+        assert call == {
+            "kind": kind, "id": "I0_0", "episode": 0, "tick": 42,
+            "scope": "event",
+        }
+
+    def test_receivers_activate_independently(self):
+        channel, _, sink = self._channel(FaultConfig(message_drop=1.0))
+        payload = np.zeros(4)
+        channel.deliver("I0_0", payload)
+        channel.deliver("I0_1", payload)
+        assert sorted(c["id"] for c in sink.calls) == ["I0_0", "I0_1"]
+
+    def test_no_clock_reports_none_tick(self):
+        schedule = FaultSchedule(FaultConfig(message_drop=1.0), seed=0)
+        schedule.begin_episode(0)
+        sink = SinkStub()
+        schedule.event_sink = sink
+        channel = FaultyMessageChannel(schedule, ["I0_0"], message_dim=2)
+        channel.deliver("I0_0", np.zeros(2))
+        assert sink.calls[0]["tick"] is None
+
+    def test_clean_channel_emits_nothing(self):
+        channel, _, sink = self._channel(FaultConfig())
+        channel.deliver("I0_0", np.ones(4))
+        assert sink.calls == []
+
+
+class TestControllerFaultEvents:
+    def test_death_emits_once_per_agent_per_episode(self, tiny_env):
+        wrapper = ControllerFaultWrapper(
+            FixedTimeSystem(tiny_env), FaultConfig(controller_failure=1.0)
+        )
+        sink = SinkStub()
+        wrapper.schedule.event_sink = sink
+        observations = tiny_env.reset(seed=0)
+        wrapper.begin_episode(tiny_env, training=False)
+        wrapper.act(observations, tiny_env, training=False)
+        wrapper.act(observations, tiny_env, training=False)
+        deaths = [c for c in sink.calls if c["kind"] == "controller_death"]
+        assert sorted(c["id"] for c in deaths) == sorted(tiny_env.agent_ids)
+        assert all(c["scope"] == "episode" for c in deaths)
+        assert all(c["tick"] == tiny_env.sim.time for c in deaths)
+
+    def test_attach_telemetry_routes_sink(self, tiny_env):
+        wrapper = ControllerFaultWrapper(
+            FixedTimeSystem(tiny_env), FaultConfig(controller_failure=1.0)
+        )
+        sink = SinkStub()
+        wrapper.attach_telemetry(sink)
+        assert wrapper.schedule.event_sink is sink
+
+    def test_healthy_controllers_emit_nothing(self, tiny_env):
+        wrapper = ControllerFaultWrapper(
+            FixedTimeSystem(tiny_env), FaultConfig(controller_failure=0.0)
+        )
+        sink = SinkStub()
+        wrapper.schedule.event_sink = sink
+        observations = tiny_env.reset(seed=0)
+        wrapper.begin_episode(tiny_env, training=False)
+        wrapper.act(observations, tiny_env, training=False)
+        assert sink.calls == []
+
+
+class TestSinkNeverPerturbsSampling:
+    def test_identical_decisions_with_and_without_sink(self):
+        config = FaultConfig(
+            detector_dropout=0.4, message_drop=0.4, message_corrupt=0.2
+        )
+        plain = FaultSchedule(config, seed=7)
+        sunk = FaultSchedule(config, seed=7)
+        sunk.event_sink = SinkStub()
+        plain.begin_episode(0)
+        sunk.begin_episode(0)
+        for index in range(200):
+            key = f"queue:L{index % 5}"
+            assert plain.detector_dropped(key) == sunk.detector_dropped(key)
+            if index % 3 == 0:
+                sunk.emit_activation("detector_dropout", key, tick=index)
+            assert plain.message_dropped() == sunk.message_dropped()
+            assert plain.message_corrupted() == sunk.message_corrupted()

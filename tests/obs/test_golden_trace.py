@@ -1,0 +1,113 @@
+"""Golden-trace regression suite for the telemetry event stream.
+
+Replays the canonical seeded run (see ``golden_util``) and compares the
+produced ``events.jsonl`` against the committed fixture under
+``tests/obs/golden/``.  A mismatch means the event schema, ordering or
+the simulation's deterministic values changed; if the change is
+intentional, regenerate with ``python scripts/regen_golden_trace.py``
+and review the fixture diff.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import pytest
+
+from golden_util import generate_golden_run, strip_volatile
+from repro.obs.events import read_events
+from repro.obs.report import export_run_csv, load_run, render_report, tail_events
+
+pytestmark = pytest.mark.obs
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: Absolute tolerance for float comparisons against the fixture.  The
+#: trace values are pure functions of the seeds, so this only guards
+#: against benign last-bit formatting drift, not real value changes.
+FLOAT_ATOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def replayed_run(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("golden_replay")
+    generate_golden_run(run_dir)
+    return run_dir
+
+
+def _match(actual, expected, path=""):
+    """Recursive comparison with float tolerance; returns mismatch or None."""
+    if isinstance(expected, float) and isinstance(actual, (int, float)):
+        if math.isclose(actual, expected, rel_tol=0.0, abs_tol=FLOAT_ATOL):
+            return None
+        return f"{path}: {actual!r} != {expected!r}"
+    if isinstance(expected, dict):
+        if not isinstance(actual, dict) or set(actual) != set(expected):
+            return f"{path}: keys {sorted(actual)} != {sorted(expected)}"
+        for key in expected:
+            mismatch = _match(actual[key], expected[key], f"{path}.{key}")
+            if mismatch:
+                return mismatch
+        return None
+    if actual != expected:
+        return f"{path}: {actual!r} != {expected!r}"
+    return None
+
+
+class TestGoldenTrace:
+    def test_fixture_exists_and_parses(self):
+        events = read_events(os.path.join(GOLDEN_DIR, "events.jsonl"))
+        assert events, "committed golden fixture is missing or empty"
+
+    def test_event_stream_matches_fixture(self, replayed_run):
+        golden = read_events(os.path.join(GOLDEN_DIR, "events.jsonl"))
+        actual = read_events(os.path.join(replayed_run, "events.jsonl"))
+        assert [e["type"] for e in actual] == [e["type"] for e in golden]
+        for index, (got, want) in enumerate(zip(actual, golden)):
+            mismatch = _match(strip_volatile(got), strip_volatile(want))
+            assert mismatch is None, f"event #{index} ({want['type']}): {mismatch}"
+
+    def test_fixture_shape(self):
+        events = read_events(os.path.join(GOLDEN_DIR, "events.jsonl"))
+        kinds = [e["type"] for e in events]
+        assert kinds[0] == "run_begin" and kinds[-1] == "run_end"
+        assert kinds.count("episode_begin") == 2
+        assert kinds.count("episode_end") == 2
+        # The 0.3 dropout rate guarantees fault activations in the trace.
+        assert "fault_activation" in kinds
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+    def test_round_trip_report_recovers_metrics(self, replayed_run):
+        """EventLog write -> obs report parse -> same metric values."""
+        report = load_run(replayed_run)
+        golden_events = read_events(os.path.join(GOLDEN_DIR, "events.jsonl"))
+        golden_waits = [
+            e["data"]["avg_wait"]
+            for e in golden_events
+            if e["type"] == "episode_end"
+        ]
+        assert report.wait_curve == pytest.approx(golden_waits, abs=FLOAT_ATOL)
+        assert report.complete
+        with open(os.path.join(replayed_run, "metrics.json")) as handle:
+            metrics = json.load(handle)
+        assert metrics["counters"]["train.episodes_completed"] == len(golden_waits)
+        assert metrics["histograms"]["train.avg_wait"]["count"] == len(golden_waits)
+
+    def test_report_renders_curve_without_resimulating(self, replayed_run):
+        """The persisted run dir alone reproduces the training curve."""
+        text = render_report(replayed_run)
+        assert "Fixedtime" in text
+        assert "episodes: 2" in text
+        assert "fault activations" in text
+        tail = tail_events(replayed_run, n=2)
+        assert len(tail) == 2
+        assert "run_end" in tail[-1]
+
+    def test_round_trip_csv_matches_events(self, replayed_run, tmp_path):
+        csv_path = tmp_path / "run.csv"
+        export_run_csv(replayed_run, csv_path)
+        rows = csv_path.read_text().strip().splitlines()
+        assert rows[0] == "episode,avg_wait_s,total_reward,duration_s"
+        assert len(rows) == 1 + 2  # header + two episodes

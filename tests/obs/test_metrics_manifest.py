@@ -1,0 +1,133 @@
+"""MetricRegistry and RunManifest unit tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricRegistry
+
+pytestmark = pytest.mark.obs
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        metrics = MetricRegistry()
+        metrics.count("a")
+        metrics.count("a", 4)
+        assert metrics.counter_value("a") == 5
+
+    def test_unknown_counter_reads_zero(self):
+        assert MetricRegistry().counter_value("nope") == 0
+
+
+class TestGauges:
+    def test_gauge_keeps_latest(self):
+        metrics = MetricRegistry()
+        metrics.gauge("g", 1.0)
+        metrics.gauge("g", -3.5)
+        assert metrics.gauge_value("g") == -3.5
+
+    def test_unknown_gauge_raises(self):
+        with pytest.raises(ConfigError):
+            MetricRegistry().gauge_value("nope")
+
+
+class TestHistograms:
+    def test_summary_stats(self):
+        metrics = MetricRegistry()
+        for value in (1.0, 5.0, 3.0):
+            metrics.observe("h", value)
+        histogram = metrics.histogram("h")
+        assert histogram.count == 3
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 5.0
+        assert histogram.mean == 3.0
+        assert histogram.last == 3.0
+
+    def test_unknown_histogram_raises(self):
+        with pytest.raises(ConfigError):
+            MetricRegistry().histogram("nope")
+
+    def test_empty_histogram_to_dict(self):
+        metrics = MetricRegistry()
+        metrics.observe("h", 1.0)
+        assert metrics.histogram("h").to_dict()["count"] == 1
+
+
+class TestSnapshotMergeWrite:
+    def _filled(self):
+        metrics = MetricRegistry()
+        metrics.count("c", 2)
+        metrics.gauge("g", 7.0)
+        metrics.observe("h", 1.0)
+        metrics.observe("h", 3.0)
+        return metrics
+
+    def test_snapshot_shape(self):
+        snap = self._filled().snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 2
+
+    def test_merge_adds_counters_and_combines_histograms(self):
+        a, b = self._filled(), self._filled()
+        a.merge(b.snapshot())
+        assert a.counter_value("c") == 4
+        assert a.histogram("h").count == 4
+        assert a.histogram("h").minimum == 1.0
+        assert a.histogram("h").maximum == 3.0
+
+    def test_merge_into_empty(self):
+        target = MetricRegistry()
+        target.merge(self._filled().snapshot())
+        assert target.counter_value("c") == 2
+        assert target.gauge_value("g") == 7.0
+
+    def test_write_is_valid_json(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        self._filled().write(path)
+        payload = json.loads(path.read_text())
+        assert payload["counters"]["c"] == 2
+        assert not (tmp_path / "metrics.json.tmp").exists()
+
+
+class TestRunManifest:
+    def test_capture_records_environment(self):
+        manifest = RunManifest.capture(seed=7, config={"rows": 2}, agent_name="X")
+        assert manifest.seed == 7
+        assert manifest.config == {"rows": 2}
+        assert manifest.agent_name == "X"
+        assert manifest.platform
+        assert manifest.python_version.count(".") >= 1
+        assert manifest.numpy_version
+        assert manifest.repro_version
+        assert manifest.started_at > 0
+
+    def test_write_load_round_trip(self, tmp_path):
+        manifest = RunManifest.capture(seed=3, config={"a": 1})
+        manifest.write(tmp_path)
+        loaded = RunManifest.load(tmp_path)
+        assert loaded.seed == 3
+        assert loaded.config == {"a": 1}
+        assert loaded.platform == manifest.platform
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(ConfigError):
+            RunManifest.load(tmp_path)
+
+    def test_load_corrupt_raises(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{broken")
+        with pytest.raises(ConfigError):
+            RunManifest.load(tmp_path)
+
+    def test_unknown_keys_ignored_on_load(self, tmp_path):
+        manifest = RunManifest.capture(seed=1)
+        manifest.write(tmp_path)
+        payload = json.loads((tmp_path / "manifest.json").read_text())
+        payload["future_field"] = True
+        (tmp_path / "manifest.json").write_text(json.dumps(payload))
+        assert RunManifest.load(tmp_path).seed == 1

@@ -1,0 +1,164 @@
+"""Span tracing over PhaseTimers and the Telemetry facade lifecycle."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.events import read_events
+from repro.obs.spans import SpanRecorder
+from repro.obs.telemetry import Telemetry
+from repro.perf.timers import PhaseTimers
+
+pytestmark = pytest.mark.obs
+
+
+class TestSpanRecorder:
+    def test_sections_become_spans(self):
+        timers = PhaseTimers()
+        recorder = SpanRecorder()
+        recorder.attach(timers)
+        with timers.section("work"):
+            time.sleep(0.001)
+        with timers.section("work"):
+            pass
+        recorder.detach()
+        names = [span.name for span in recorder.spans]
+        assert names == ["work", "work"]
+        assert recorder.spans[0].duration_s > 0
+
+    def test_totals_match_timer_report(self):
+        timers = PhaseTimers()
+        recorder = SpanRecorder()
+        recorder.attach(timers)
+        for _ in range(5):
+            with timers.section("a"):
+                pass
+        recorder.detach()
+        assert recorder.totals()["a"] == pytest.approx(timers.seconds("a"))
+        assert len(recorder.spans) == timers.calls("a")
+
+    def test_detach_stops_recording(self):
+        timers = PhaseTimers()
+        recorder = SpanRecorder()
+        recorder.attach(timers)
+        recorder.detach()
+        with timers.section("late"):
+            pass
+        assert recorder.spans == []
+
+    def test_double_attach_rejected(self):
+        timers = PhaseTimers()
+        SpanRecorder().attach(timers)
+        with pytest.raises(ConfigError):
+            SpanRecorder().attach(timers)
+
+    def test_max_spans_drops_not_grows(self):
+        timers = PhaseTimers()
+        recorder = SpanRecorder(max_spans=3)
+        recorder.attach(timers)
+        for _ in range(10):
+            with timers.section("x"):
+                pass
+        recorder.detach()
+        assert len(recorder.spans) == 3
+        assert recorder.dropped == 7
+
+    def test_chrome_trace_export(self, tmp_path):
+        timers = PhaseTimers()
+        recorder = SpanRecorder()
+        recorder.attach(timers)
+        with timers.section("phase"):
+            pass
+        recorder.detach()
+        path = recorder.export_chrome_trace(tmp_path / "trace.json")
+        payload = json.loads(open(path).read())
+        assert payload["traceEvents"][0]["name"] == "phase"
+        assert payload["traceEvents"][0]["ph"] == "X"
+
+    def test_disabled_timers_emit_no_spans(self):
+        timers = PhaseTimers()
+        recorder = SpanRecorder()
+        recorder.attach(timers)
+        timers.disable()
+        with timers.section("quiet"):
+            pass
+        assert recorder.spans == []
+
+
+class TestTelemetryLifecycle:
+    def test_run_dir_artifacts(self, tmp_path):
+        run_dir = tmp_path / "run"
+        with Telemetry(run_dir, config={"k": 1}, seed=5, agent_name="A") as tel:
+            tel.episode_begin(0, 5)
+            tel.episode_end(0, 10.0, -1.0, 0.2)
+        assert sorted(os.listdir(run_dir)) == [
+            "events.jsonl", "manifest.json", "metrics.json",
+        ]
+        events = read_events(run_dir / "events.jsonl")
+        assert [e["type"] for e in events] == [
+            "run_begin", "episode_begin", "episode_end", "run_end",
+        ]
+        metrics = json.loads((run_dir / "metrics.json").read_text())
+        assert metrics["counters"]["train.episodes_completed"] == 1
+
+    def test_trace_spans_written_and_timers_restored(self, tmp_path):
+        from repro.perf.timers import TIMERS
+
+        was_enabled = TIMERS.enabled
+        with Telemetry(tmp_path / "r", trace_spans=True):
+            with TIMERS.section("traced"):
+                pass
+        assert TIMERS.enabled == was_enabled
+        assert TIMERS.span_sink is None
+        payload = json.loads((tmp_path / "r" / "trace.json").read_text())
+        assert any(e["name"] == "traced" for e in payload["traceEvents"])
+
+    def test_close_idempotent(self, tmp_path):
+        tel = Telemetry(tmp_path / "r")
+        tel.close()
+        tel.close()
+        events = read_events(tmp_path / "r" / "events.jsonl")
+        assert [e["type"] for e in events] == ["run_begin", "run_end"]
+
+    def test_update_stats_filters_non_numeric(self, tmp_path):
+        with Telemetry(tmp_path / "r") as tel:
+            tel.update_stats(0, {"loss": 0.5, "note": "text"})
+            tel.update_stats(1, {})  # empty stats emit nothing
+        updates = [
+            e for e in read_events(tmp_path / "r" / "events.jsonl")
+            if e["type"] == "update"
+        ]
+        assert len(updates) == 1
+        assert updates[0]["data"] == {"episode": 0, "loss": 0.5}
+
+    def test_fault_activation_scope_validated(self, tmp_path):
+        with Telemetry(tmp_path / "r") as tel:
+            with pytest.raises(ConfigError):
+                tel.fault_activation("k", "id", 0, 1, scope="bogus")
+
+    def test_resume_appends_to_existing_log(self, tmp_path):
+        run_dir = tmp_path / "r"
+        with Telemetry(run_dir) as tel:
+            tel.episode_end(0, 1.0, 0.0, 0.1)
+        with Telemetry(run_dir) as tel:
+            tel.episode_end(1, 2.0, 0.0, 0.1)
+        kinds = [e["type"] for e in read_events(run_dir / "events.jsonl")]
+        assert kinds.count("run_begin") == 2
+        assert kinds.count("episode_end") == 2
+
+    def test_episode_end_flushes_to_disk(self, tmp_path):
+        """Completed episodes survive a kill: no buffering past the boundary."""
+        run_dir = tmp_path / "r"
+        tel = Telemetry(run_dir, flush_every=10_000)
+        tel.episode_begin(0, 0)
+        tel.episode_end(0, 1.0, 0.0, 0.1)
+        on_disk = read_events(run_dir / "events.jsonl")
+        assert [e["type"] for e in on_disk] == [
+            "run_begin", "episode_begin", "episode_end",
+        ]
+        tel.close()

@@ -6,7 +6,10 @@ import numpy as np
 
 from repro.agents.fixed_time import FixedTimeSystem
 from repro.agents.max_pressure import MaxPressureSystem
-from repro.rl.runner import evaluate, run_episode
+from repro.agents.pairuplight.agent import PairUpLightSystem
+from repro.faults.config import FaultConfig
+from repro.obs.telemetry import Telemetry
+from repro.rl.runner import evaluate, run_episode, train
 
 from helpers import make_env
 
@@ -52,3 +55,54 @@ class TestEvaluationProtocol:
         for _ in range(10):
             result = env.step({a: 0 for a in env.agent_ids})
         assert result.info["average_wait"] == network_average_wait(env.sim)
+
+
+class TestTelemetryBitExactness:
+    """Attaching telemetry must not change a single RNG draw.
+
+    The observability layer (repro.obs) only *reads* simulation and
+    training state, so a run with telemetry on must be bit-for-bit
+    identical — per-episode summaries AND final parameter bytes — to the
+    same run with telemetry off.
+    """
+
+    def _train(self, tiny_grid, telemetry, **env_kwargs):
+        env = make_env(tiny_grid, horizon_ticks=60, peak_rate=600, t_peak=60,
+                       **env_kwargs)
+        agent = PairUpLightSystem(env, seed=0)
+        history = train(agent, env, episodes=3, seed=0, telemetry=telemetry)
+        return history, agent
+
+    @staticmethod
+    def _assert_identical(baseline, instrumented):
+        history_off, agent_off = baseline
+        history_on, agent_on = instrumented
+        for log_off, log_on in zip(history_off.episodes, history_on.episodes):
+            assert log_on.avg_wait == log_off.avg_wait
+            assert log_on.total_reward == log_off.total_reward
+            assert log_on.update_stats == log_off.update_stats
+        state_off = agent_off.state_dict()
+        state_on = agent_on.state_dict()
+        assert sorted(state_on) == sorted(state_off)
+        for key, weights in state_off.items():
+            assert state_on[key].tobytes() == weights.tobytes(), key
+
+    def test_training_bit_exact_with_telemetry(self, tiny_grid, tmp_path):
+        baseline = self._train(tiny_grid, telemetry=None)
+        with Telemetry(tmp_path / "run", seed=0) as telemetry:
+            instrumented = self._train(tiny_grid, telemetry=telemetry)
+        self._assert_identical(baseline, instrumented)
+
+    def test_training_bit_exact_with_telemetry_under_faults(
+        self, tiny_grid, tmp_path
+    ):
+        """Fault-RNG streams are the most fragile: the activation events
+        piggyback on the sampling paths, so this run proves emission
+        never adds a draw."""
+        faults = FaultConfig(detector_dropout=0.3, message_drop=0.3)
+        baseline = self._train(tiny_grid, telemetry=None, faults=faults)
+        with Telemetry(tmp_path / "run", seed=0) as telemetry:
+            instrumented = self._train(
+                tiny_grid, telemetry=telemetry, faults=faults
+            )
+        self._assert_identical(baseline, instrumented)

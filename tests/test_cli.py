@@ -108,3 +108,62 @@ class TestExtendedModels:
              "--eval-patterns", "1"]
         )
         assert code == 0
+
+
+class TestObsCommands:
+    """train --telemetry-dir -> obs report/tail round trip."""
+
+    def _telemetry_run(self, tmp_path):
+        run_dir = tmp_path / "run"
+        code = main(
+            ["train", *FAST, "--model", "Fixedtime",
+             "--telemetry-dir", str(run_dir)]
+        )
+        assert code == 0
+        return run_dir
+
+    def test_train_writes_run_dir(self, tmp_path, capsys):
+        run_dir = self._telemetry_run(tmp_path)
+        assert "telemetry written" in capsys.readouterr().out
+        names = sorted(p.name for p in run_dir.iterdir())
+        assert names == ["events.jsonl", "manifest.json", "metrics.json"]
+
+    def test_obs_report_renders_without_resimulating(self, tmp_path, capsys):
+        run_dir = self._telemetry_run(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Fixedtime" in out
+        assert "episodes: 1" in out
+
+    def test_obs_report_csv_export(self, tmp_path, capsys):
+        run_dir = self._telemetry_run(tmp_path)
+        csv_path = tmp_path / "curve.csv"
+        assert main(
+            ["obs", "report", str(run_dir), "--csv-out", str(csv_path)]
+        ) == 0
+        rows = csv_path.read_text().strip().splitlines()
+        assert rows[0] == "episode,avg_wait_s,total_reward,duration_s"
+        assert len(rows) == 2
+
+    def test_obs_tail(self, tmp_path, capsys):
+        run_dir = self._telemetry_run(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "tail", str(run_dir), "-n", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert "run_end" in lines[-1]
+
+    def test_obs_report_missing_dir_fails_cleanly(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path / "nope")]) != 0
+        assert "no event log" in capsys.readouterr().err
+
+    def test_trace_spans_flag_writes_trace(self, tmp_path):
+        run_dir = tmp_path / "run"
+        code = main(
+            ["train", *FAST, "--model", "Fixedtime",
+             "--telemetry-dir", str(run_dir), "--trace-spans"]
+        )
+        assert code == 0
+        payload = json.loads((run_dir / "trace.json").read_text())
+        assert payload["traceEvents"]
