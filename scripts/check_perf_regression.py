@@ -1,6 +1,7 @@
 #!/usr/bin/env python
-"""CI perf gate: fail when engine throughput drops >20% vs the committed
-``benchmarks/BENCH_engine.json``.
+"""CI perf gate: fail when measured throughput drops >20% vs the committed
+``benchmarks/BENCH_*.json`` files (engine ticks/s, train env-steps/s, and
+fused PPO-update steps/s).
 
 Run from the repository root::
 
@@ -19,7 +20,12 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 )
 
-from repro.perf.regression import DEFAULT_THRESHOLD, check_engine_regression
+from repro.perf.regression import (
+    DEFAULT_THRESHOLD,
+    check_engine_regression,
+    check_train_regression,
+    check_update_regression,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -27,19 +33,61 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--baseline",
         default=os.path.join("benchmarks", "BENCH_engine.json"),
-        help="committed benchmark file to gate against",
+        help="committed engine benchmark file to gate against",
+    )
+    parser.add_argument(
+        "--train-baseline",
+        default=os.path.join("benchmarks", "BENCH_train.json"),
+        help="committed train benchmark file to gate against",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        default=os.path.join("benchmarks", "BENCH_update.json"),
+        help="committed update benchmark file to gate against",
     )
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
     parser.add_argument("--repeats", type=int, default=5)
-    args = parser.parse_args(argv)
-    if not os.path.exists(args.baseline):
-        print(f"error: baseline file {args.baseline!r} not found", file=sys.stderr)
-        return 2
-    verdict = check_engine_regression(
-        args.baseline, threshold=args.threshold, repeats=args.repeats
+    parser.add_argument(
+        "--skip-train", action="store_true", help="skip the train benchmark gate"
     )
-    print(verdict.summary())
-    return 0 if verdict.ok else 1
+    parser.add_argument(
+        "--skip-update", action="store_true", help="skip the update benchmark gate"
+    )
+    args = parser.parse_args(argv)
+
+    gates: list[tuple[str, object]] = [
+        (
+            args.baseline,
+            lambda path: check_engine_regression(
+                path, threshold=args.threshold, repeats=args.repeats
+            ),
+        )
+    ]
+    if not args.skip_train:
+        gates.append(
+            (
+                args.train_baseline,
+                lambda path: check_train_regression(path, threshold=args.threshold),
+            )
+        )
+    if not args.skip_update:
+        gates.append(
+            (
+                args.update_baseline,
+                lambda path: check_update_regression(path, threshold=args.threshold),
+            )
+        )
+
+    exit_code = 0
+    for path, check in gates:
+        if not os.path.exists(path):
+            print(f"error: baseline file {path!r} not found", file=sys.stderr)
+            return 2
+        verdict = check(path)
+        print(verdict.summary())
+        if not verdict.ok:
+            exit_code = 1
+    return exit_code
 
 
 if __name__ == "__main__":

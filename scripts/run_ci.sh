@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate. Runs, in order:
 #   1. the default test suite (pytest.ini excludes -m perf),
-#   2. the engine perf-regression gate,
+#   2. the perf-regression gates (engine ticks/s, train env-steps/s,
+#      fused PPO-update steps/s — each vs its committed BENCH_*.json),
 #   3. the telemetry coverage floor (stdlib trace; no coverage package).
 #
 # Usage, from the repository root:
@@ -13,7 +14,7 @@ export PYTHONPATH=src
 echo "== tier-1 test suite =="
 python -m pytest
 
-echo "== perf regression gate =="
+echo "== perf regression gates (engine / train / update) =="
 python scripts/check_perf_regression.py
 
 echo "== telemetry coverage floor (src/repro/obs) =="

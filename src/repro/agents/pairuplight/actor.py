@@ -13,7 +13,7 @@ import numpy as np
 from repro.nn.linear import Linear
 from repro.nn.lstm import LSTMCell
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor, concat
+from repro.nn.tensor import Tensor, concat, lstm_trunk
 
 
 class CoordinatedActor(Module):
@@ -26,6 +26,7 @@ class CoordinatedActor(Module):
         message_dim: int = 1,
         hidden_size: int = 64,
         rng: np.random.Generator | None = None,
+        fused: bool = True,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng(0)
@@ -33,14 +34,48 @@ class CoordinatedActor(Module):
         self.num_phases = num_phases
         self.message_dim = message_dim
         self.hidden_size = hidden_size
-        self.encoder = Linear(obs_dim + message_dim, hidden_size, rng)
-        self.lstm = LSTMCell(hidden_size, hidden_size, rng)
+        self.fused = bool(fused)
+        self._trunk_workspace: dict = {}
+        self.encoder = Linear(obs_dim + message_dim, hidden_size, rng, fused=fused)
+        self.lstm = LSTMCell(hidden_size, hidden_size, rng, fused=fused)
         # Small-gain heads: near-uniform initial policy, near-zero messages.
-        self.policy_head = Linear(hidden_size, num_phases, rng, gain=0.01)
-        self.message_head = Linear(hidden_size, message_dim, rng, gain=0.01)
+        self.policy_head = Linear(hidden_size, num_phases, rng, gain=0.01, fused=fused)
+        self.message_head = Linear(hidden_size, message_dim, rng, gain=0.01, fused=fused)
 
     def initial_state(self, batch: int = 1) -> tuple[np.ndarray, np.ndarray]:
         return self.lstm.initial_state(batch)
+
+    def step_hidden(
+        self,
+        obs: Tensor | np.ndarray,
+        incoming_message: Tensor | np.ndarray,
+        state: tuple,
+    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        """Recurrent trunk only: encode the inputs and advance the LSTM.
+
+        Returns ``(hidden, new_state)``.  The policy/message heads are
+        position-wise, so callers that unroll a whole sequence can stack
+        the hidden states and apply each head once to the stacked
+        ``(horizon, batch, hidden)`` tensor instead of once per step.
+        """
+        obs = Tensor.ensure(obs)
+        incoming_message = Tensor.ensure(incoming_message)
+        x = concat([obs, incoming_message], axis=-1)
+        if self.fused:
+            h_prev, c_prev = state
+            h_new, c_new = lstm_trunk(
+                x,
+                h_prev,
+                c_prev,
+                self.encoder.weight,
+                self.encoder.bias,
+                self.lstm.weight,
+                self.lstm.bias,
+                workspace=self._trunk_workspace,
+            )
+            return h_new, (h_new, c_new)
+        encoded = self.encoder(x).tanh()
+        return self.lstm(encoded, state)
 
     def forward(
         self,
@@ -63,9 +98,5 @@ class CoordinatedActor(Module):
         -------
         ``(logits, message_mean, new_state)``.
         """
-        obs = Tensor.ensure(obs)
-        incoming_message = Tensor.ensure(incoming_message)
-        x = concat([obs, incoming_message], axis=-1)
-        encoded = self.encoder(x).tanh()
-        hidden, new_state = self.lstm(encoded, state)
+        hidden, new_state = self.step_hidden(obs, incoming_message, state)
         return self.policy_head(hidden), self.message_head(hidden), new_state

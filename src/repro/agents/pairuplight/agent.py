@@ -80,6 +80,16 @@ class PairUpLightConfig:
     message_decay: float = 0.5
     #: Staleness (consecutive losses) beyond which the agent self-pairs.
     max_staleness: int = 3
+    #: Use the fused single-kernel LSTM/affine ops in the actor and
+    #: critic (bit-exact with the composed op chain; ``False`` runs the
+    #: composed path for ablations and equivalence testing).
+    fused: bool = True
+    #: Re-evaluate sequences with the pre-fusion per-step head loop
+    #: (log-softmax/entropy/value computed inside the unroll instead of
+    #: once over the stacked hidden states).  Slower; kept as the
+    #: reference update path that ``bench_update`` measures its speedup
+    #: against, and as an evaluator-structure ablation.
+    stepwise_eval: bool = False
     ppo: PPOConfig = field(default_factory=PPOConfig)
 
     def __post_init__(self) -> None:
@@ -130,10 +140,15 @@ class PairUpLightSystem(AgentSystem):
             num_phases = env.action_spaces[self.agent_ids[0]].n
             feat_dim = self.feature_builder.feature_dim(self.agent_ids[0])
             self.shared_actor: CoordinatedActor | None = CoordinatedActor(
-                obs_dim, num_phases, cfg.message_dim, cfg.hidden_size, net_rng
+                obs_dim,
+                num_phases,
+                cfg.message_dim,
+                cfg.hidden_size,
+                net_rng,
+                fused=cfg.fused,
             )
             self.shared_critic: CentralizedCritic | None = CentralizedCritic(
-                feat_dim, cfg.hidden_size, net_rng
+                feat_dim, cfg.hidden_size, net_rng, fused=cfg.fused
             )
             self._unique_actors = [self.shared_actor]
             self._unique_critics = [self.shared_critic]
@@ -151,9 +166,13 @@ class PairUpLightSystem(AgentSystem):
                     cfg.message_dim,
                     cfg.hidden_size,
                     net_rng,
+                    fused=cfg.fused,
                 )
                 self.critics[agent_id] = CentralizedCritic(
-                    self.feature_builder.feature_dim(agent_id), cfg.hidden_size, net_rng
+                    self.feature_builder.feature_dim(agent_id),
+                    cfg.hidden_size,
+                    net_rng,
+                    fused=cfg.fused,
                 )
             self._unique_actors = [self.actors[a] for a in self.agent_ids]
             self._unique_critics = [self.critics[a] for a in self.agent_ids]
@@ -423,6 +442,8 @@ class PairUpLightSystem(AgentSystem):
     ) -> tuple[Tensor, Tensor, Tensor]:
         """PPO re-evaluation over stored sequences (see module docstring)."""
         if self.config.parameter_sharing:
+            if self.config.stepwise_eval:
+                return self._evaluate_shared_stepwise(data, batch)
             return self._evaluate_shared(data, batch)
         columns = [self._evaluate_single(data, int(index)) for index in batch]
         logprobs = stack([c[0] for c in columns], axis=1)
@@ -433,6 +454,57 @@ class PairUpLightSystem(AgentSystem):
     def _evaluate_shared(
         self, data: dict[str, np.ndarray], batch: np.ndarray
     ) -> tuple[Tensor, Tensor, Tensor]:
+        cfg = self.config
+        horizon = data["obs"].shape[0]
+        actor = self.shared_actor
+        critic = self.shared_critic
+        batch = np.asarray(batch, dtype=np.int64)
+        a_state = actor.initial_state(len(batch))
+        c_state = critic.initial_state(len(batch))
+        # Only the LSTM trunk is inherently sequential.  Unroll it step by
+        # step, then stack the hidden states and run every head (policy,
+        # message, value, log-softmax, entropy, gather) ONCE over the
+        # whole (horizon, batch, hidden) sequence.  All head ops operate
+        # position-wise / reduce along the last axis only, so the result
+        # is element-for-element identical to the per-step formulation —
+        # but the autograd tape records ~9 nodes per step instead of ~40.
+        # One fancy-index per array for the whole minibatch; the loop
+        # below slices views out of these (cheap basic indexing).
+        obs_seq = data["obs"][:, batch]
+        msg_seq = data["msg_in"][:, batch]
+        feat_seq = data["critic_feat"][:, batch]
+        a_hidden: list[Tensor] = []
+        c_hidden: list[Tensor] = []
+        for t in range(horizon):
+            hidden, a_state = actor.step_hidden(obs_seq[t], msg_seq[t], a_state)
+            a_hidden.append(hidden)
+            hidden, c_state = critic.step_hidden(feat_seq[t], c_state)
+            c_hidden.append(hidden)
+        actor_seq = stack(a_hidden, axis=0)
+        critic_seq = stack(c_hidden, axis=0)
+        logits = actor.policy_head(actor_seq)
+        log_probs = F.log_softmax(logits)
+        probs = F.softmax(logits)
+        step_logprobs = F.gather(log_probs, data["action"][:, batch])
+        if cfg.communicate:
+            msg_mean = actor.message_head(actor_seq)
+            step_logprobs = step_logprobs + _gaussian_logprob(
+                data["raw_msg"][:, batch], msg_mean, cfg.sigma
+            )
+        entropies = F.entropy(probs)
+        values = critic.value_head(critic_seq).reshape(horizon, len(batch))
+        return step_logprobs, entropies, values
+
+    def _evaluate_shared_stepwise(
+        self, data: dict[str, np.ndarray], batch: np.ndarray
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        """Pre-fusion reference evaluator: heads computed inside the unroll.
+
+        Numerically this matches :meth:`_evaluate_shared` (every head op
+        is position-wise), but it pays the per-step graph cost the fused
+        update path was built to remove; ``repro.perf.bench_update``
+        measures its speedup against this path.
+        """
         cfg = self.config
         horizon = data["obs"].shape[0]
         actor = self.shared_actor

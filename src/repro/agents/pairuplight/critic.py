@@ -20,7 +20,7 @@ from repro.env.tsc_env import TrafficSignalEnv
 from repro.nn.linear import Linear
 from repro.nn.lstm import LSTMCell
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, lstm_trunk
 
 #: Feature slots for one-hop neighbours (N/E/S/W of a grid interior node).
 ONE_HOP_SLOTS = 4
@@ -110,24 +110,50 @@ class CentralizedCritic(Module):
         feature_dim: int,
         hidden_size: int = 64,
         rng: np.random.Generator | None = None,
+        fused: bool = True,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng(0)
         self.feature_dim = feature_dim
         self.hidden_size = hidden_size
-        self.encoder = Linear(feature_dim, hidden_size, rng)
-        self.lstm = LSTMCell(hidden_size, hidden_size, rng)
-        self.value_head = Linear(hidden_size, 1, rng, gain=1.0)
+        self.fused = bool(fused)
+        self._trunk_workspace: dict = {}
+        self.encoder = Linear(feature_dim, hidden_size, rng, fused=fused)
+        self.lstm = LSTMCell(hidden_size, hidden_size, rng, fused=fused)
+        self.value_head = Linear(hidden_size, 1, rng, gain=1.0, fused=fused)
 
     def initial_state(self, batch: int = 1) -> tuple[np.ndarray, np.ndarray]:
         return self.lstm.initial_state(batch)
+
+    def step_hidden(
+        self, features: Tensor | np.ndarray, state: tuple
+    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        """Recurrent trunk only: encode features and advance the LSTM.
+
+        Returns ``(hidden, new_state)``; the value head is position-wise
+        and can be applied once to a stacked hidden sequence.
+        """
+        features = Tensor.ensure(features)
+        if self.fused:
+            h_prev, c_prev = state
+            h_new, c_new = lstm_trunk(
+                features,
+                h_prev,
+                c_prev,
+                self.encoder.weight,
+                self.encoder.bias,
+                self.lstm.weight,
+                self.lstm.bias,
+                workspace=self._trunk_workspace,
+            )
+            return h_new, (h_new, c_new)
+        encoded = self.encoder(features).tanh()
+        return self.lstm(encoded, state)
 
     def forward(
         self, features: Tensor | np.ndarray, state: tuple
     ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
         """One value step: returns ``(values (batch,), new_state)``."""
-        features = Tensor.ensure(features)
-        encoded = self.encoder(features).tanh()
-        hidden, new_state = self.lstm(encoded, state)
+        hidden, new_state = self.step_hidden(features, state)
         value = self.value_head(hidden)
         return value.reshape(value.shape[0]), new_state

@@ -257,6 +257,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"engine: {payload['ticks_per_second']} ticks/s "
                 f"({payload['speedup_vs_baseline']}x baseline) -> {path}"
             )
+        elif name == "update":
+            print(
+                f"update: {payload['update_steps_per_second']} minibatch-steps/s fused "
+                f"vs {payload['composed_update_steps_per_second']} composed "
+                f"({payload['speedup_fused_vs_composed']}x) "
+                f"vs {payload['baseline']['update_steps_per_second']} pre-change "
+                f"({payload['speedup_fused_vs_baseline']}x) -> {path}"
+            )
         else:
             print(
                 f"train: {payload['env_steps_per_second']} env-steps/s, "
@@ -372,7 +380,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = subparsers.add_parser(
         "bench", help="run throughput benchmarks, write BENCH_*.json"
     )
-    p_bench.add_argument("--which", choices=("all", "engine", "train"), default="all")
+    p_bench.add_argument(
+        "--which", choices=("all", "engine", "train", "update"), default="all"
+    )
     p_bench.add_argument("--out", type=str, default="benchmarks")
     p_bench.set_defaults(func=cmd_bench)
 

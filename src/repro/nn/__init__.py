@@ -26,7 +26,7 @@ from repro.nn.serialization import (
     read_archive,
     save_state,
 )
-from repro.nn.tensor import Tensor, concat, no_grad, stack, where
+from repro.nn.tensor import Tensor, affine, concat, lstm_cell, lstm_trunk, no_grad, stack, where
 
 __all__ = [
     "Adam",
@@ -44,12 +44,15 @@ __all__ = [
     "Sigmoid",
     "Tanh",
     "Tensor",
+    "affine",
     "atomic_savez",
     "clip_grad_norm",
     "concat",
     "functional",
     "initialize",
     "load_state",
+    "lstm_cell",
+    "lstm_trunk",
     "no_grad",
     "read_archive",
     "save_state",

@@ -9,7 +9,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, affine, lstm_cell, lstm_trunk
+
+__all__ = [
+    "affine",
+    "categorical_sample",
+    "entropy",
+    "gather",
+    "huber_loss",
+    "log_softmax",
+    "lstm_cell",
+    "lstm_trunk",
+    "mse_loss",
+    "softmax",
+]
 
 
 def softmax(logits: Tensor, axis: int = -1) -> Tensor:
@@ -32,16 +45,18 @@ def entropy(probs: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
 
 
 def gather(tensor: Tensor, indices: np.ndarray, axis: int = -1) -> Tensor:
-    """Pick one element per row: ``out[i] = tensor[i, indices[i]]``.
+    """Pick one element along the last axis: ``out[...] = t[..., indices[...]]``.
 
-    Only the 2-D / last-axis case is supported, which is what categorical
-    log-probability extraction needs.
+    ``indices`` must match the leading shape of ``tensor``; only the
+    last-axis case is supported, which is what categorical
+    log-probability extraction needs (2-D per-step batches or 3-D
+    stacked ``(horizon, batch, actions)`` sequences alike).
     """
     if axis not in (-1, tensor.ndim - 1):
         raise ValueError("gather only supports the last axis")
     indices = np.asarray(indices, dtype=np.int64)
-    rows = np.arange(tensor.shape[0])
-    return tensor[rows, indices]
+    leading = np.indices(tensor.shape[:-1])
+    return tensor[(*leading, indices)]
 
 
 def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.nn.initializers import initialize
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor, concat
+from repro.nn.tensor import Tensor, concat, lstm_cell
 
 
 class LSTMCell(Module):
@@ -22,6 +22,14 @@ class LSTMCell(Module):
     Gates are computed as ``[i, f, g, o] = [x, h] @ W + b`` with the forget
     bias initialized to 1.0 (standard trick for gradient flow early in
     training).
+
+    With ``fused=True`` (the default, mirroring the engine's ``fast_path``
+    precedent) the step runs through the single-kernel
+    :func:`repro.nn.tensor.lstm_cell` op — two graph nodes and a
+    hand-derived backward with per-cell buffer reuse — instead of the
+    ~15-node composed op chain.  Both paths are bit-exact in forward
+    values and accumulated gradients; ``fused=False`` keeps the composed
+    chain for equivalence testing and ablations.
     """
 
     def __init__(
@@ -30,12 +38,15 @@ class LSTMCell(Module):
         hidden_size: int,
         rng: np.random.Generator,
         init: str = "orthogonal",
+        fused: bool = True,
     ) -> None:
         super().__init__()
         if input_size <= 0 or hidden_size <= 0:
             raise ValueError("LSTMCell sizes must be positive")
         self.input_size = input_size
         self.hidden_size = hidden_size
+        self.fused = bool(fused)
+        self._workspace: dict = {}
         self.weight = Parameter(
             initialize(init, (input_size + hidden_size, 4 * hidden_size), rng, gain=1.0)
         )
@@ -73,6 +84,12 @@ class LSTMCell(Module):
         c_prev = Tensor.ensure(state[1])
         if x.shape[-1] != self.input_size:
             raise ValueError(f"LSTMCell expected input {self.input_size}, got {x.shape[-1]}")
+
+        if self.fused:
+            h_new, c_new = lstm_cell(
+                x, h_prev, c_prev, self.weight, self.bias, workspace=self._workspace
+            )
+            return h_new, (h_new, c_new)
 
         gates = concat([x, h_prev], axis=-1) @ self.weight + self.bias
         hs = self.hidden_size

@@ -1,4 +1,12 @@
-"""Gradient-based optimizers and gradient utilities."""
+"""Gradient-based optimizers and gradient utilities.
+
+Step loops are written as fused in-place numpy sequences: each optimizer
+preallocates two flat scratch buffers sized to the largest parameter and
+updates ``param.data`` in place, so a step allocates nothing.  Every
+in-place sequence reproduces the floating-point groupings of the naive
+expression-per-line formulation bit-for-bit (IEEE-754 multiplication is
+commutative, so e.g. ``grad * lr`` into a buffer equals ``lr * grad``).
+"""
 
 from __future__ import annotations
 
@@ -17,6 +25,18 @@ class Optimizer:
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         self.lr = lr
+        largest = max(p.data.size for p in self.parameters)
+        self._scratch_a = np.empty(largest)
+        self._scratch_b = np.empty(largest)
+
+    def _scratch(self, param: Parameter) -> tuple[np.ndarray, np.ndarray]:
+        """Shaped views into the shared scratch buffers for ``param``."""
+        n = param.data.size
+        shape = param.data.shape
+        return (
+            self._scratch_a[:n].reshape(shape),
+            self._scratch_b[:n].reshape(shape),
+        )
 
     def zero_grad(self) -> None:
         for param in self.parameters:
@@ -73,9 +93,11 @@ class SGD(Optimizer):
         for param, velocity in zip(self.parameters, self._velocity):
             if param.grad is None:
                 continue
+            s, _ = self._scratch(param)
             velocity *= self.momentum
-            velocity -= self.lr * param.grad
-            param.data = param.data + velocity
+            np.multiply(param.grad, self.lr, out=s)
+            velocity -= s
+            param.data += velocity
 
     def state_dict(self) -> dict[str, np.ndarray]:
         return {f"velocity.{i}": v.copy() for i, v in enumerate(self._velocity)}
@@ -109,13 +131,21 @@ class Adam(Optimizer):
             if param.grad is None:
                 continue
             grad = param.grad
+            s, t = self._scratch(param)
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=s)
+            m += s
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad**2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=s)
+            s *= 1.0 - self.beta2
+            v += s
+            np.divide(v, bias2, out=t)  # v_hat
+            np.sqrt(t, out=t)
+            t += self.eps
+            np.divide(m, bias1, out=s)  # m_hat
+            s *= self.lr
+            s /= t
+            param.data -= s
 
     def state_dict(self) -> dict[str, np.ndarray]:
         state: dict[str, np.ndarray] = {"step": np.asarray(self._step)}
@@ -150,9 +180,17 @@ class RMSProp(Optimizer):
         for param, sq in zip(self.parameters, self._sq):
             if param.grad is None:
                 continue
+            grad = param.grad
+            s, t = self._scratch(param)
             sq *= self.alpha
-            sq += (1.0 - self.alpha) * param.grad**2
-            param.data = param.data - self.lr * param.grad / (np.sqrt(sq) + self.eps)
+            np.multiply(grad, grad, out=s)
+            s *= 1.0 - self.alpha
+            sq += s
+            np.sqrt(sq, out=t)
+            t += self.eps
+            np.multiply(grad, self.lr, out=s)
+            s /= t
+            param.data -= s
 
     def state_dict(self) -> dict[str, np.ndarray]:
         return {f"sq.{i}": sq.copy() for i, sq in enumerate(self._sq)}
@@ -171,5 +209,5 @@ def clip_grad_norm(parameters, max_norm: float) -> float:
     if total > max_norm and total > 0:
         scale = max_norm / (total + 1e-12)
         for param in params:
-            param.grad = param.grad * scale
+            param.grad *= scale
     return total

@@ -2,19 +2,29 @@
 
 This module is the foundation of :mod:`repro.nn`, the neural-network
 substrate used by every learning agent in the repository.  It implements a
-small but complete autograd engine: a :class:`Tensor` wraps a numpy array,
-records the operations applied to it, and :meth:`Tensor.backward` walks the
-recorded graph in reverse topological order accumulating gradients.
+small but complete autograd engine: a :class:`Tensor` wraps a numpy array
+and records the operations applied to it on a flat, append-order **tape**;
+:meth:`Tensor.backward` replays the tape in reverse, accumulating
+gradients.  Because an operand always exists before its consumer, reverse
+creation order is a valid reverse topological order, so backward is a
+plain list scan — no recursion, no visited sets, no per-call sort.
 
 The operation set is deliberately scoped to what the PairUpLight models
 need — dense layers, LSTM cells, graph attention, softmax policies and the
 PPO / A2C / DQN losses — rather than being a general-purpose framework.
 All arithmetic supports numpy-style broadcasting; gradients are
 "unbroadcast" (summed) back to the operand shapes.
+
+Two fused kernels complement the generic op set: :func:`affine`
+(``x @ W + b`` as one node) and :func:`lstm_cell` (a full LSTM step —
+four gates plus the state update — as two nodes with a hand-derived
+backward).  Both are bit-exact with the composed op sequences they
+replace, in forward values *and* accumulated gradients.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Iterable, Sequence, Union
 
 import numpy as np
@@ -26,6 +36,30 @@ _FLOAT64 = np.dtype(np.float64)
 
 #: Global graph-construction switch; see :class:`no_grad`.
 _grad_enabled = True
+
+#: Flat gradient tape: weak references to every op node, in creation
+#: order.  Weak references let finished graphs (e.g. a previous
+#: minibatch's loss) disappear as soon as user code drops them, without
+#: any explicit free; :func:`_compact_tape` trims the dead entries.
+_TAPE: list = []
+
+#: Tape length that triggers compaction on append.  Grows to twice the
+#: live node count so steady-state workloads compact rarely.
+_tape_limit = 4096
+
+#: Backward generation counter.  Each :meth:`Tensor.backward` call gets a
+#: fresh epoch; gradient accumulation stamps the receiving node, and the
+#: tape scan only fires closures stamped with the current epoch.  Nodes
+#: belonging to other (stale or concurrent) graphs are skipped, exactly
+#: as the old topological walk never visited them.
+_backward_epoch = 0
+
+
+def _compact_tape() -> None:
+    """Drop dead weak references; adapt the compaction threshold."""
+    global _tape_limit
+    _TAPE[:] = [ref for ref in _TAPE if ref() is not None]
+    _tape_limit = max(4096, 2 * len(_TAPE))
 
 
 class no_grad:
@@ -103,6 +137,27 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic with a single exp.
+
+    For ``x >= 0`` this is ``1/(1+exp(-x))``, for ``x < 0`` it is
+    ``exp(x)/(1+exp(x))`` — the same two branches as the textbook
+    formulation, sharing ``exp(-|x|)``.  Shared by :meth:`Tensor.sigmoid`
+    and the fused :func:`lstm_cell` so both paths are bit-identical.
+    """
+    # ``|clip(x, -500, 500)| == min(|x|, 500)``, so the clamp folds into
+    # the magnitude pass; every value below is bit-identical to the
+    # textbook ``exp(-|clip(x)|)`` formulation.
+    t = np.abs(x)
+    np.minimum(t, 500.0, out=t)
+    np.negative(t, out=t)
+    e = np.exp(t, out=t)
+    d = 1.0 + e
+    pos = np.divide(1.0, d)
+    neg = np.divide(e, d, out=d)
+    return np.where(x >= 0, pos, neg)
+
+
 class Tensor:
     """A numpy array with gradient tracking.
 
@@ -115,7 +170,15 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "_grad_epoch",
+        "__weakref__",
+    )
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False) -> None:
         self.data = _as_array(data)
@@ -123,6 +186,7 @@ class Tensor:
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
+        self._grad_epoch = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -141,6 +205,7 @@ class Tensor:
         out = Tensor.__new__(Tensor)
         out.data = data
         out.grad = None
+        out._grad_epoch = 0
         if not _grad_enabled:
             requires = False
         elif isinstance(parents, tuple):
@@ -152,6 +217,9 @@ class Tensor:
         if requires:
             out._parents = parents
             out._backward = backward
+            _TAPE.append(weakref.ref(out))
+            if len(_TAPE) > _tape_limit:
+                _compact_tape()
         else:
             out._parents = ()
             out._backward = None
@@ -322,11 +390,7 @@ class Tensor:
         return Tensor._from_op(out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic with a single exp: for x >= 0 this
-        # is 1/(1+exp(-x)), for x < 0 it is exp(x)/(1+exp(x)) — the same
-        # two branches as the textbook formulation, sharing exp(-|x|).
-        e = np.exp(-np.abs(np.clip(self.data, -500, 500)))
-        out_data = np.where(self.data >= 0, 1.0 / (1.0 + e), e / (1.0 + e))
+        out_data = _stable_sigmoid(self.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -491,6 +555,7 @@ class Tensor:
     # Backward pass
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
+        self._grad_epoch = _backward_epoch
         if self.grad is None:
             # Copy: the incoming gradient may be shared with other nodes.
             self.grad = np.array(grad, dtype=np.float64)
@@ -502,6 +567,12 @@ class Tensor:
         """Backpropagate from this tensor through the recorded graph.
 
         ``grad`` defaults to ones (appropriate for scalar losses).
+
+        The pass is a reverse scan of the global tape: seeding this
+        tensor stamps it with a fresh epoch, every closure stamps the
+        parents it accumulates into, and only nodes carrying the current
+        epoch fire.  A consumer always sits later on the tape than its
+        operands, so each node's gradient is complete when reached.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor without grad")
@@ -510,24 +581,14 @@ class Tensor:
         else:
             grad = _as_array(grad)
 
-        order: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                order.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if id(parent) not in visited and parent.requires_grad:
-                    stack.append((parent, False))
-
+        global _backward_epoch
+        _backward_epoch += 1
+        epoch = _backward_epoch
         self._accumulate(grad)
-        for node in reversed(order):
+        for ref in reversed(_TAPE):
+            node = ref()
+            if node is None or node._grad_epoch != epoch:
+                continue
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
 
@@ -577,3 +638,328 @@ def where(condition: ArrayLike, a: Tensor, b: Tensor) -> Tensor:
             b._accumulate(_unbroadcast(grad * ~condition, b.data.shape))
 
     return Tensor._from_op(out_data, (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# Fused kernels
+# ----------------------------------------------------------------------
+def _ws_buffer(workspace: dict, key: str, shape: tuple[int, ...]) -> np.ndarray:
+    """Fetch (or allocate) a float64 scratch array from ``workspace``.
+
+    Buffers are keyed by name and reallocated only when the requested
+    shape changes (e.g. a ragged final minibatch); backward closures run
+    sequentially and :meth:`Tensor._accumulate` copies on first use, so
+    reuse across closures is safe.
+    """
+    buf = workspace.get(key)
+    if buf is None or buf.shape != shape:
+        buf = np.empty(shape)
+        workspace[key] = buf
+    return buf
+
+
+def affine(
+    x: Union[Tensor, ArrayLike],
+    weight: Union[Tensor, ArrayLike],
+    bias: Union[Tensor, ArrayLike, None] = None,
+) -> Tensor:
+    """Fused ``x @ weight + bias`` as a single graph node.
+
+    Bit-exact with the composed ``(x @ w) + b`` op pair in both the
+    forward values and the gradients accumulated into ``x``, ``weight``
+    and ``bias`` — it replays the same numpy expressions the composed
+    backward closures would, just without the intermediate matmul node.
+    """
+    x = Tensor.ensure(x)
+    weight = Tensor.ensure(weight)
+    out_data = x.data @ weight.data
+    if bias is not None:
+        bias = Tensor.ensure(bias)
+        out_data = out_data + bias.data
+        parents: tuple[Tensor, ...] = (x, weight, bias)
+    else:
+        parents = (x, weight)
+
+    def backward(grad: np.ndarray) -> None:
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(_unbroadcast(grad, bias.data.shape))
+        if x.requires_grad:
+            if weight.data.ndim == 1:
+                x._accumulate(np.outer(grad, weight.data).reshape(x.shape))
+            else:
+                g = grad @ np.swapaxes(weight.data, -1, -2)
+                x._accumulate(_unbroadcast(g, x.data.shape))
+        if weight.requires_grad:
+            if x.data.ndim == 1:
+                weight._accumulate(np.outer(x.data, grad).reshape(weight.shape))
+            else:
+                g = np.swapaxes(x.data, -1, -2) @ grad
+                weight._accumulate(_unbroadcast(g, weight.data.shape))
+
+    return Tensor._from_op(out_data, parents, backward)
+
+
+def lstm_cell(
+    x: Union[Tensor, ArrayLike],
+    h_prev: Union[Tensor, ArrayLike],
+    c_prev: Union[Tensor, ArrayLike],
+    weight: Union[Tensor, ArrayLike],
+    bias: Union[Tensor, ArrayLike],
+    workspace: dict | None = None,
+) -> tuple[Tensor, Tensor]:
+    """Fused LSTM step: four gates plus the state update in one kernel.
+
+    Computes ``[i, f, g, o] = [x, h_prev] @ weight + bias`` (gate layout
+    matching :class:`repro.nn.lstm.LSTMCell`), then
+    ``c = sigmoid(f) * c_prev + sigmoid(i) * tanh(g)`` and
+    ``h = sigmoid(o) * tanh(c)``, returning ``(h_new, c_new)``.
+
+    The graph records two nodes instead of ~15: ``c_new`` carries the
+    hand-derived backward over all five operands, and ``h_new`` is a
+    lightweight tap whose closure stashes the incoming ``dh`` (tagged
+    with the current backward epoch, so a stale stash from an earlier
+    pass is never reused) and routes the ``dh * o * (1 - tanh(c)^2)``
+    term into ``c_new``.  ``h_new`` is created after ``c_new``, so the
+    reverse tape scan always fires the tap first.  Every floating-point
+    expression mirrors the grouping of the composed op chain, making the
+    fused path bit-exact in forwards *and* accumulated gradients.
+
+    ``workspace`` (a plain dict, e.g. one per ``LSTMCell``) enables
+    buffer reuse across steps/minibatches for the backward temporaries;
+    omit it to allocate per call.
+    """
+    x = Tensor.ensure(x)
+    h_prev = Tensor.ensure(h_prev)
+    c_prev = Tensor.ensure(c_prev)
+    weight = Tensor.ensure(weight)
+    bias = Tensor.ensure(bias)
+    if x.data.ndim != 2:
+        raise ValueError("lstm_cell expects (batch, features) inputs")
+    in_size = x.data.shape[-1]
+    hs = c_prev.data.shape[-1]
+    ws = workspace if workspace is not None else {}
+
+    xh = np.concatenate([x.data, h_prev.data], axis=-1)
+    gates = _ws_buffer(ws, "gates", (xh.shape[0], 4 * hs))
+    np.matmul(xh, weight.data, out=gates)
+    gates += bias.data
+    # Activations are captured by the closures, so they must be fresh
+    # arrays; only the pre-activation buffer above is recycled.
+    # i and f are adjacent in the gate layout; one sigmoid call over the
+    # joint slice is elementwise, hence bit-identical to two calls.
+    if_gates = _stable_sigmoid(gates[:, 0 * hs : 2 * hs])
+    i_gate = if_gates[:, :hs]
+    f_gate = if_gates[:, hs:]
+    g_gate = np.tanh(gates[:, 2 * hs : 3 * hs])
+    o_gate = _stable_sigmoid(gates[:, 3 * hs : 4 * hs])
+
+    c_data = f_gate * c_prev.data + i_gate * g_gate
+    tanh_c = np.tanh(c_data)
+    h_data = o_gate * tanh_c
+
+    # (epoch, dh) from the tap node; consulted by cell_backward.
+    stash: list = [0, None]
+
+    def cell_backward(dc: np.ndarray) -> None:
+        dh = stash[1] if stash[0] == _backward_epoch else None
+        dpre = _ws_buffer(ws, "dpre", (dc.shape[0], 4 * hs))
+        s = _ws_buffer(ws, "scratch", dc.shape)
+        di = dpre[:, 0 * hs : 1 * hs]
+        df = dpre[:, 1 * hs : 2 * hs]
+        dg = dpre[:, 2 * hs : 3 * hs]
+        do = dpre[:, 3 * hs : 4 * hs]
+        np.multiply(dc, g_gate, out=di)
+        di *= i_gate
+        np.subtract(1.0, i_gate, out=s)
+        di *= s
+        np.multiply(dc, c_prev.data, out=df)
+        df *= f_gate
+        np.subtract(1.0, f_gate, out=s)
+        df *= s
+        np.multiply(dc, i_gate, out=dg)
+        np.multiply(g_gate, g_gate, out=s)
+        np.subtract(1.0, s, out=s)
+        dg *= s
+        if dh is None:
+            do[:] = 0.0
+        else:
+            np.multiply(dh, tanh_c, out=do)
+            do *= o_gate
+            np.subtract(1.0, o_gate, out=s)
+            do *= s
+        # The composed path scatters each gate grad into a zeroed array
+        # (``full[sl] += g``), which flushes negative zeros; match it.
+        dpre += 0.0
+        if weight.requires_grad:
+            dw = _ws_buffer(ws, "dw", weight.data.shape)
+            np.matmul(xh.T, dpre, out=dw)
+            weight._accumulate(dw)
+        if bias.requires_grad:
+            db = _ws_buffer(ws, "db", bias.data.shape)
+            np.sum(dpre, axis=0, out=db)
+            bias._accumulate(db)
+        if x.requires_grad or h_prev.requires_grad:
+            dxh = _ws_buffer(ws, "dxh", xh.shape)
+            np.matmul(dpre, weight.data.T, out=dxh)
+            if x.requires_grad:
+                x._accumulate(dxh[:, :in_size])
+            if h_prev.requires_grad:
+                h_prev._accumulate(dxh[:, in_size:])
+        if c_prev.requires_grad:
+            np.multiply(dc, f_gate, out=s)
+            c_prev._accumulate(s)
+
+    c_new = Tensor._from_op(c_data, (x, h_prev, c_prev, weight, bias), cell_backward)
+
+    def tap_backward(dh: np.ndarray) -> None:
+        stash[0] = _backward_epoch
+        stash[1] = dh
+        if c_new.requires_grad:
+            t = _ws_buffer(ws, "tap", dh.shape)
+            u = _ws_buffer(ws, "tap2", dh.shape)
+            np.multiply(dh, o_gate, out=t)
+            np.multiply(tanh_c, tanh_c, out=u)
+            np.subtract(1.0, u, out=u)
+            t *= u
+            c_new._accumulate(t)
+
+    h_new = Tensor._from_op(h_data, (c_new,), tap_backward)
+    return h_new, c_new
+
+
+def lstm_trunk(
+    x: Union[Tensor, ArrayLike],
+    h_prev: Union[Tensor, ArrayLike],
+    c_prev: Union[Tensor, ArrayLike],
+    enc_weight: Union[Tensor, ArrayLike],
+    enc_bias: Union[Tensor, ArrayLike],
+    weight: Union[Tensor, ArrayLike],
+    bias: Union[Tensor, ArrayLike],
+    workspace: dict | None = None,
+) -> tuple[Tensor, Tensor]:
+    """Fused recurrent trunk step: ``tanh(x @ We + be)`` into an LSTM cell.
+
+    One graph node (plus the ``h`` tap) per step instead of the four
+    that :func:`affine` + ``tanh`` + :func:`lstm_cell` would record, or
+    the ~18 of the fully composed chain.  The backward replays exactly
+    the numpy expressions the composed closures would run — dense
+    backward included — so the trunk is bit-exact with both in forwards
+    and accumulated gradients.  See :func:`lstm_cell` for the stash/tap
+    mechanics; this op shares them verbatim.
+    """
+    x = Tensor.ensure(x)
+    h_prev = Tensor.ensure(h_prev)
+    c_prev = Tensor.ensure(c_prev)
+    enc_weight = Tensor.ensure(enc_weight)
+    enc_bias = Tensor.ensure(enc_bias)
+    weight = Tensor.ensure(weight)
+    bias = Tensor.ensure(bias)
+    if x.data.ndim != 2:
+        raise ValueError("lstm_trunk expects (batch, features) inputs")
+    hs = c_prev.data.shape[-1]
+    enc_out = enc_weight.data.shape[-1]
+    ws = workspace if workspace is not None else {}
+
+    pre = _ws_buffer(ws, "enc_pre", (x.data.shape[0], enc_out))
+    np.matmul(x.data, enc_weight.data, out=pre)
+    pre += enc_bias.data
+    # Fresh arrays below are captured by the closures (see lstm_cell).
+    encoded = np.tanh(pre)
+    xh = np.concatenate([encoded, h_prev.data], axis=-1)
+    gates = _ws_buffer(ws, "gates", (xh.shape[0], 4 * hs))
+    np.matmul(xh, weight.data, out=gates)
+    gates += bias.data
+    if_gates = _stable_sigmoid(gates[:, 0 * hs : 2 * hs])
+    i_gate = if_gates[:, :hs]
+    f_gate = if_gates[:, hs:]
+    g_gate = np.tanh(gates[:, 2 * hs : 3 * hs])
+    o_gate = _stable_sigmoid(gates[:, 3 * hs : 4 * hs])
+
+    c_data = f_gate * c_prev.data + i_gate * g_gate
+    tanh_c = np.tanh(c_data)
+    h_data = o_gate * tanh_c
+
+    stash: list = [0, None]
+
+    def trunk_backward(dc: np.ndarray) -> None:
+        dh = stash[1] if stash[0] == _backward_epoch else None
+        dpre = _ws_buffer(ws, "dpre", (dc.shape[0], 4 * hs))
+        s = _ws_buffer(ws, "scratch", dc.shape)
+        di = dpre[:, 0 * hs : 1 * hs]
+        df = dpre[:, 1 * hs : 2 * hs]
+        dg = dpre[:, 2 * hs : 3 * hs]
+        do = dpre[:, 3 * hs : 4 * hs]
+        np.multiply(dc, g_gate, out=di)
+        di *= i_gate
+        np.subtract(1.0, i_gate, out=s)
+        di *= s
+        np.multiply(dc, c_prev.data, out=df)
+        df *= f_gate
+        np.subtract(1.0, f_gate, out=s)
+        df *= s
+        np.multiply(dc, i_gate, out=dg)
+        np.multiply(g_gate, g_gate, out=s)
+        np.subtract(1.0, s, out=s)
+        dg *= s
+        if dh is None:
+            do[:] = 0.0
+        else:
+            np.multiply(dh, tanh_c, out=do)
+            do *= o_gate
+            np.subtract(1.0, o_gate, out=s)
+            do *= s
+        dpre += 0.0
+        if weight.requires_grad:
+            dw = _ws_buffer(ws, "dw", weight.data.shape)
+            np.matmul(xh.T, dpre, out=dw)
+            weight._accumulate(dw)
+        if bias.requires_grad:
+            db = _ws_buffer(ws, "db", bias.data.shape)
+            np.sum(dpre, axis=0, out=db)
+            bias._accumulate(db)
+        dxh = _ws_buffer(ws, "dxh", xh.shape)
+        np.matmul(dpre, weight.data.T, out=dxh)
+        if h_prev.requires_grad:
+            h_prev._accumulate(dxh[:, enc_out:])
+        if c_prev.requires_grad:
+            np.multiply(dc, f_gate, out=s)
+            c_prev._accumulate(s)
+        # Encoder tail: replay the composed tanh + affine backwards.
+        de = dxh[:, :enc_out]
+        dpre_enc = _ws_buffer(ws, "dpre_enc", de.shape)
+        np.multiply(encoded, encoded, out=dpre_enc)
+        np.subtract(1.0, dpre_enc, out=dpre_enc)
+        dpre_enc *= de
+        if enc_bias.requires_grad:
+            dbe = _ws_buffer(ws, "dbe", enc_bias.data.shape)
+            np.sum(dpre_enc, axis=0, out=dbe)
+            enc_bias._accumulate(dbe)
+        if x.requires_grad:
+            dx = _ws_buffer(ws, "dx", x.data.shape)
+            np.matmul(dpre_enc, enc_weight.data.T, out=dx)
+            x._accumulate(dx)
+        if enc_weight.requires_grad:
+            dwe = _ws_buffer(ws, "dwe", enc_weight.data.shape)
+            np.matmul(x.data.T, dpre_enc, out=dwe)
+            enc_weight._accumulate(dwe)
+
+    c_new = Tensor._from_op(
+        c_data,
+        (x, h_prev, c_prev, enc_weight, enc_bias, weight, bias),
+        trunk_backward,
+    )
+
+    def tap_backward(dh: np.ndarray) -> None:
+        stash[0] = _backward_epoch
+        stash[1] = dh
+        if c_new.requires_grad:
+            t = _ws_buffer(ws, "tap", dh.shape)
+            u = _ws_buffer(ws, "tap2", dh.shape)
+            np.multiply(dh, o_gate, out=t)
+            np.multiply(tanh_c, tanh_c, out=u)
+            np.subtract(1.0, u, out=u)
+            t *= u
+            c_new._accumulate(t)
+
+    h_new = Tensor._from_op(h_data, (c_new,), tap_backward)
+    return h_new, c_new

@@ -19,7 +19,10 @@ __all__ = [
     "PhaseTimers",
     "bench_engine",
     "bench_train",
+    "bench_update",
     "check_engine_regression",
+    "check_train_regression",
+    "check_update_regression",
     "parallel_map",
     "write_benchmarks",
 ]
@@ -29,12 +32,16 @@ def __getattr__(name: str):
     # bench/regression pull in the full experiment stack; import lazily
     # so `repro.perf.timers` stays importable from low-level modules
     # (e.g. the training runner) without a cycle.
-    if name in ("bench_engine", "bench_train", "write_benchmarks"):
+    if name in ("bench_engine", "bench_train", "bench_update", "write_benchmarks"):
         from repro.perf import bench
 
         return getattr(bench, name)
-    if name == "check_engine_regression":
-        from repro.perf.regression import check_engine_regression
+    if name in (
+        "check_engine_regression",
+        "check_train_regression",
+        "check_update_regression",
+    ):
+        from repro.perf import regression
 
-        return check_engine_regression
+        return getattr(regression, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

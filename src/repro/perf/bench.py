@@ -1,16 +1,20 @@
 """Benchmark runners emitting ``benchmarks/BENCH_*.json``.
 
-Two benchmarks track the perf trajectory across PRs:
+Three benchmarks track the perf trajectory across PRs:
 
 * **engine** — raw simulator tick throughput on the 4x4 grid under a
   fixed-time controller (no learning, no observation building).
 * **train** — PairUpLight shared-parameter training throughput on the
   same grid: rollout env-steps/s, agent-steps/s, and PPO update time.
+* **update** — PPO-update minibatch throughput on the same grid,
+  measured for the fused kernel path and the composed op chain in
+  interleaved rounds (the two are bit-exact, so both systems do
+  identical numerical work and the ratio isolates graph overhead).
 
-Both report the pre-optimization baseline (measured at the seed of this
-PR, commit 4183497) so the recorded speedup is meaningful on any
-machine: compare ``*_per_second`` against ``baseline`` *from the same
-file*, refreshed on the same host.
+Each reports the baseline it was optimized against (measured with the
+same harness, in the same run where possible) so the recorded speedup is
+meaningful on any machine: compare ``*_per_second`` against ``baseline``
+*from the same file*, refreshed on the same host.
 
 Refresh with ``python -m repro bench --out benchmarks`` and commit the
 JSON; the regression gate (:mod:`repro.perf.regression`) compares live
@@ -19,6 +23,7 @@ throughput against the committed file.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
@@ -170,6 +175,115 @@ def bench_train(episodes: int = 2, warmup_episodes: int = 1) -> dict:
     }
 
 
+def bench_update(rounds: int = 5, warmup_rounds: int = 1) -> dict:
+    """PPO-update minibatch throughput on the 4x4 grid, three paths.
+
+    Three PairUpLight systems train on the same grid with the same seed:
+    the fused kernel path (the default), the composed op chain with the
+    same sequence-level evaluator (the bit-exact kernel ablation), and
+    the pre-change update path (composed ops + per-step heads,
+    ``stepwise_eval=True``) that this subsystem was built to replace.
+    All three are numerically identical, so every round does the same
+    update work on each.  Rounds interleave the three measurements
+    (rollout untimed, ``end_episode`` — GAE + the full PPO update —
+    timed) so machine noise hits them alike; ``target_kl=None`` pins the
+    update to exactly ``epochs * ceil(N / minibatch_agents)`` minibatch
+    steps.  The headline is the *median* fused steps/s; the same-run
+    pre-change median is the committed baseline the >=2x target is
+    measured against.
+    """
+    from repro.agents.pairuplight import PairUpLightConfig, PairUpLightSystem
+    from repro.rl.ppo import PPOConfig
+
+    scale = ExperimentScale(**_TRAIN_SCALE)
+
+    def make_system(fused: bool, stepwise_eval: bool = False):
+        experiment = GridExperiment(scale, seed=7)
+        env = experiment.train_env(1)
+        config = PairUpLightConfig(
+            fused=fused, stepwise_eval=stepwise_eval, ppo=PPOConfig(target_kl=None)
+        )
+        return env, PairUpLightSystem(env, config, seed=7)
+
+    env_fused, agent_fused = make_system(True)
+    env_composed, agent_composed = make_system(False)
+    env_prechange, agent_prechange = make_system(False, stepwise_eval=True)
+    ppo = agent_fused.config.ppo
+    num_agents = len(env_fused.agent_ids)
+    minibatches = -(-num_agents // ppo.minibatch_agents)
+    steps_per_update = ppo.epochs * minibatches
+
+    def timed_update(env, agent, seed: int) -> float:
+        observations = env.reset(seed=seed)
+        agent.begin_episode(env, True)
+        done = False
+        while not done:
+            actions = agent.act(observations, env, True)
+            result = env.step(actions)
+            agent.observe(result, env)
+            observations = result.observations
+            done = result.done
+        # Keep the cyclic collector out of the timed section: the update
+        # builds (and drops) tens of thousands of small graph objects,
+        # and a collection pause landing inside one round dominates that
+        # round's time.  Both paths are timed identically.
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.process_time()
+            agent.end_episode(env, training=True)
+            return time.process_time() - started
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    fused_rates: list[float] = []
+    composed_rates: list[float] = []
+    prechange_rates: list[float] = []
+    for round_index in range(warmup_rounds + rounds):
+        seed = 100 + round_index
+        fused_seconds = timed_update(env_fused, agent_fused, seed)
+        composed_seconds = timed_update(env_composed, agent_composed, seed)
+        prechange_seconds = timed_update(env_prechange, agent_prechange, seed)
+        if round_index >= warmup_rounds:
+            fused_rates.append(steps_per_update / fused_seconds)
+            composed_rates.append(steps_per_update / composed_seconds)
+            prechange_rates.append(steps_per_update / prechange_seconds)
+
+    def median(rates: list[float]) -> float:
+        ordered = sorted(rates)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    fused_median = median(fused_rates)
+    composed_median = median(composed_rates)
+    prechange_median = median(prechange_rates)
+    return {
+        "benchmark": "update",
+        "scenario": dict(_TRAIN_SCALE, model="PairUpLight",
+                         parameter_sharing=True, target_kl=None, rounds=rounds),
+        "num_agents": num_agents,
+        "minibatch_steps_per_update": steps_per_update,
+        "update_steps_per_second": round(fused_median, 2),
+        "repeats": [round(rate, 2) for rate in fused_rates],
+        "composed_update_steps_per_second": round(composed_median, 2),
+        "composed_repeats": [round(rate, 2) for rate in composed_rates],
+        "baseline": {
+            "update_steps_per_second": round(prechange_median, 2),
+            "repeats": [round(rate, 2) for rate in prechange_rates],
+            "path": (
+                "pre-change update path: composed op chain + per-step "
+                "heads (fused=False, stepwise_eval=True), same run"
+            ),
+        },
+        "speedup_fused_vs_composed": round(fused_median / composed_median, 2),
+        "speedup_fused_vs_baseline": round(fused_median / prechange_median, 2),
+    }
+
+
 def write_benchmarks(
     out_dir: str, which: str = "all", **bench_kwargs
 ) -> dict[str, str]:
@@ -188,4 +302,10 @@ def write_benchmarks(
             json.dump(bench_train(), handle, indent=2)
             handle.write("\n")
         written["train"] = path
+    if which in ("all", "update"):
+        path = os.path.join(out_dir, "BENCH_update.json")
+        with open(path, "w") as handle:
+            json.dump(bench_update(), handle, indent=2)
+            handle.write("\n")
+        written["update"] = path
     return written

@@ -1,11 +1,19 @@
-"""Perf regression gate: fail when engine throughput drops too far.
+"""Perf regression gates: fail when measured throughput drops too far.
 
-Compares live engine tick throughput (measured with the exact harness
-that produced the committed ``benchmarks/BENCH_engine.json``) against
-the committed number and fails when the drop exceeds ``threshold``
-(default 20%).  Benchmarks are noisy, so the measurement takes the best
-of ``repeats`` runs — a genuine regression shifts every repeat, noise
-does not.
+Each gate compares live throughput (measured with the exact harness
+that produced the committed ``benchmarks/BENCH_*.json``) against the
+committed number and fails when the drop exceeds ``threshold`` (default
+20%).  Benchmarks are noisy, so measurements favour best-of/median
+aggregation — a genuine regression shifts every repeat, noise does not.
+
+Three gates cover the three committed benchmark files:
+
+* :func:`check_engine_regression` — simulator ticks/s
+  (``BENCH_engine.json``),
+* :func:`check_train_regression` — rollout env-steps/s
+  (``BENCH_train.json``),
+* :func:`check_update_regression` — fused PPO-update minibatch steps/s
+  (``BENCH_update.json``).
 """
 
 from __future__ import annotations
@@ -13,19 +21,25 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
-from repro.perf.bench import bench_engine
+from repro.perf.bench import bench_engine, bench_train, bench_update
 
 DEFAULT_THRESHOLD = 0.20
 
 
 @dataclass
 class RegressionVerdict:
-    """Outcome of one gate evaluation."""
+    """Outcome of one gate evaluation.
+
+    The ``*_ticks_per_second`` field names predate the train/update
+    gates and are kept for compatibility; read them as generic
+    "throughput in this gate's metric" (named by :attr:`metric`).
+    """
 
     ok: bool
     current_ticks_per_second: float
     baseline_ticks_per_second: float
     threshold: float
+    metric: str = "engine ticks/s"
 
     @property
     def ratio(self) -> float:
@@ -34,14 +48,17 @@ class RegressionVerdict:
     def summary(self) -> str:
         verdict = "OK" if self.ok else "REGRESSION"
         return (
-            f"{verdict}: engine {self.current_ticks_per_second:.1f} ticks/s "
+            f"{verdict}: {self.metric} {self.current_ticks_per_second:.1f} "
             f"vs committed {self.baseline_ticks_per_second:.1f} "
             f"({self.ratio:.0%}, floor {1.0 - self.threshold:.0%})"
         )
 
 
 def evaluate_gate(
-    current: float, baseline: float, threshold: float = DEFAULT_THRESHOLD
+    current: float,
+    baseline: float,
+    threshold: float = DEFAULT_THRESHOLD,
+    metric: str = "engine ticks/s",
 ) -> RegressionVerdict:
     """Pure gate logic: pass iff ``current >= baseline * (1 - threshold)``."""
     if baseline <= 0:
@@ -54,6 +71,7 @@ def evaluate_gate(
         current_ticks_per_second=float(current),
         baseline_ticks_per_second=float(baseline),
         threshold=threshold,
+        metric=metric,
     )
 
 
@@ -70,4 +88,40 @@ def check_engine_regression(
     live = bench_engine(repeats=repeats, measure_ticks=measure_ticks)
     return evaluate_gate(
         float(live["ticks_per_second"]), baseline, threshold=threshold
+    )
+
+
+def check_train_regression(
+    baseline_path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    episodes: int = 2,
+) -> RegressionVerdict:
+    """Measure live training rollout throughput and gate it."""
+    with open(baseline_path) as handle:
+        committed = json.load(handle)
+    baseline = float(committed["env_steps_per_second"])
+    live = bench_train(episodes=episodes)
+    return evaluate_gate(
+        float(live["env_steps_per_second"]),
+        baseline,
+        threshold=threshold,
+        metric="train env-steps/s",
+    )
+
+
+def check_update_regression(
+    baseline_path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    rounds: int = 3,
+) -> RegressionVerdict:
+    """Measure live fused PPO-update throughput and gate it."""
+    with open(baseline_path) as handle:
+        committed = json.load(handle)
+    baseline = float(committed["update_steps_per_second"])
+    live = bench_update(rounds=rounds)
+    return evaluate_gate(
+        float(live["update_steps_per_second"]),
+        baseline,
+        threshold=threshold,
+        metric="update steps/s",
     )

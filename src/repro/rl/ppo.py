@@ -23,6 +23,19 @@ from repro.errors import ConfigError
 from repro.nn.module import Parameter
 from repro.nn.optim import Optimizer, clip_grad_norm
 from repro.nn.tensor import Tensor
+from repro.perf.timers import TIMERS
+
+
+def _mean(values: list[float]) -> float:
+    """Mean of minibatch diagnostics; 0.0 when no minibatch ran.
+
+    ``cfg.epochs`` mutated to 0 after construction, or a ``target_kl``
+    stop before the first minibatch, leaves the lists empty — ``np.mean``
+    would emit a RuntimeWarning and return NaN.
+    """
+    if not values:
+        return 0.0
+    return float(np.mean(values))
 
 
 @dataclass
@@ -134,55 +147,87 @@ class PPOUpdater:
                 break
             epochs_run += 1
             order = self._rng.permutation(num_agents)
-            for start in range(0, num_agents, cfg.minibatch_agents):
-                batch = order[start : start + cfg.minibatch_agents]
-                new_logprobs, entropy, values = evaluate(batch)
-                adv = Tensor(advantages[:, batch])
-                ratio = (new_logprobs - Tensor(old_logprobs[:, batch])).exp()
-                surrogate1 = ratio * adv
-                surrogate2 = ratio.clip(1.0 - cfg.clip_eps, 1.0 + cfg.clip_eps) * adv
-                policy_loss = -surrogate1.minimum(surrogate2).mean()
-                entropy_bonus = entropy.mean()
-                target = Tensor(returns[:, batch])
-                value_error = values - target
-                value_loss = value_error * value_error
-                if cfg.value_clip_eps is not None:
-                    anchor = Tensor(old_values[:, batch])
-                    clipped = anchor + (values - anchor).clip(
-                        -cfg.value_clip_eps, cfg.value_clip_eps
+            with TIMERS.section("update/epoch"):
+                for start in range(0, num_agents, cfg.minibatch_agents):
+                    batch = order[start : start + cfg.minibatch_agents]
+                    stop = self._minibatch_step(
+                        evaluate,
+                        batch,
+                        old_logprobs,
+                        advantages,
+                        returns,
+                        old_values,
+                        policy_losses,
+                        value_losses,
+                        entropies,
+                        kls,
+                        clip_fracs,
                     )
-                    clipped_error = clipped - target
-                    value_loss = value_loss.maximum(clipped_error * clipped_error)
-                value_loss = value_loss.mean()
-                total = (
-                    policy_loss
-                    + cfg.value_coef * value_loss
-                    - cfg.entropy_coef * entropy_bonus
-                )
-                for optimizer in self.optimizers:
-                    optimizer.zero_grad()
-                total.backward()
-                clip_grad_norm(self.parameters, cfg.max_grad_norm)
-                for optimizer in self.optimizers:
-                    optimizer.step()
-
-                log_ratio = new_logprobs.data - old_logprobs[:, batch]
-                approx_kl = float(np.mean(np.exp(log_ratio) - 1.0 - log_ratio))
-                policy_losses.append(float(policy_loss.data))
-                value_losses.append(float(value_loss.data))
-                entropies.append(float(entropy_bonus.data))
-                kls.append(approx_kl)
-                clip_fracs.append(
-                    float(np.mean(np.abs(ratio.data - 1.0) > cfg.clip_eps))
-                )
-                if cfg.target_kl is not None and approx_kl > 1.5 * cfg.target_kl:
-                    stop = True
-                    break
+                    if stop:
+                        break
         return PPOStats(
-            policy_loss=float(np.mean(policy_losses)),
-            value_loss=float(np.mean(value_losses)),
-            entropy=float(np.mean(entropies)),
-            approx_kl=float(np.mean(kls)),
-            clip_fraction=float(np.mean(clip_fracs)),
+            policy_loss=_mean(policy_losses),
+            value_loss=_mean(value_losses),
+            entropy=_mean(entropies),
+            approx_kl=_mean(kls),
+            clip_fraction=_mean(clip_fracs),
             epochs_run=epochs_run,
         )
+
+    def _minibatch_step(
+        self,
+        evaluate: EvaluateFn,
+        batch: np.ndarray,
+        old_logprobs: np.ndarray,
+        advantages: np.ndarray,
+        returns: np.ndarray,
+        old_values: np.ndarray | None,
+        policy_losses: list[float],
+        value_losses: list[float],
+        entropies: list[float],
+        kls: list[float],
+        clip_fracs: list[float],
+    ) -> bool:
+        """One minibatch forward/backward/step; returns the KL-stop flag."""
+        cfg = self.config
+        with TIMERS.section("update/minibatch"):
+            new_logprobs, entropy, values = evaluate(batch)
+            adv = Tensor(advantages[:, batch])
+            ratio = (new_logprobs - Tensor(old_logprobs[:, batch])).exp()
+            surrogate1 = ratio * adv
+            surrogate2 = ratio.clip(1.0 - cfg.clip_eps, 1.0 + cfg.clip_eps) * adv
+            policy_loss = -surrogate1.minimum(surrogate2).mean()
+            entropy_bonus = entropy.mean()
+            target = Tensor(returns[:, batch])
+            value_error = values - target
+            value_loss = value_error * value_error
+            if cfg.value_clip_eps is not None:
+                anchor = Tensor(old_values[:, batch])
+                clipped = anchor + (values - anchor).clip(
+                    -cfg.value_clip_eps, cfg.value_clip_eps
+                )
+                clipped_error = clipped - target
+                value_loss = value_loss.maximum(clipped_error * clipped_error)
+            value_loss = value_loss.mean()
+            total = (
+                policy_loss
+                + cfg.value_coef * value_loss
+                - cfg.entropy_coef * entropy_bonus
+            )
+            for optimizer in self.optimizers:
+                optimizer.zero_grad()
+            total.backward()
+            clip_grad_norm(self.parameters, cfg.max_grad_norm)
+            for optimizer in self.optimizers:
+                optimizer.step()
+
+            log_ratio = new_logprobs.data - old_logprobs[:, batch]
+            approx_kl = float(np.mean(np.exp(log_ratio) - 1.0 - log_ratio))
+            policy_losses.append(float(policy_loss.data))
+            value_losses.append(float(value_loss.data))
+            entropies.append(float(entropy_bonus.data))
+            kls.append(approx_kl)
+            clip_fracs.append(
+                float(np.mean(np.abs(ratio.data - 1.0) > cfg.clip_eps))
+            )
+            return cfg.target_kl is not None and approx_kl > 1.5 * cfg.target_kl

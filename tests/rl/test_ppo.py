@@ -210,3 +210,31 @@ class TestPPOConfigValidation:
         policy = TinyPolicy()
         with pytest.raises(ConfigError):
             PPOUpdater(policy.parameters(), [], PPOConfig())
+
+
+class TestEmptyMinibatchStats:
+    def test_zero_epochs_yields_zero_stats_not_nan(self):
+        """Regression: empty diagnostic lists must not hit np.mean([]).
+
+        ``epochs`` cannot be constructed as 0, but mutating it after
+        construction (as sweep scripts do to skip updates) used to make
+        every PPOStats field NaN with a RuntimeWarning.
+        """
+        import warnings
+
+        policy = TinyPolicy()
+        config = PPOConfig()
+        config.epochs = 0
+        updater = PPOUpdater(
+            policy.parameters(), [Adam(policy.parameters(), lr=0.01)], config
+        )
+        actions, old_lp, adv, ret = make_bandit_rollout(policy)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            stats = updater.update(policy.make_evaluate(actions), old_lp, adv, ret)
+        assert stats.epochs_run == 0
+        assert stats.policy_loss == 0.0
+        assert stats.value_loss == 0.0
+        assert stats.entropy == 0.0
+        assert stats.approx_kl == 0.0
+        assert stats.clip_fraction == 0.0
