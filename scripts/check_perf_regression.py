@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """CI perf gate: fail when measured throughput drops >20% vs the committed
-``benchmarks/BENCH_*.json`` files (engine ticks/s, train env-steps/s, and
-fused PPO-update steps/s).
+``benchmarks/BENCH_*.json`` files (engine ticks/s, train env-steps/s,
+fused PPO-update steps/s, and serve intersections/s).
 
 Run from the repository root::
 
@@ -23,6 +23,7 @@ sys.path.insert(
 from repro.perf.regression import (
     DEFAULT_THRESHOLD,
     check_engine_regression,
+    check_serve_regression,
     check_train_regression,
     check_update_regression,
 )
@@ -45,6 +46,11 @@ def main(argv: list[str] | None = None) -> int:
         default=os.path.join("benchmarks", "BENCH_update.json"),
         help="committed update benchmark file to gate against",
     )
+    parser.add_argument(
+        "--serve-baseline",
+        default=os.path.join("benchmarks", "BENCH_serve.json"),
+        help="committed serve benchmark file to gate against",
+    )
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
@@ -52,6 +58,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--skip-update", action="store_true", help="skip the update benchmark gate"
+    )
+    parser.add_argument(
+        "--skip-serve", action="store_true", help="skip the serve benchmark gate"
     )
     args = parser.parse_args(argv)
 
@@ -75,6 +84,13 @@ def main(argv: list[str] | None = None) -> int:
             (
                 args.update_baseline,
                 lambda path: check_update_regression(path, threshold=args.threshold),
+            )
+        )
+    if not args.skip_serve:
+        gates.append(
+            (
+                args.serve_baseline,
+                lambda path: check_serve_regression(path, threshold=args.threshold),
             )
         )
 

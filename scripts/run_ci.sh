@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate. Runs, in order:
 #   1. the default test suite (pytest.ini excludes -m perf),
-#   2. the perf-regression gates (engine ticks/s, train env-steps/s,
-#      fused PPO-update steps/s — each vs its committed BENCH_*.json),
-#   3. the telemetry coverage floor (stdlib trace; no coverage package).
+#   2. the serve suite explicitly (fault-tolerant control service,
+#      including the fault-schedule soak smoke test),
+#   3. the perf-regression gates (engine ticks/s, train env-steps/s,
+#      fused PPO-update steps/s, serve intersections/s — each vs its
+#      committed BENCH_*.json),
+#   4. the telemetry coverage floor (stdlib trace; no coverage package).
 #
 # Usage, from the repository root:
 #   bash scripts/run_ci.sh
@@ -14,7 +17,10 @@ export PYTHONPATH=src
 echo "== tier-1 test suite =="
 python -m pytest
 
-echo "== perf regression gates (engine / train / update) =="
+echo "== serve suite (control service + soak smoke) =="
+python -m pytest -m serve
+
+echo "== perf regression gates (engine / train / update / serve) =="
 python scripts/check_perf_regression.py
 
 echo "== telemetry coverage floor (src/repro/obs) =="

@@ -19,8 +19,13 @@ Commands
 ``multiseed``
     Repeat a train/evaluate pipeline over several seeds (optionally in
     parallel worker processes) and report mean +- std.
+``serve``
+    Run the fault-tolerant real-time control service: load a policy
+    checkpoint, serve every intersection inside a per-tick deadline with
+    per-intersection fallback and optional fault injection, hot-reload a
+    checkpoint mid-run, and print the health report.
 ``bench``
-    Run the engine / training throughput benchmarks and write
+    Run the engine / training / serving throughput benchmarks and write
     ``BENCH_*.json`` files for the perf regression gate.
 ``obs``
     Telemetry tooling: ``obs report <run_dir>`` re-renders the training
@@ -245,6 +250,69 @@ def cmd_multiseed(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.faults.config import FaultConfig
+    from repro.serve import ControlService, PolicyRuntime, ServeConfig
+
+    scale = _scale_from_args(args)
+    experiment = GridExperiment(scale, seed=args.seed)
+    faults = None
+    if args.fault_rate > 0:
+        faults = FaultConfig.uniform(args.fault_rate, tuple(args.fault_kinds))
+    env = experiment.train_env(args.pattern, faults=faults)
+    runtime = PolicyRuntime(
+        lambda: _build_agent(args.model, env, args.seed),
+        checkpoint=args.checkpoint or None,
+    )
+    telemetry = None
+    if args.telemetry_dir:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry(
+            args.telemetry_dir,
+            config={
+                "model": args.model,
+                "pattern": args.pattern,
+                "ticks": args.ticks,
+                "deadline_ms": args.deadline_ms,
+                "fault_rate": args.fault_rate,
+                "fault_kinds": list(args.fault_kinds),
+            },
+            seed=args.seed,
+            agent_name=args.model,
+        )
+    config = ServeConfig(deadline_ms=args.deadline_ms, fallback=args.fallback)
+    service = ControlService(env, runtime, config, telemetry=telemetry)
+    reload_at = args.reload_at if args.reload_at >= 0 else args.ticks // 2
+    try:
+        observations = service.start_episode(args.seed)
+        for tick in range(args.ticks):
+            if args.reload_from and tick == reload_at:
+                service.request_reload(args.reload_from)
+            actions = service.decide(observations)
+            result = env.step(actions)
+            if result.done:
+                service.health.episodes += 1
+                observations = service.start_episode()
+            else:
+                observations = result.observations
+        report = service.health.report(service.fallbacks.snapshot())
+        if telemetry is not None:
+            telemetry.serve_session(report)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+            print(f"telemetry written to {telemetry.run_dir}")
+    print(service.health.summary())
+    degraded = service.fallbacks.degraded_nodes()
+    if degraded:
+        print(f"degraded intersections: {', '.join(sorted(degraded))}")
+    for result in service.reload_log:
+        verdict = "applied" if result.applied else f"rejected ({result.reason})"
+        print(f"reload {result.path}: {verdict}")
+    return 0 if service.health.healthy else 1
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import write_benchmarks
 
@@ -264,6 +332,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"({payload['speedup_fused_vs_composed']}x) "
                 f"vs {payload['baseline']['update_steps_per_second']} pre-change "
                 f"({payload['speedup_fused_vs_baseline']}x) -> {path}"
+            )
+        elif name == "serve":
+            print(
+                f"serve: {payload['intersections_per_second']} intersections/s, "
+                f"p99 {payload['p99_latency_ms']} ms, "
+                f"{payload['unserved_ticks']} unserved, "
+                f"reloads {payload['reloads']['applied']} applied / "
+                f"{payload['reloads']['rejected']} rejected -> {path}"
             )
         else:
             print(
@@ -377,11 +453,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_multi.set_defaults(func=cmd_multiseed)
 
+    p_serve = subparsers.add_parser(
+        "serve", help="run the fault-tolerant real-time control service"
+    )
+    _add_scale_args(p_serve)
+    p_serve.add_argument("--model", choices=MODEL_CHOICES, default="PairUpLight")
+    p_serve.add_argument("--pattern", type=int, default=1, choices=range(1, 6))
+    p_serve.add_argument("--ticks", type=int, default=200,
+                         help="decision ticks to serve (spans episodes)")
+    p_serve.add_argument("--checkpoint", type=str, default="",
+                         help="policy checkpoint to load before serving")
+    p_serve.add_argument("--deadline-ms", type=float, default=50.0,
+                         help="per-tick decision deadline in milliseconds")
+    p_serve.add_argument(
+        "--fallback", choices=FALLBACK_POLICIES, default="max_pressure"
+    )
+    p_serve.add_argument("--fault-rate", type=float, default=0.0,
+                         help="inject faults at this rate while serving")
+    p_serve.add_argument(
+        "--fault-kinds", nargs="+", choices=FAULT_KINDS,
+        default=["controller", "message"],
+    )
+    p_serve.add_argument("--reload-from", type=str, default="",
+                         help="hot-reload this checkpoint mid-run")
+    p_serve.add_argument("--reload-at", type=int, default=-1,
+                         help="tick at which to hot-reload (-1 = midpoint)")
+    p_serve.add_argument("--telemetry-dir", type=str, default="",
+                         help="write serve telemetry (events.jsonl) here")
+    p_serve.set_defaults(func=cmd_serve)
+
     p_bench = subparsers.add_parser(
         "bench", help="run throughput benchmarks, write BENCH_*.json"
     )
     p_bench.add_argument(
-        "--which", choices=("all", "engine", "train", "update"), default="all"
+        "--which", choices=("all", "engine", "train", "update", "serve"),
+        default="all",
     )
     p_bench.add_argument("--out", type=str, default="benchmarks")
     p_bench.set_defaults(func=cmd_bench)

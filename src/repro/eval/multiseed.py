@@ -76,6 +76,7 @@ def run_multiseed(
     train_pattern: int = 1,
     eval_pattern: int | None = None,
     workers: int = 0,
+    timeout_s: float | None = None,
     telemetry=None,
 ) -> MultiSeedResult:
     """Train/evaluate the same configuration under several seeds.
@@ -87,7 +88,10 @@ def run_multiseed(
     ``workers > 1`` distributes seeds over forked worker processes.
     Each seed's run is fully self-contained (its own experiment, env,
     agent and RNG streams), so the result is identical to the serial
-    run for any worker count — only wall-clock changes.
+    run for any worker count — only wall-clock changes.  ``timeout_s``
+    bounds the parallel phase: a hung worker is terminated and surfaced
+    as a :class:`repro.errors.SimulationError` naming its seeds instead
+    of blocking the sweep forever.
 
     ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`) records one
     ``multiseed_seed`` event per run plus aggregate gauges.  Events are
@@ -116,7 +120,9 @@ def run_multiseed(
             completion_rate=evaluation.completion_rate,
         )
 
-    result.runs.extend(parallel_map(run_one_seed, seeds, workers=workers))
+    result.runs.extend(
+        parallel_map(run_one_seed, seeds, workers=workers, timeout_s=timeout_s)
+    )
     if telemetry is not None:
         for run in result.runs:
             telemetry.events.emit(

@@ -16,6 +16,7 @@ machinery is worth.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.agents.base import AgentSystem
@@ -58,10 +59,18 @@ class DegradationCurve:
         return [point.result.completion_rate for point in self.points]
 
     def degradation_ratio(self) -> float:
-        """Travel time at the worst fault rate relative to healthy."""
+        """Travel time at the worst fault rate relative to healthy.
+
+        Follows the ``?``-gap reporting rules: a curve whose endpoints
+        are not both finite (e.g. an all-invalid-episodes evaluation)
+        reports NaN rather than inventing a ratio.
+        """
         if len(self.points) < 2 or self.travel_times[0] == 0:
             return 1.0
-        return self.travel_times[-1] / self.travel_times[0]
+        first, last = self.travel_times[0], self.travel_times[-1]
+        if not (math.isfinite(first) and math.isfinite(last)):
+            return float("nan")
+        return last / first
 
 
 def evaluate_under_faults(
@@ -197,7 +206,9 @@ def formatted_degradation_table(curves: list[DegradationCurve]) -> str:
 
     Cells are average travel time in seconds with the completion rate in
     parentheses; the final column is travel time at the worst fault rate
-    relative to the healthy run.
+    relative to the healthy run.  Non-finite samples (an evaluation with
+    no finished vehicles reports NaN) render as ``?`` gaps, following
+    the same convention as :mod:`repro.eval.reporting` charts.
     """
     if not curves:
         return "(no degradation curves)"
@@ -206,11 +217,16 @@ def formatted_degradation_table(curves: list[DegradationCurve]) -> str:
     header += f"{'worst/healthy':>15}"
     lines = [header, "-" * len(header)]
     for curve in curves:
-        cells = "".join(
-            f"{point.result.average_travel_time:>9.1f}s ({point.result.completion_rate:>3.0%})"
-            for point in curve.points
-        )
-        lines.append(
-            f"{curve.agent_name:<24}{cells}{curve.degradation_ratio():>14.2f}x"
-        )
+        cells = "".join(_format_point(point) for point in curve.points)
+        ratio = curve.degradation_ratio()
+        ratio_cell = f"{ratio:>14.2f}x" if math.isfinite(ratio) else f"{'?':>15}"
+        lines.append(f"{curve.agent_name:<24}{cells}{ratio_cell}")
     return "\n".join(lines)
+
+
+def _format_point(point: RobustnessPoint) -> str:
+    """One table cell; ``?`` gaps for non-finite travel times."""
+    travel_time = point.result.average_travel_time
+    if not math.isfinite(travel_time):
+        return f"{'?':>10} ({point.result.completion_rate:>3.0%})"
+    return f"{travel_time:>9.1f}s ({point.result.completion_rate:>3.0%})"

@@ -16,7 +16,11 @@ fault-rate sweeps built on top.
 """
 
 from repro.faults.config import FAULT_KINDS, FaultConfig
-from repro.faults.controller import FALLBACK_POLICIES, ControllerFaultWrapper
+from repro.faults.controller import (
+    FALLBACK_POLICIES,
+    ControllerFaultWrapper,
+    FallbackController,
+)
 from repro.faults.detectors import FaultyDetectorSuite
 from repro.faults.schedule import FaultSchedule
 
@@ -24,6 +28,7 @@ __all__ = [
     "ControllerFaultWrapper",
     "FALLBACK_POLICIES",
     "FAULT_KINDS",
+    "FallbackController",
     "FaultConfig",
     "FaultSchedule",
     "FaultyDetectorSuite",

@@ -24,6 +24,57 @@ from repro.sim.signal import FixedTimeProgram
 FALLBACK_POLICIES = ("fixed_time", "max_pressure")
 
 
+class FallbackController:
+    """Stateless-policy substitute for one or more dead RL controllers.
+
+    Computes classical actions (cyclic fixed-time or max-pressure) for
+    any intersection of the environment.  Shared by
+    :class:`ControllerFaultWrapper` (episode-scoped controller deaths
+    during training/evaluation) and the real-time service
+    (:mod:`repro.serve`), so both layers degrade identically.
+    """
+
+    def __init__(self, policy: str = "max_pressure", fixed_stage_seconds: int = 5) -> None:
+        if policy not in FALLBACK_POLICIES:
+            raise FaultInjectionError(
+                f"unknown fallback {policy!r}; choose from {FALLBACK_POLICIES}"
+            )
+        self.policy = policy
+        self.fixed_stage_seconds = fixed_stage_seconds
+        self._programs: dict[str, FixedTimeProgram] = {}
+
+    def action(self, env: TrafficSignalEnv, node_id: str) -> int:
+        """Fallback phase for ``node_id`` at the current simulation time."""
+        if self.policy == "fixed_time":
+            return self._fixed_time_action(env, node_id)
+        return self._max_pressure_action(env, node_id)
+
+    def _fixed_time_action(self, env: TrafficSignalEnv, node_id: str) -> int:
+        assert env.sim is not None
+        program = self._programs.get(node_id)
+        if program is None:
+            num_phases = env.action_spaces[node_id].n
+            program = FixedTimeProgram(
+                [(index, self.fixed_stage_seconds) for index in range(num_phases)]
+            )
+            self._programs[node_id] = program
+        return program.phase_at(env.sim.time)
+
+    def _max_pressure_action(self, env: TrafficSignalEnv, node_id: str) -> int:
+        assert env.detectors is not None
+        plan = env.phase_plans[node_id]
+        best_index = 0
+        best_pressure = -np.inf
+        for index, phase in enumerate(plan.phases):
+            pressure = sum(
+                env.detectors.movement_pressure(env.network.movements[key])
+                for key in phase.green_movements
+            )
+            if pressure > best_pressure:
+                best_index, best_pressure = index, pressure
+        return best_index
+
+
 class ControllerFaultWrapper(AgentSystem):
     """Inject per-episode controller deaths around an agent system."""
 
@@ -35,16 +86,12 @@ class ControllerFaultWrapper(AgentSystem):
         seed: int = 0,
         fixed_stage_seconds: int = 5,
     ) -> None:
-        if fallback not in FALLBACK_POLICIES:
-            raise FaultInjectionError(
-                f"unknown fallback {fallback!r}; choose from {FALLBACK_POLICIES}"
-            )
         self.inner = inner
         self.schedule = FaultSchedule(config, seed=seed)
         self.fallback = fallback
         self.fixed_stage_seconds = fixed_stage_seconds
         self.name = f"{inner.name}+{fallback}-fallback"
-        self._programs: dict[str, FixedTimeProgram] = {}
+        self._controller = FallbackController(fallback, fixed_stage_seconds)
 
     # ------------------------------------------------------------------
     # Delegated lifecycle
@@ -102,31 +149,4 @@ class ControllerFaultWrapper(AgentSystem):
 
     # ------------------------------------------------------------------
     def _fallback_action(self, env: TrafficSignalEnv, node_id: str) -> int:
-        if self.fallback == "fixed_time":
-            return self._fixed_time_action(env, node_id)
-        return self._max_pressure_action(env, node_id)
-
-    def _fixed_time_action(self, env: TrafficSignalEnv, node_id: str) -> int:
-        assert env.sim is not None
-        program = self._programs.get(node_id)
-        if program is None:
-            num_phases = env.action_spaces[node_id].n
-            program = FixedTimeProgram(
-                [(index, self.fixed_stage_seconds) for index in range(num_phases)]
-            )
-            self._programs[node_id] = program
-        return program.phase_at(env.sim.time)
-
-    def _max_pressure_action(self, env: TrafficSignalEnv, node_id: str) -> int:
-        assert env.detectors is not None
-        plan = env.phase_plans[node_id]
-        best_index = 0
-        best_pressure = -np.inf
-        for index, phase in enumerate(plan.phases):
-            pressure = sum(
-                env.detectors.movement_pressure(env.network.movements[key])
-                for key in phase.green_movements
-            )
-            if pressure > best_pressure:
-                best_index, best_pressure = index, pressure
-        return best_index
+        return self._controller.action(env, node_id)

@@ -25,6 +25,7 @@ from repro.nn.serialization import (
     load_state,
     read_archive,
     save_state,
+    validate_finite_state,
 )
 from repro.nn.tensor import Tensor, affine, concat, lstm_cell, lstm_trunk, no_grad, stack, where
 
@@ -57,5 +58,6 @@ __all__ = [
     "read_archive",
     "save_state",
     "stack",
+    "validate_finite_state",
     "where",
 ]

@@ -72,7 +72,12 @@ class Module:
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load parameter arrays produced by :meth:`state_dict`."""
+        """Load parameter arrays produced by :meth:`state_dict`.
+
+        All-or-nothing: every key and shape is validated before the
+        first parameter is assigned, so a mismatched state dict can
+        never leave the module half-loaded.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -81,6 +86,7 @@ class Module:
                 f"state dict mismatch: missing={sorted(missing)} "
                 f"unexpected={sorted(unexpected)}"
             )
+        staged: dict[str, np.ndarray] = {}
         for name, param in own.items():
             value = np.asarray(state[name], dtype=np.float64)
             if value.shape != param.data.shape:
@@ -88,7 +94,9 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"expected {param.data.shape}, got {value.shape}"
                 )
-            param.data = value.copy()
+            staged[name] = value
+        for name, param in own.items():
+            param.data = staged[name].copy()
 
     def copy_from(self, other: "Module") -> None:
         """Hard-copy parameters from a structurally identical module."""

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import os
 import tempfile
-import zipfile
 
 import numpy as np
 
@@ -47,19 +46,53 @@ def atomic_savez(path: str | os.PathLike, arrays: dict[str, np.ndarray]) -> None
         raise
 
 
-def read_archive(path: str | os.PathLike) -> dict[str, np.ndarray]:
+def read_archive(
+    path: str | os.PathLike, require_finite: bool = False
+) -> dict[str, np.ndarray]:
     """Load every array of an ``.npz`` archive written by us.
 
-    Raises :class:`CheckpointError` for missing or unreadable files
-    (e.g. a checkpoint truncated by a non-atomic writer).
+    Raises :class:`CheckpointError` for missing or unreadable files.
+    The except clause is deliberately broad: a truncated or bit-flipped
+    archive can surface as almost anything out of the zip/pickle/npy
+    stack (``BadZipFile``, ``OSError``, ``EOFError``, ``struct.error``,
+    …) and every one of them must come out as a clean
+    :class:`CheckpointError`, never a raw internal crash.
+
+    ``require_finite=True`` additionally rejects archives containing
+    NaN/inf float values — a bit-flip in an ``.npy`` payload region can
+    pass the zip CRC boundary checks yet produce non-finite weights,
+    which must never be loaded silently into a live policy.
     """
     try:
         with np.load(path) as archive:
-            return {name: archive[name] for name in archive.files}
+            state = {name: archive[name] for name in archive.files}
     except FileNotFoundError as error:
         raise CheckpointError(f"checkpoint not found: {path}") from error
-    except (zipfile.BadZipFile, OSError, ValueError, KeyError) as error:
+    except CheckpointError:
+        raise
+    except Exception as error:
         raise CheckpointError(f"unreadable checkpoint {path}: {error}") from error
+    if require_finite:
+        validate_finite_state(state, source=os.fspath(path))
+    return state
+
+
+def validate_finite_state(
+    state: dict[str, np.ndarray], source: str = "checkpoint"
+) -> None:
+    """Reject state dicts with non-finite float arrays.
+
+    Raises :class:`CheckpointError` naming the first offending key.
+    Integer arrays (RNG streams, counters) are ignored.
+    """
+    for name, value in state.items():
+        array = np.asarray(value)
+        if np.issubdtype(array.dtype, np.floating) and not np.all(
+            np.isfinite(array)
+        ):
+            raise CheckpointError(
+                f"{source}: array {name!r} contains non-finite values"
+            )
 
 
 def save_state(module: Module, path: str | os.PathLike) -> None:

@@ -174,6 +174,90 @@ class Telemetry:
         self.metrics.count(f"faults.{kind}")
 
     # ------------------------------------------------------------------
+    # Serving events (ops plane of repro.serve)
+    # ------------------------------------------------------------------
+    def serve_deadline_miss(
+        self, tick: int, elapsed_ms: float, deadline_ms: float
+    ) -> None:
+        """One tick's policy evaluation ran past its deadline budget."""
+        self.events.emit(
+            "serve_deadline_miss",
+            tick=int(tick),
+            elapsed_ms=float(elapsed_ms),
+            deadline_ms=float(deadline_ms),
+        )
+        self.metrics.count("serve.deadline_misses")
+        self.metrics.observe("serve.miss_elapsed_ms", elapsed_ms)
+
+    def serve_policy_failure(self, tick: int, error: str) -> None:
+        """The policy raised during evaluation; the tick was served
+        entirely from the fallback."""
+        self.events.emit("serve_policy_failure", tick=int(tick), error=str(error))
+        self.metrics.count("serve.policy_exceptions")
+        self.events.flush()
+
+    def serve_fallback(
+        self, node_id: str, tick: int, reason: str, backoff_ticks: int
+    ) -> None:
+        """One intersection was demoted from the policy to the fallback."""
+        self.events.emit(
+            "serve_fallback",
+            node=str(node_id),
+            tick=int(tick),
+            reason=str(reason),
+            backoff_ticks=int(backoff_ticks),
+        )
+        self.metrics.count("serve.demotions")
+        self.metrics.count(f"serve.fallback.{reason}")
+
+    def serve_promotion(self, node_id: str, tick: int) -> None:
+        """One intersection was re-promoted to the primary policy."""
+        self.events.emit("serve_promotion", node=str(node_id), tick=int(tick))
+        self.metrics.count("serve.promotions")
+
+    def serve_watchdog_stall(self, tick: int, threshold_ms: float) -> None:
+        """The watchdog fired: a policy evaluation is hung/very slow.
+
+        Emitted from the watchdog timer thread while the evaluation may
+        still be running (event-buffer appends are thread-safe).
+        """
+        self.events.emit(
+            "serve_watchdog_stall",
+            tick=int(tick),
+            threshold_ms=float(threshold_ms),
+        )
+        self.metrics.count("serve.watchdog_stalls")
+
+    def serve_reload(
+        self, path: str, applied: bool, generation: int, reason: str = ""
+    ) -> None:
+        """Outcome of a checkpoint hot-reload attempt (applied or
+        rejected-with-rollback).  Flushed immediately: reloads are the
+        durability points of a serving session."""
+        self.events.emit(
+            "serve_reload",
+            path=str(path),
+            applied=bool(applied),
+            generation=int(generation),
+            reason=str(reason),
+        )
+        self.metrics.count(
+            "serve.reloads_applied" if applied else "serve.reloads_rejected"
+        )
+        self.events.flush()
+
+    def serve_session(self, report: dict) -> None:
+        """End-of-session health snapshot (see
+        :meth:`repro.serve.HealthTracker.report`)."""
+        self.events.emit("serve_session", **report)
+        self.metrics.gauge("serve.unserved", report.get("unserved", 0))
+        self.metrics.gauge(
+            "serve.intersections_per_second",
+            report.get("intersections_per_second", 0.0),
+        )
+        self.events.flush()
+
+    # ------------------------------------------------------------------
     # Shutdown
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -1,6 +1,6 @@
 """Benchmark runners emitting ``benchmarks/BENCH_*.json``.
 
-Three benchmarks track the perf trajectory across PRs:
+Four benchmarks track the perf trajectory across PRs:
 
 * **engine** — raw simulator tick throughput on the 4x4 grid under a
   fixed-time controller (no learning, no observation building).
@@ -10,6 +10,11 @@ Three benchmarks track the perf trajectory across PRs:
   measured for the fused kernel path and the composed op chain in
   interleaved rounds (the two are bit-exact, so both systems do
   identical numerical work and the ratio isolates graph overhead).
+* **serve** — sustained intersections-served/s and p99 decision latency
+  of the real-time control service (:mod:`repro.serve`) under an
+  injected fault schedule (controller deaths + message delay) with a
+  valid and a corrupt hot-reload mid-run; also asserts the robustness
+  contract (zero unserved ticks, corrupt reload rejected).
 
 Each reports the baseline it was optimized against (measured with the
 same harness, in the same run where possible) so the recorded speedup is
@@ -284,6 +289,110 @@ def bench_update(rounds: int = 5, warmup_rounds: int = 1) -> dict:
     }
 
 
+def bench_serve(
+    ticks: int = 180,
+    deadline_ms: float = 50.0,
+    controller_failure: float = 0.25,
+    message_delay: float = 0.25,
+    seed: int = 7,
+) -> dict:
+    """Real-time serving throughput under an injected fault schedule.
+
+    Builds a :class:`repro.serve.ControlService` over the 4x4 training
+    grid with controller-death and message-delay faults active, serves
+    ``ticks`` decision steps, and applies one **valid** and one
+    **corrupt** (truncated) checkpoint hot-reload mid-run.  Reports
+    sustained intersections-served/s (over decision time only — the
+    simulator advance between decisions is not serving work) and
+    p50/p99/max decision latency.
+
+    The robustness contract is enforced, not just measured: a single
+    unserved intersection-tick, an accepted corrupt reload, or a
+    rejected valid reload raises :class:`~repro.errors.SimulationError`.
+    """
+    import tempfile
+
+    from repro.agents.pairuplight import PairUpLightSystem
+    from repro.errors import SimulationError
+    from repro.faults.config import FaultConfig
+    from repro.serve import ControlService, PolicyRuntime, ServeConfig
+
+    scale = ExperimentScale(**_TRAIN_SCALE)
+    experiment = GridExperiment(scale, seed=seed)
+    faults = FaultConfig(
+        controller_failure=controller_failure, message_delay=message_delay
+    )
+    env = experiment.train_env(1, faults=faults)
+    factory = lambda: PairUpLightSystem(env, seed=seed)  # noqa: E731
+
+    with tempfile.TemporaryDirectory(prefix="bench_serve_") as tmp:
+        checkpoint = os.path.join(tmp, "policy.npz")
+        factory().save(checkpoint)
+        # A truncated copy models a checkpoint corrupted in transit.
+        corrupt = os.path.join(tmp, "corrupt.npz")
+        with open(checkpoint, "rb") as handle:
+            payload = handle.read()
+        with open(corrupt, "wb") as handle:
+            handle.write(payload[: len(payload) // 2])
+
+        runtime = PolicyRuntime(factory, checkpoint=checkpoint)
+        service = ControlService(
+            env, runtime, ServeConfig(deadline_ms=deadline_ms)
+        )
+        observations = service.start_episode(seed=123)
+        for tick in range(ticks):
+            if tick == ticks // 4:
+                service.request_reload(checkpoint)
+            elif tick == ticks // 2:
+                service.request_reload(corrupt)
+            actions = service.decide(observations)
+            result = env.step(actions)
+            if result.done:
+                service.health.episodes += 1
+                observations = service.start_episode()
+            else:
+                observations = result.observations
+
+    health = service.health
+    if health.unserved:
+        raise SimulationError(
+            f"serve contract violated: {health.unserved} unserved decisions"
+        )
+    if health.reloads_applied != 1 or health.reloads_rejected != 1:
+        raise SimulationError(
+            "serve contract violated: expected 1 applied + 1 rejected reload, "
+            f"got {health.reloads_applied} applied / "
+            f"{health.reloads_rejected} rejected"
+        )
+    return {
+        "benchmark": "serve",
+        "scenario": dict(
+            _TRAIN_SCALE,
+            model="PairUpLight",
+            ticks=ticks,
+            deadline_ms=deadline_ms,
+            controller_failure=controller_failure,
+            message_delay=message_delay,
+            reloads="1 valid + 1 truncated (rejected, rolled back)",
+        ),
+        "num_agents": len(env.agent_ids),
+        "ticks": health.ticks,
+        "intersections_served": health.intersections_served,
+        "unserved_ticks": health.unserved,
+        "intersections_per_second": round(health.intersections_per_second(), 1),
+        "p50_latency_ms": round(health.latency_percentile(50.0), 3),
+        "p99_latency_ms": round(health.latency_percentile(99.0), 3),
+        "deadline_misses": health.deadline_misses,
+        "fallback_decisions": health.fallback_ticks,
+        "controller_fault_ticks": health.controller_faults,
+        "fallback_transitions": service.fallbacks.total_transitions(),
+        "reloads": {
+            "applied": health.reloads_applied,
+            "rejected": health.reloads_rejected,
+        },
+    }
+
+
 def write_benchmarks(
     out_dir: str, which: str = "all", **bench_kwargs
 ) -> dict[str, str]:
@@ -308,4 +417,10 @@ def write_benchmarks(
             json.dump(bench_update(), handle, indent=2)
             handle.write("\n")
         written["update"] = path
+    if which in ("all", "serve"):
+        path = os.path.join(out_dir, "BENCH_serve.json")
+        with open(path, "w") as handle:
+            json.dump(bench_serve(), handle, indent=2)
+            handle.write("\n")
+        written["serve"] = path
     return written

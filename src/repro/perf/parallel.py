@@ -11,6 +11,13 @@ returns exactly ``[fn(x) for x in items]`` for any worker count — the
 property the multi-seed determinism tests pin down.  Work is sharded
 round-robin; each worker processes its shard sequentially.
 
+Hung workers: a worker that never returns (deadlock, livelock, an
+``fn`` stuck in C code) used to block the parent forever.  With
+``timeout_s`` set, the parent waits at most that long past dispatch for
+*all* workers; stragglers are terminated and a
+:class:`repro.errors.SimulationError` names each unresponsive worker and
+the items (e.g. seeds) it was still processing.
+
 On platforms without the ``fork`` start method (or with ``workers <= 1``)
 the map silently degrades to a serial loop.
 """
@@ -18,7 +25,11 @@ the map silently degrades to a serial loop.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
+import time
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import SimulationError
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -39,10 +50,18 @@ def _worker(
         conn.close()
 
 
+def _describe_pending(items: Sequence[T], shard: list[int]) -> str:
+    """Human-readable slice of a hung worker's outstanding items."""
+    shown = [repr(items[index]) for index in shard[:4]]
+    suffix = ", ..." if len(shard) > 4 else ""
+    return f"items {shard[:4]}{suffix} = [{', '.join(shown)}{suffix}]"
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     workers: int = 0,
+    timeout_s: float | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``items``, optionally across forked workers.
 
@@ -54,6 +73,13 @@ def parallel_map(
         The inputs; consumed eagerly.
     workers:
         Number of worker processes.  ``0`` or ``1`` runs serially.
+    timeout_s:
+        Wall-clock budget for the whole parallel phase.  ``None`` (the
+        default) waits forever, matching the historical behaviour.
+        On expiry, still-running workers are terminated and a
+        :class:`~repro.errors.SimulationError` reports which items
+        (seeds, in the multiseed harness) never completed.  Serial runs
+        ignore the timeout — a hung ``fn`` hangs the caller either way.
     """
     items = list(items)
     workers = min(int(workers or 0), len(items))
@@ -77,25 +103,49 @@ def parallel_map(
         processes.append(process)
         pipes.append(parent_conn)
 
+    deadline = None if timeout_s is None else time.monotonic() + timeout_s
     results: list[R | None] = [None] * len(items)
     errors: list[str] = []
+    hung: list[str] = []
+    pending = {conn: index for index, conn in enumerate(pipes)}
     try:
-        for conn in pipes:
-            try:
-                status, payload = conn.recv()
-            except EOFError:
-                errors.append("worker exited without sending results")
-                continue
-            if status == "ok":
-                for index, value in payload:
-                    results[index] = value
-            else:
-                errors.append(payload)
+        while pending:
+            wait_for = None
+            if deadline is not None:
+                wait_for = max(deadline - time.monotonic(), 0.0)
+            ready = multiprocessing.connection.wait(
+                list(pending), timeout=wait_for
+            )
+            if not ready:  # timeout expired with workers still running
+                for conn, index in sorted(pending.items(), key=lambda kv: kv[1]):
+                    hung.append(
+                        f"worker {index} unresponsive after {timeout_s:.1f}s "
+                        f"({_describe_pending(items, shards[index])})"
+                    )
+                break
+            for conn in ready:
+                pending.pop(conn)
+                try:
+                    status, payload = conn.recv()
+                except EOFError:
+                    errors.append("worker exited without sending results")
+                    continue
+                if status == "ok":
+                    for index, value in payload:
+                        results[index] = value
+                else:
+                    errors.append(payload)
     finally:
         for conn in pipes:
             conn.close()
         for process in processes:
+            if hung and process.is_alive():
+                process.terminate()
             process.join()
+    if hung:
+        raise SimulationError(
+            f"parallel_map timed out: {'; '.join(hung)}"
+        )
     if errors:
         raise RuntimeError(f"parallel_map worker failed: {errors[0]}")
     return results  # type: ignore[return-value]

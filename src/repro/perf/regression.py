@@ -6,14 +6,16 @@ committed number and fails when the drop exceeds ``threshold`` (default
 20%).  Benchmarks are noisy, so measurements favour best-of/median
 aggregation — a genuine regression shifts every repeat, noise does not.
 
-Three gates cover the three committed benchmark files:
+Four gates cover the four committed benchmark files:
 
 * :func:`check_engine_regression` — simulator ticks/s
   (``BENCH_engine.json``),
 * :func:`check_train_regression` — rollout env-steps/s
   (``BENCH_train.json``),
 * :func:`check_update_regression` — fused PPO-update minibatch steps/s
-  (``BENCH_update.json``).
+  (``BENCH_update.json``),
+* :func:`check_serve_regression` — control-service intersections-served/s
+  under faults (``BENCH_serve.json``).
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
-from repro.perf.bench import bench_engine, bench_train, bench_update
+from repro.perf.bench import bench_engine, bench_serve, bench_train, bench_update
 
 DEFAULT_THRESHOLD = 0.20
 
@@ -124,4 +126,28 @@ def check_update_regression(
         baseline,
         threshold=threshold,
         metric="update steps/s",
+    )
+
+
+def check_serve_regression(
+    baseline_path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    ticks: int = 180,
+) -> RegressionVerdict:
+    """Measure live serving throughput under faults and gate it.
+
+    Running the benchmark also re-asserts the serving contract (zero
+    unserved ticks, corrupt reload rejected) — a robustness break fails
+    CI with a :class:`~repro.errors.SimulationError` before the
+    throughput comparison is reached.
+    """
+    with open(baseline_path) as handle:
+        committed = json.load(handle)
+    baseline = float(committed["intersections_per_second"])
+    live = bench_serve(ticks=ticks)
+    return evaluate_gate(
+        float(live["intersections_per_second"]),
+        baseline,
+        threshold=threshold,
+        metric="serve intersections/s",
     )

@@ -1,0 +1,76 @@
+"""Configuration for the real-time control service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.faults.controller import FALLBACK_POLICIES
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Operating envelope of a :class:`repro.serve.ControlService`.
+
+    The service promises an action for **every intersection on every
+    tick**; these knobs control how it keeps that promise when the
+    policy is slow, crashing, or producing garbage.
+    """
+
+    #: Per-tick decision budget in milliseconds.  A tick whose policy
+    #: evaluation runs past this is a *deadline miss*: the whole batch
+    #: is served from the fallback and every intersection is demoted.
+    deadline_ms: float = 50.0
+    #: Classical fallback policy (see :data:`repro.faults.FALLBACK_POLICIES`).
+    fallback: str = "max_pressure"
+    #: Stage length of the cyclic fixed-time fallback program.
+    fixed_stage_seconds: int = 5
+    #: Ticks an intersection stays on the fallback after its first failure.
+    backoff_base_ticks: int = 2
+    #: Backoff multiplier applied when a probe fails again.
+    backoff_factor: float = 2.0
+    #: Ceiling on the backoff dwell, in ticks.
+    backoff_max_ticks: int = 64
+    #: Consecutive healthy probe ticks before an intersection is
+    #: re-promoted to the primary policy.
+    promote_after: int = 2
+    #: Consecutive healthy primary ticks after which the escalated
+    #: backoff resets to :attr:`backoff_base_ticks` (anti-flapping: a
+    #: policy that oscillates keeps its long backoff until it has been
+    #: genuinely stable for a while).
+    reset_backoff_after: int = 16
+    #: Arm a side-thread watchdog around every policy evaluation; it
+    #: fires when the evaluation hangs past
+    #: ``watchdog_factor * deadline_ms``.
+    watchdog: bool = True
+    #: Hang threshold as a multiple of the deadline.
+    watchdog_factor: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms <= 0:
+            raise ConfigError("deadline_ms must be positive")
+        if self.fallback not in FALLBACK_POLICIES:
+            raise ConfigError(
+                f"unknown fallback {self.fallback!r}; "
+                f"choose from {FALLBACK_POLICIES}"
+            )
+        if self.backoff_base_ticks <= 0 or self.backoff_max_ticks <= 0:
+            raise ConfigError("backoff tick counts must be positive")
+        if self.backoff_max_ticks < self.backoff_base_ticks:
+            raise ConfigError("backoff_max_ticks must be >= backoff_base_ticks")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if self.promote_after <= 0:
+            raise ConfigError("promote_after must be positive")
+        if self.reset_backoff_after <= 0:
+            raise ConfigError("reset_backoff_after must be positive")
+        if self.watchdog_factor <= 1.0:
+            raise ConfigError("watchdog_factor must exceed 1")
+
+    @property
+    def deadline_s(self) -> float:
+        return self.deadline_ms / 1000.0
+
+    @property
+    def watchdog_threshold_s(self) -> float:
+        return self.deadline_s * self.watchdog_factor

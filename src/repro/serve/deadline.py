@@ -1,0 +1,96 @@
+"""Deadline accounting and hung-evaluation watchdog.
+
+A :class:`DeadlineBudget` is a one-shot stopwatch started at tick entry;
+the service reads it after the policy evaluation to classify the tick.
+The clock is injectable so deadline behaviour is deterministic under
+test (a fake clock advances exactly as scripted).
+
+A :class:`Watchdog` covers the failure the budget cannot: a policy
+evaluation that never returns.  It arms a side-thread timer before the
+evaluation; if the evaluation is still running when the hang threshold
+expires, the timer fires from its own thread and reports the stall
+(telemetry + counters) while the main thread is still stuck — the ops
+plane sees the hang even though the service thread cannot preempt it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.errors import ConfigError
+
+
+class DeadlineBudget:
+    """One tick's decision budget, measured from construction."""
+
+    def __init__(
+        self,
+        deadline_s: float,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if deadline_s <= 0:
+            raise ConfigError("deadline must be positive")
+        self.deadline_s = deadline_s
+        self._clock = clock
+        self._start = clock()
+
+    def elapsed(self) -> float:
+        """Seconds since the budget was opened."""
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left before the deadline (negative once missed)."""
+        return self.deadline_s - self.elapsed()
+
+    def exceeded(self) -> bool:
+        """Whether the deadline has been missed."""
+        return self.elapsed() > self.deadline_s
+
+
+class Watchdog:
+    """Side-thread detector for hung policy evaluations.
+
+    ``arm(tick)`` starts a timer; ``disarm()`` cancels it and reports
+    whether it fired.  The optional ``on_stall(tick, threshold_s)``
+    callback runs on the timer thread, so it must only do thread-safe
+    reporting (the telemetry event log append qualifies).
+    """
+
+    def __init__(
+        self,
+        threshold_s: float,
+        on_stall: Callable[[int, float], None] | None = None,
+    ) -> None:
+        if threshold_s <= 0:
+            raise ConfigError("watchdog threshold must be positive")
+        self.threshold_s = threshold_s
+        self.on_stall = on_stall
+        self.stalls = 0
+        self.last_stall_tick: int | None = None
+        self._timer: threading.Timer | None = None
+        self._fired = threading.Event()
+
+    def arm(self, tick: int) -> None:
+        """Start watching one policy evaluation."""
+        self.disarm()
+        self._fired.clear()
+
+        def _fire() -> None:
+            self._fired.set()
+            self.stalls += 1
+            self.last_stall_tick = tick
+            if self.on_stall is not None:
+                self.on_stall(tick, self.threshold_s)
+
+        self._timer = threading.Timer(self.threshold_s, _fire)
+        self._timer.daemon = True
+        self._timer.start()
+
+    def disarm(self) -> bool:
+        """Stop watching; returns whether the watchdog fired."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        return self._fired.is_set()

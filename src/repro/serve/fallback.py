@@ -1,0 +1,155 @@
+"""Per-intersection fallback state machine with exponential backoff.
+
+Each intersection is in one of three modes:
+
+* ``primary`` — serving the learned policy's action,
+* ``backoff`` — serving the classical fallback for a dwell period after
+  a failure (deadline miss, policy exception, invalid/NaN action, or an
+  injected controller fault),
+* ``probation`` — the dwell expired and the policy looks healthy again;
+  its actions are served but not yet trusted.  After ``promote_after``
+  consecutive healthy ticks the intersection returns to ``primary``.
+
+A failure during probation (or a controller fault persisting past the
+dwell) doubles the backoff up to ``backoff_max_ticks``, so a
+persistently broken policy is probed ever more rarely instead of
+flapping between modes.  The escalated backoff only resets to the base
+dwell after ``reset_backoff_after`` consecutive healthy primary ticks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serve.config import ServeConfig
+
+#: Intersection modes (exposed for assertions and reports).
+PRIMARY = "primary"
+BACKOFF = "backoff"
+PROBATION = "probation"
+
+
+@dataclass
+class NodeHealth:
+    """Fallback bookkeeping for one intersection."""
+
+    mode: str = PRIMARY
+    backoff_ticks: int = 0
+    resume_tick: int = 0
+    healthy_streak: int = 0
+    failures: int = 0
+    fallback_ticks: int = 0
+    demotions: int = 0
+    promotions: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "failures": self.failures,
+            "fallback_ticks": self.fallback_ticks,
+            "demotions": self.demotions,
+            "promotions": self.promotions,
+            "backoff_ticks": self.backoff_ticks,
+        }
+
+
+@dataclass
+class FallbackDecision:
+    """Outcome of one per-intersection arbitration."""
+
+    use_fallback: bool
+    #: Mode transition this tick, if any: ``"demoted"`` or ``"promoted"``.
+    transition: str | None = None
+
+
+class FallbackManager:
+    """Arbitrates policy vs. fallback for every intersection, every tick."""
+
+    def __init__(self, node_ids: list[str], config: ServeConfig) -> None:
+        self.config = config
+        self._states: dict[str, NodeHealth] = {
+            node_id: NodeHealth(backoff_ticks=config.backoff_base_ticks)
+            for node_id in node_ids
+        }
+
+    # ------------------------------------------------------------------
+    def decide(self, node_id: str, tick: int, policy_healthy: bool) -> FallbackDecision:
+        """Arbitrate one intersection for one tick.
+
+        ``policy_healthy`` is this tick's verdict for this intersection:
+        False on a deadline miss, policy exception, invalid action, or
+        injected controller fault.
+        """
+        cfg = self.config
+        state = self._states[node_id]
+        if not policy_healthy:
+            transition = None
+            if state.mode == PRIMARY:
+                # Keep an escalated dwell from recent instability
+                # (anti-flap); it shrinks back to the base dwell only
+                # via ``reset_backoff_after`` sustained healthy ticks.
+                state.backoff_ticks = max(
+                    state.backoff_ticks, cfg.backoff_base_ticks
+                )
+                state.resume_tick = tick + state.backoff_ticks
+                transition = "demoted"
+                state.demotions += 1
+            elif state.mode == PROBATION or tick >= state.resume_tick:
+                # A probe failed: the policy is still broken — escalate.
+                state.backoff_ticks = min(
+                    max(
+                        int(state.backoff_ticks * cfg.backoff_factor),
+                        state.backoff_ticks + 1,
+                    ),
+                    cfg.backoff_max_ticks,
+                )
+                state.resume_tick = tick + state.backoff_ticks
+            # A failure inside the dwell keeps the existing probe
+            # schedule: the next probe happens when the dwell expires,
+            # so a permanently broken policy is probed at exponentially
+            # growing intervals instead of never (or every tick).
+            state.mode = BACKOFF
+            state.healthy_streak = 0
+            state.failures += 1
+            state.fallback_ticks += 1
+            return FallbackDecision(True, transition)
+
+        if state.mode == PRIMARY:
+            state.healthy_streak += 1
+            if state.healthy_streak >= cfg.reset_backoff_after:
+                state.backoff_ticks = cfg.backoff_base_ticks
+            return FallbackDecision(False)
+
+        if state.mode == BACKOFF and tick < state.resume_tick:
+            state.fallback_ticks += 1
+            return FallbackDecision(True)
+
+        # Dwell expired and the policy is healthy: probe it.
+        state.mode = PROBATION
+        state.healthy_streak += 1
+        if state.healthy_streak >= cfg.promote_after:
+            state.mode = PRIMARY
+            state.promotions += 1
+            return FallbackDecision(False, "promoted")
+        return FallbackDecision(False)
+
+    # ------------------------------------------------------------------
+    def mode(self, node_id: str) -> str:
+        return self._states[node_id].mode
+
+    def state(self, node_id: str) -> NodeHealth:
+        return self._states[node_id]
+
+    def degraded_nodes(self) -> list[str]:
+        """Intersections currently not in primary mode."""
+        return sorted(
+            node for node, state in self._states.items() if state.mode != PRIMARY
+        )
+
+    def total_transitions(self) -> int:
+        """Demotions + promotions across all intersections (flap metric)."""
+        return sum(s.demotions + s.promotions for s in self._states.values())
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-intersection health, JSON-safe."""
+        return {node: state.as_dict() for node, state in self._states.items()}

@@ -1,0 +1,177 @@
+"""Policy lifecycle for serving: checkpoint loading and atomic hot-reload.
+
+A :class:`PolicyRuntime` owns the live agent and the only code path that
+may replace its weights.  Hot-reload is **validate-then-swap**:
+
+1. the candidate archive is read and rejected on any corruption
+   (truncation, bit flips, non-finite values — all surfaced as
+   :class:`~repro.errors.CheckpointError` by the hardened
+   :func:`repro.nn.serialization.read_archive`),
+2. the state is loaded into a **shadow** agent built by the same
+   factory, and a smoke forward pass must produce valid actions,
+3. only then is the state applied to the live agent; if that final
+   apply still fails, the pre-reload snapshot is restored.
+
+The live agent is therefore never observable in a half-loaded state,
+and a corrupt checkpoint dropped next to a running service degrades to
+a rejected reload event instead of an outage.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+from repro.agents.base import AgentSystem
+from repro.env.tsc_env import TrafficSignalEnv
+from repro.errors import CheckpointError
+from repro.nn.serialization import read_archive
+
+
+class ReloadResult:
+    """Outcome of one hot-reload attempt."""
+
+    def __init__(self, applied: bool, path: str, reason: str = "") -> None:
+        self.applied = applied
+        self.path = path
+        self.reason = reason
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.applied
+
+
+class PolicyRuntime:
+    """The live policy and its checkpoint lifecycle.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable building a fresh agent system (also used
+        to build shadow agents for reload validation).
+    checkpoint:
+        Optional initial checkpoint; a bad initial checkpoint raises
+        :class:`CheckpointError` (refusing to start is the correct
+        behaviour — there is no previous generation to fall back to).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], AgentSystem],
+        checkpoint: str | os.PathLike | None = None,
+    ) -> None:
+        self._factory = factory
+        self.agent = factory()
+        self.generation = 0
+        self.checkpoint_path: str | None = None
+        if checkpoint is not None:
+            state = self._read_validated(os.fspath(checkpoint))
+            self.agent.load_state_dict(state)
+            self.generation = 1
+            self.checkpoint_path = os.fspath(checkpoint)
+
+    # ------------------------------------------------------------------
+    # Serving surface
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.agent.name
+
+    def begin_episode(self, env: TrafficSignalEnv) -> None:
+        self.agent.begin_episode(env, training=False)
+
+    def act(
+        self, observations: dict[str, np.ndarray], env: TrafficSignalEnv
+    ) -> dict[str, int]:
+        """Greedy policy actions; exceptions propagate to the service."""
+        return self.agent.act(observations, env, training=False)
+
+    # ------------------------------------------------------------------
+    # Hot-reload
+    # ------------------------------------------------------------------
+    def try_reload(
+        self, path: str | os.PathLike, env: TrafficSignalEnv | None = None
+    ) -> ReloadResult:
+        """Validate ``path`` on a shadow agent and swap atomically.
+
+        Never raises for a bad checkpoint: returns a rejected
+        :class:`ReloadResult` carrying the reason, with the live agent's
+        weights untouched (or restored from the pre-reload snapshot if
+        the final apply itself failed).
+        """
+        path = os.fspath(path)
+        try:
+            state = self._read_validated(path)
+            self._validate_on_shadow(state, env)
+        except CheckpointError as error:
+            return ReloadResult(False, path, str(error))
+        snapshot = self.agent.state_dict()
+        try:
+            self.agent.load_state_dict(state)
+        except Exception as error:  # pre-validated, so this is a bug —
+            # but the service must stay up: restore the snapshot.
+            self.agent.load_state_dict(snapshot)
+            return ReloadResult(False, path, f"apply failed, rolled back: {error}")
+        self.generation += 1
+        self.checkpoint_path = path
+        return ReloadResult(True, path)
+
+    # ------------------------------------------------------------------
+    def _read_validated(self, path: str) -> dict[str, np.ndarray]:
+        """Read an archive and check it matches the live agent exactly."""
+        state = read_archive(path, require_finite=True)
+        expected = set(self.agent.state_dict())
+        got = set(state)
+        if expected != got:
+            missing = sorted(expected - got)[:4]
+            unexpected = sorted(got - expected)[:4]
+            raise CheckpointError(
+                f"checkpoint {path} does not match policy "
+                f"{self.agent.name}: missing={missing} unexpected={unexpected}"
+            )
+        return state
+
+    def _validate_on_shadow(
+        self, state: dict[str, np.ndarray], env: TrafficSignalEnv | None
+    ) -> None:
+        """Load ``state`` into a throwaway agent and smoke-test it."""
+        shadow = self._factory()
+        try:
+            shadow.load_state_dict(state)
+        except (KeyError, ValueError) as error:
+            raise CheckpointError(f"shadow load failed: {error}") from error
+        if env is None or env.sim is None:
+            # No live episode to smoke-test against (detector suite and
+            # congestion state only exist after ``env.reset``); archive
+            # and shadow-load validation still apply.
+            return
+        # Hide the env's fault schedule during the smoke test: the
+        # shadow must not consume fault randomness the live session
+        # would otherwise draw (reloads stay invisible to determinism).
+        schedule = env.fault_schedule
+        env.fault_schedule = None
+        try:
+            shadow.begin_episode(env, training=False)
+            observations = {
+                node_id: np.zeros(env.observation_spaces[node_id].dim)
+                for node_id in env.agent_ids
+            }
+            actions = shadow.act(observations, env, training=False)
+        except Exception as error:
+            raise CheckpointError(f"shadow smoke test crashed: {error}") from error
+        finally:
+            env.fault_schedule = schedule
+        for node_id in env.agent_ids:
+            action = actions.get(node_id)
+            try:
+                valid = action is not None and env.action_spaces[node_id].contains(
+                    int(action)
+                )
+            except (TypeError, ValueError):
+                valid = False
+            if not valid:
+                raise CheckpointError(
+                    f"shadow smoke test produced invalid action "
+                    f"{action!r} for {node_id}"
+                )

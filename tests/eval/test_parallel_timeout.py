@@ -1,0 +1,68 @@
+"""Hung-worker detection in parallel_map: terminate and name the culprit."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perf.parallel import parallel_map
+
+
+class TestTimeout:
+    def test_fast_workers_unaffected_by_timeout(self):
+        assert parallel_map(
+            lambda x: x * 2, [1, 2, 3, 4], workers=2, timeout_s=30.0
+        ) == [2, 4, 6, 8]
+
+    def test_hung_worker_raises_naming_its_items(self):
+        def maybe_hang(seed: int) -> int:
+            if seed == 1:
+                time.sleep(120.0)  # deliberately hung worker
+            return seed
+
+        start = time.monotonic()
+        with pytest.raises(SimulationError) as excinfo:
+            parallel_map(maybe_hang, [0, 1, 2, 3], workers=2, timeout_s=1.0)
+        elapsed = time.monotonic() - start
+        assert elapsed < 30.0, "hung worker was not terminated promptly"
+        message = str(excinfo.value)
+        assert "timed out" in message
+        # Worker 1 owns the round-robin shard [1, 3] — the report names
+        # the unresponsive worker and the seeds it was still processing.
+        assert "worker 1" in message
+        assert "1, 3" in message
+        assert "worker 0" not in message
+
+    def test_all_workers_hung_reports_each(self):
+        def hang(seed: int) -> int:
+            time.sleep(120.0)
+            return seed
+
+        with pytest.raises(SimulationError) as excinfo:
+            parallel_map(hang, [10, 11], workers=2, timeout_s=0.5)
+        message = str(excinfo.value)
+        assert "worker 0" in message
+        assert "worker 1" in message
+        assert "10" in message and "11" in message
+
+    def test_serial_path_ignores_timeout(self):
+        # workers=0 runs inline; the timeout knob must not change results.
+        assert parallel_map(
+            lambda x: x + 1, [1, 2], workers=0, timeout_s=0.001
+        ) == [2, 3]
+
+    def test_worker_exception_still_raises_runtime_error(self):
+        def boom(x: int) -> int:
+            raise ValueError(f"bad item {x}")
+
+        with pytest.raises(RuntimeError, match="bad item"):
+            parallel_map(boom, [1, 2, 3], workers=2, timeout_s=30.0)
+
+    def test_multiseed_exposes_timeout_knob(self):
+        import inspect
+
+        from repro.eval.multiseed import run_multiseed
+
+        assert "timeout_s" in inspect.signature(run_multiseed).parameters

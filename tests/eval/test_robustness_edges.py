@@ -1,0 +1,128 @@
+"""Robustness-evaluation edge cases: empty sweeps, dead fleets, NaN gaps."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.agents import MaxPressureSystem
+from repro.errors import ConfigError, FaultInjectionError
+from repro.eval.harness import ExperimentScale, GridExperiment
+from repro.eval.robustness import (
+    DegradationCurve,
+    RobustnessPoint,
+    evaluate_under_faults,
+    formatted_degradation_table,
+    run_robustness_sweep,
+)
+from repro.rl.runner import EvaluationResult
+
+TINY = ExperimentScale(
+    rows=2,
+    cols=2,
+    peak_rate=300.0,
+    t_peak=60.0,
+    light_duration=120.0,
+    horizon_ticks=60,
+    max_ticks=480,
+    train_episodes=0,
+)
+
+
+def fake_result(travel_time: float, completion: float = 0.5) -> EvaluationResult:
+    return EvaluationResult(
+        agent_name="Fake",
+        average_travel_time=travel_time,
+        average_wait=1.0,
+        finished_vehicles=int(completion * 100),
+        total_created=100,
+        episodes=1,
+        invalid_episodes=0 if math.isfinite(travel_time) else 1,
+    )
+
+
+def fake_curve(name: str, travel_times: list[float]) -> DegradationCurve:
+    curve = DegradationCurve(agent_name=name, kinds=("message",))
+    for rate, tt in zip((0.0, 0.2, 0.4), travel_times):
+        curve.points.append(RobustnessPoint(fault_rate=rate, result=fake_result(tt)))
+    return curve
+
+
+class TestEmptySweeps:
+    def test_empty_rate_grid_yields_empty_curve(self):
+        experiment = GridExperiment(TINY, seed=0)
+        agent = MaxPressureSystem(experiment.train_env(1))
+        curve = run_robustness_sweep(agent, experiment, fault_rates=())
+        assert curve.points == []
+        assert curve.rates == []
+        assert curve.degradation_ratio() == 1.0
+
+    def test_no_curves_table_renders_placeholder(self):
+        assert formatted_degradation_table([]) == "(no degradation curves)"
+
+    def test_empty_curves_table_does_not_crash(self):
+        curve = DegradationCurve(agent_name="Empty", kinds=("message",))
+        table = formatted_degradation_table([curve])
+        assert "Empty" in table
+
+    def test_unknown_kind_rejected(self):
+        experiment = GridExperiment(TINY, seed=0)
+        agent = MaxPressureSystem(experiment.train_env(1))
+        with pytest.raises(ConfigError):
+            run_robustness_sweep(agent, experiment, kinds=("gremlins",))
+
+    def test_out_of_range_rate_rejected_before_any_evaluation(self):
+        experiment = GridExperiment(TINY, seed=0)
+        agent = MaxPressureSystem(experiment.train_env(1))
+        with pytest.raises(FaultInjectionError):
+            run_robustness_sweep(agent, experiment, fault_rates=(0.1, 1.5))
+
+
+class TestAllControllersDead:
+    def test_fully_dead_episode_still_evaluates(self):
+        """controller_failure=1.0 kills every intersection: the wrapped
+        fallback drives the whole grid and the evaluation stays sane."""
+        experiment = GridExperiment(TINY, seed=0)
+        agent = MaxPressureSystem(experiment.train_env(1))
+        result = evaluate_under_faults(
+            agent, experiment, fault_rate=1.0, kinds=("controller",)
+        )
+        assert result.episodes == 1
+        assert 0.0 <= result.completion_rate <= 1.0
+        # A finite or NaN travel time are both legal outcomes (NaN when
+        # nothing finished inside the horizon) — a crash is not.
+        assert isinstance(result.average_travel_time, float)
+
+
+class TestNanReporting:
+    def test_nan_endpoint_gives_nan_ratio(self):
+        curve = fake_curve("NaNTail", [100.0, 120.0, float("nan")])
+        assert math.isnan(curve.degradation_ratio())
+
+    def test_nan_start_gives_nan_ratio(self):
+        curve = fake_curve("NaNHead", [float("nan"), 120.0, 130.0])
+        assert math.isnan(curve.degradation_ratio())
+
+    def test_finite_curve_ratio_unchanged(self):
+        curve = fake_curve("Fine", [100.0, 120.0, 150.0])
+        assert curve.degradation_ratio() == pytest.approx(1.5)
+
+    def test_table_renders_question_marks_not_nan(self):
+        curves = [
+            fake_curve("Healthy", [100.0, 120.0, 150.0]),
+            fake_curve("Broken", [100.0, float("nan"), float("inf")]),
+        ]
+        table = formatted_degradation_table(curves)
+        assert "nan" not in table.lower()
+        assert "inf" not in table.lower()
+        assert "?" in table
+        # Rows stay width-aligned despite the gaps.
+        widths = {len(line) for line in table.splitlines()}
+        assert len(widths) == 1
+
+    def test_all_nan_curve_is_stable(self):
+        curve = fake_curve("AllNaN", [float("nan")] * 3)
+        table = formatted_degradation_table([curve])
+        assert table.count("?") >= 4  # three cells + the ratio column
+        assert math.isnan(curve.degradation_ratio())

@@ -1,0 +1,98 @@
+"""DeadlineBudget accounting and the hung-evaluation watchdog."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import DeadlineBudget, ServeConfig, Watchdog
+
+pytestmark = pytest.mark.serve
+
+
+class FakeClock:
+    """Scripted monotonic clock; advances only when told to."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadlineBudget:
+    def test_elapsed_and_remaining_follow_the_clock(self):
+        clock = FakeClock()
+        budget = DeadlineBudget(0.050, clock=clock)
+        assert budget.elapsed() == 0.0
+        assert budget.remaining() == pytest.approx(0.050)
+        clock.advance(0.030)
+        assert budget.elapsed() == pytest.approx(0.030)
+        assert budget.remaining() == pytest.approx(0.020)
+        assert not budget.exceeded()
+
+    def test_exceeded_once_past_the_deadline(self):
+        clock = FakeClock()
+        budget = DeadlineBudget(0.050, clock=clock)
+        clock.advance(0.051)
+        assert budget.exceeded()
+        assert budget.remaining() < 0
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ConfigError):
+            DeadlineBudget(0.0)
+
+    def test_config_derived_thresholds(self):
+        config = ServeConfig(deadline_ms=20.0, watchdog_factor=10.0)
+        assert config.deadline_s == pytest.approx(0.020)
+        assert config.watchdog_threshold_s == pytest.approx(0.200)
+
+
+class TestWatchdog:
+    def test_fast_evaluation_does_not_fire(self):
+        dog = Watchdog(threshold_s=5.0)
+        dog.arm(tick=0)
+        assert not dog.disarm()
+        assert dog.stalls == 0
+
+    def test_hung_evaluation_fires_from_timer_thread(self):
+        fired = threading.Event()
+        seen: list[tuple[int, float]] = []
+
+        def on_stall(tick: int, threshold_s: float) -> None:
+            seen.append((tick, threshold_s))
+            fired.set()
+
+        dog = Watchdog(threshold_s=0.01, on_stall=on_stall)
+        dog.arm(tick=7)
+        # Simulate a hung policy: the "evaluation" outlives the threshold.
+        assert fired.wait(timeout=2.0), "watchdog never fired"
+        assert dog.disarm()
+        assert dog.stalls == 1
+        assert dog.last_stall_tick == 7
+        assert seen == [(7, pytest.approx(0.01))]
+
+    def test_rearming_cancels_previous_timer(self):
+        dog = Watchdog(threshold_s=5.0)
+        dog.arm(tick=0)
+        dog.arm(tick=1)
+        assert not dog.disarm()
+        assert dog.stalls == 0
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ConfigError):
+            Watchdog(threshold_s=0.0)
+
+    def test_stall_counter_accumulates(self):
+        dog = Watchdog(threshold_s=0.005)
+        for tick in range(2):
+            dog.arm(tick)
+            time.sleep(0.05)
+            assert dog.disarm()
+        assert dog.stalls == 2

@@ -1,0 +1,151 @@
+"""FallbackManager state machine: demotion, backoff, promotion, anti-flap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import BACKOFF, FallbackManager, PRIMARY, PROBATION, ServeConfig
+
+pytestmark = pytest.mark.serve
+
+
+def make_manager(**overrides) -> FallbackManager:
+    defaults = dict(
+        backoff_base_ticks=2,
+        backoff_factor=2.0,
+        backoff_max_ticks=16,
+        promote_after=2,
+        reset_backoff_after=4,
+        watchdog=False,
+    )
+    defaults.update(overrides)
+    return FallbackManager(["A", "B"], ServeConfig(**defaults))
+
+
+class TestDemotion:
+    def test_starts_primary_serving_policy(self):
+        manager = make_manager()
+        decision = manager.decide("A", 0, policy_healthy=True)
+        assert not decision.use_fallback
+        assert decision.transition is None
+        assert manager.mode("A") == PRIMARY
+
+    def test_failure_demotes_and_serves_fallback(self):
+        manager = make_manager()
+        decision = manager.decide("A", 0, policy_healthy=False)
+        assert decision.use_fallback
+        assert decision.transition == "demoted"
+        assert manager.mode("A") == BACKOFF
+
+    def test_nodes_are_independent(self):
+        manager = make_manager()
+        manager.decide("A", 0, policy_healthy=False)
+        decision = manager.decide("B", 0, policy_healthy=True)
+        assert not decision.use_fallback
+        assert manager.mode("B") == PRIMARY
+        assert manager.degraded_nodes() == ["A"]
+
+    def test_backoff_dwell_serves_fallback_even_when_healthy(self):
+        manager = make_manager(backoff_base_ticks=3)
+        manager.decide("A", 0, policy_healthy=False)
+        for tick in (1, 2):
+            decision = manager.decide("A", tick, policy_healthy=True)
+            assert decision.use_fallback
+            assert manager.mode("A") == BACKOFF
+
+
+class TestPromotion:
+    def test_promotes_after_consecutive_healthy_probes(self):
+        manager = make_manager(backoff_base_ticks=2, promote_after=2)
+        manager.decide("A", 0, policy_healthy=False)
+        manager.decide("A", 1, policy_healthy=True)  # still dwelling
+        probe = manager.decide("A", 2, policy_healthy=True)  # probation
+        assert not probe.use_fallback
+        assert manager.mode("A") == PROBATION
+        promoted = manager.decide("A", 3, policy_healthy=True)
+        assert promoted.transition == "promoted"
+        assert manager.mode("A") == PRIMARY
+        assert manager.state("A").promotions == 1
+
+    def test_probation_serves_policy_actions(self):
+        manager = make_manager(backoff_base_ticks=1, promote_after=3)
+        manager.decide("A", 0, policy_healthy=False)
+        decision = manager.decide("A", 1, policy_healthy=True)
+        assert not decision.use_fallback
+        assert manager.mode("A") == PROBATION
+
+
+class TestBackoffEscalation:
+    def test_probe_failure_escalates_backoff(self):
+        manager = make_manager(backoff_base_ticks=2, backoff_factor=2.0)
+        manager.decide("A", 0, policy_healthy=False)
+        assert manager.state("A").backoff_ticks == 2
+        # Dwell expires at tick 2; the probe fails -> escalate to 4.
+        manager.decide("A", 2, policy_healthy=False)
+        assert manager.state("A").backoff_ticks == 4
+        manager.decide("A", 6, policy_healthy=False)
+        assert manager.state("A").backoff_ticks == 8
+
+    def test_backoff_caps_at_max(self):
+        manager = make_manager(backoff_base_ticks=2, backoff_max_ticks=8)
+        tick = 0
+        for _ in range(8):
+            manager.decide("A", tick, policy_healthy=False)
+            tick = manager.state("A").resume_tick
+        assert manager.state("A").backoff_ticks == 8
+
+    def test_permanently_dead_policy_probed_logarithmically(self):
+        """A never-recovering policy settles at max backoff, not flapping."""
+        manager = make_manager(backoff_base_ticks=2, backoff_max_ticks=16)
+        for tick in range(200):
+            manager.decide("A", tick, policy_healthy=False)
+        state = manager.state("A")
+        assert state.backoff_ticks == 16
+        assert state.demotions == 1  # demoted once, never promoted
+
+
+class TestAntiFlap:
+    def test_escalated_backoff_persists_through_promotion(self):
+        manager = make_manager(
+            backoff_base_ticks=2, promote_after=1, reset_backoff_after=100
+        )
+        manager.decide("A", 0, policy_healthy=False)
+        manager.decide("A", 2, policy_healthy=False)  # probe fails -> 4
+        assert manager.state("A").backoff_ticks == 4
+        promoted = manager.decide("A", 6, policy_healthy=True)
+        assert promoted.transition == "promoted"
+        # The next failure reuses the escalated dwell, not the base one.
+        manager.decide("A", 7, policy_healthy=False)
+        assert manager.state("A").resume_tick == 7 + 4
+
+    def test_backoff_resets_after_sustained_health(self):
+        manager = make_manager(
+            backoff_base_ticks=2, promote_after=1, reset_backoff_after=3
+        )
+        manager.decide("A", 0, policy_healthy=False)
+        manager.decide("A", 2, policy_healthy=False)  # escalate to 4
+        manager.decide("A", 6, policy_healthy=True)  # promoted (promote_after=1)
+        for tick in range(7, 11):
+            manager.decide("A", tick, policy_healthy=True)
+        assert manager.state("A").backoff_ticks == 2
+
+    def test_total_transitions_counts_demotions_and_promotions(self):
+        manager = make_manager(backoff_base_ticks=1, promote_after=1)
+        manager.decide("A", 0, policy_healthy=False)  # demoted
+        manager.decide("A", 1, policy_healthy=True)  # promoted
+        manager.decide("B", 1, policy_healthy=False)  # demoted
+        assert manager.total_transitions() == 3
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_safe_per_node(self):
+        import json
+
+        manager = make_manager()
+        manager.decide("A", 0, policy_healthy=False)
+        manager.decide("B", 0, policy_healthy=True)
+        snapshot = manager.snapshot()
+        assert set(snapshot) == {"A", "B"}
+        assert snapshot["A"]["mode"] == BACKOFF
+        assert snapshot["A"]["demotions"] == 1
+        json.dumps(snapshot)  # must not raise

@@ -1,0 +1,190 @@
+"""Atomic checkpoint hot-reload: validate on a shadow, swap or roll back."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from helpers import make_env
+from repro.agents import PairUpLightSystem
+from repro.errors import CheckpointError
+from repro.serve import ControlService, PolicyRuntime, ServeConfig
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture
+def env(tiny_grid):
+    return make_env(tiny_grid)
+
+
+@pytest.fixture
+def runtime(env):
+    return PolicyRuntime(lambda: PairUpLightSystem(env, seed=0))
+
+
+def save_checkpoint(env, path, seed=1):
+    donor = PairUpLightSystem(env, seed=seed)
+    donor.save(path)
+    return donor
+
+
+def flat_state(agent) -> np.ndarray:
+    state = agent.state_dict()
+    return np.concatenate([np.asarray(state[k]).ravel() for k in sorted(state)])
+
+
+class TestInitialLoad:
+    def test_loads_valid_initial_checkpoint(self, env, tmp_path):
+        path = tmp_path / "policy.npz"
+        donor = save_checkpoint(env, path)
+        runtime = PolicyRuntime(
+            lambda: PairUpLightSystem(env, seed=0), checkpoint=path
+        )
+        assert runtime.generation == 1
+        np.testing.assert_array_equal(flat_state(runtime.agent), flat_state(donor))
+
+    def test_missing_initial_checkpoint_refuses_to_start(self, env, tmp_path):
+        with pytest.raises(CheckpointError):
+            PolicyRuntime(
+                lambda: PairUpLightSystem(env, seed=0),
+                checkpoint=tmp_path / "nope.npz",
+            )
+
+    def test_corrupt_initial_checkpoint_refuses_to_start(self, env, tmp_path):
+        path = tmp_path / "policy.npz"
+        save_checkpoint(env, path)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(CheckpointError):
+            PolicyRuntime(
+                lambda: PairUpLightSystem(env, seed=0), checkpoint=path
+            )
+
+
+class TestTryReload:
+    def test_valid_reload_swaps_weights(self, env, runtime, tmp_path):
+        path = tmp_path / "new.npz"
+        donor = save_checkpoint(env, path, seed=9)
+        before = flat_state(runtime.agent)
+        result = runtime.try_reload(path, env=env)
+        assert result.applied
+        assert runtime.generation == 1
+        np.testing.assert_array_equal(flat_state(runtime.agent), flat_state(donor))
+        assert not np.array_equal(flat_state(runtime.agent), before)
+
+    def test_truncated_reload_rejected_weights_untouched(self, env, runtime, tmp_path):
+        path = tmp_path / "bad.npz"
+        save_checkpoint(env, path)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 3])
+        before = flat_state(runtime.agent)
+        result = runtime.try_reload(path, env=env)
+        assert not result.applied
+        assert result.reason
+        assert runtime.generation == 0
+        np.testing.assert_array_equal(flat_state(runtime.agent), before)
+
+    def test_nan_poisoned_reload_rejected(self, env, runtime, tmp_path):
+        path = tmp_path / "nan.npz"
+        donor = save_checkpoint(env, path)
+        state = donor.state_dict()
+        key = next(k for k in state if state[k].dtype.kind == "f")
+        poisoned = dict(state)
+        poisoned[key] = np.full_like(state[key], np.nan)
+        from repro.nn.serialization import atomic_savez
+
+        atomic_savez(path, poisoned)
+        before = flat_state(runtime.agent)
+        result = runtime.try_reload(path, env=env)
+        assert not result.applied
+        assert "non-finite" in result.reason
+        np.testing.assert_array_equal(flat_state(runtime.agent), before)
+
+    def test_wrong_architecture_reload_rejected(self, env, runtime, tmp_path):
+        from repro.nn.serialization import atomic_savez
+
+        path = tmp_path / "wrong.npz"
+        atomic_savez(path, {"not.a.real.key": np.zeros(3)})
+        result = runtime.try_reload(path, env=env)
+        assert not result.applied
+        assert "does not match" in result.reason
+
+    def test_reload_does_not_perturb_live_fault_stream(self, tiny_grid, tmp_path):
+        """The shadow smoke test must not consume the env's fault RNG."""
+        from repro.faults.config import FaultConfig
+
+        def run(reload_path=None):
+            env = make_env(
+                tiny_grid, faults=FaultConfig(message_drop=0.5), seed=11
+            )
+            runtime = PolicyRuntime(lambda: PairUpLightSystem(env, seed=0))
+            service = ControlService(
+                env, runtime, ServeConfig(watchdog=False)
+            )
+            observations = service.start_episode(seed=2)
+            trace = []
+            for tick in range(6):
+                if reload_path is not None and tick == 3:
+                    service.request_reload(reload_path)
+                actions = service.decide(observations)
+                trace.append(tuple(sorted(actions.items())))
+                observations = env.step(actions).observations
+            return trace
+
+        env = make_env(tiny_grid, seed=11)
+        path = tmp_path / "same.npz"
+        PairUpLightSystem(env, seed=0).save(path)  # identical weights
+        assert run() == run(reload_path=path)
+
+
+class TestServiceReload:
+    def test_mid_run_corrupt_reload_keeps_serving(self, env, runtime, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        save_checkpoint(env, path)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+
+        service = ControlService(env, runtime, ServeConfig(watchdog=False))
+        observations = service.start_episode(seed=0)
+        service.decide(observations)
+        service.request_reload(path)
+        actions = service.decide(observations)
+        assert set(actions) == set(env.agent_ids)
+        assert service.health.reloads_rejected == 1
+        assert service.health.reloads_applied == 0
+        assert len(service.reload_log) == 1
+        assert not service.reload_log[0].applied
+
+    def test_reload_events_reach_telemetry(self, env, runtime, tmp_path):
+        from repro.obs import Telemetry
+
+        good = tmp_path / "good.npz"
+        save_checkpoint(env, good, seed=4)
+        bad = tmp_path / "bad.npz"
+        save_checkpoint(env, bad)
+        payload = bad.read_bytes()
+        bad.write_bytes(payload[: len(payload) // 2])
+
+        telemetry = Telemetry(tmp_path / "tel", config={}, seed=0)
+        service = ControlService(
+            env, runtime, ServeConfig(watchdog=False), telemetry=telemetry
+        )
+        observations = service.start_episode(seed=0)
+        service.request_reload(good)
+        service.decide(observations)
+        service.request_reload(bad)
+        service.decide(observations)
+        telemetry.close()
+
+        import json
+        import os
+
+        events_path = os.path.join(telemetry.run_dir, "events.jsonl")
+        with open(events_path) as handle:
+            events = [json.loads(line) for line in handle if line.strip()]
+        reloads = [e for e in events if e["type"] == "serve_reload"]
+        assert [e["data"]["applied"] for e in reloads] == [True, False]
+        assert reloads[1]["data"]["reason"]
+        assert service.health.reloads_applied == 1
+        assert service.health.reloads_rejected == 1

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.nn",
     "repro.rl",
     "repro.scenarios",
+    "repro.serve",
     "repro.sim",
 ]
 
