@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """CI perf gate: fail when measured throughput drops >20% vs the committed
-``benchmarks/BENCH_*.json`` files (engine ticks/s, train env-steps/s,
-fused PPO-update steps/s, and serve intersections/s).
+``benchmarks/BENCH_*.json`` files (engine ticks/s, batched SoA-engine
+aggregate ticks/s, train env-steps/s, fused PPO-update steps/s, and
+serve intersections/s).
 
 Run from the repository root::
 
@@ -23,6 +24,7 @@ sys.path.insert(
 from repro.perf.regression import (
     DEFAULT_THRESHOLD,
     check_engine_regression,
+    check_engine_soa_regression,
     check_serve_regression,
     check_train_regression,
     check_update_regression,
@@ -35,6 +37,11 @@ def main(argv: list[str] | None = None) -> int:
         "--baseline",
         default=os.path.join("benchmarks", "BENCH_engine.json"),
         help="committed engine benchmark file to gate against",
+    )
+    parser.add_argument(
+        "--engine-soa-baseline",
+        default=os.path.join("benchmarks", "BENCH_engine_soa.json"),
+        help="committed batched SoA engine benchmark file to gate against",
     )
     parser.add_argument(
         "--train-baseline",
@@ -54,6 +61,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
+        "--skip-engine-soa",
+        action="store_true",
+        help="skip the batched SoA engine benchmark gate",
+    )
+    parser.add_argument(
         "--skip-train", action="store_true", help="skip the train benchmark gate"
     )
     parser.add_argument(
@@ -72,6 +84,15 @@ def main(argv: list[str] | None = None) -> int:
             ),
         )
     ]
+    if not args.skip_engine_soa:
+        gates.append(
+            (
+                args.engine_soa_baseline,
+                lambda path: check_engine_soa_regression(
+                    path, threshold=args.threshold
+                ),
+            )
+        )
     if not args.skip_train:
         gates.append(
             (

@@ -3,9 +3,9 @@
 #   1. the default test suite (pytest.ini excludes -m perf),
 #   2. the serve suite explicitly (fault-tolerant control service,
 #      including the fault-schedule soak smoke test),
-#   3. the perf-regression gates (engine ticks/s, train env-steps/s,
-#      fused PPO-update steps/s, serve intersections/s — each vs its
-#      committed BENCH_*.json),
+#   3. the perf-regression gates (engine ticks/s, batched SoA aggregate
+#      ticks/s, train env-steps/s, fused PPO-update steps/s, serve
+#      intersections/s — each vs its committed BENCH_*.json),
 #   4. the telemetry coverage floor (stdlib trace; no coverage package).
 #
 # Usage, from the repository root:
@@ -20,8 +20,8 @@ python -m pytest
 echo "== serve suite (control service + soak smoke) =="
 python -m pytest -m serve
 
-echo "== perf regression gates (engine / train / update / serve) =="
-python scripts/check_perf_regression.py
+echo "== perf regression gates (engine / engine_soa / train / update / serve) =="
+python scripts/check_perf_regression.py --engine-soa-baseline benchmarks/BENCH_engine_soa.json
 
 echo "== telemetry coverage floor (src/repro/obs) =="
 python scripts/check_obs_coverage.py

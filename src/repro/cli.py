@@ -240,6 +240,7 @@ def cmd_multiseed(args: argparse.Namespace) -> int:
         seeds=list(args.seeds),
         train_pattern=args.pattern,
         workers=args.workers,
+        engine=args.engine,
     )
     print(result.summary())
     for run in result.runs:
@@ -325,6 +326,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"engine: {payload['ticks_per_second']} ticks/s "
                 f"({payload['speedup_vs_baseline']}x baseline) -> {path}"
             )
+        elif name == "engine_soa":
+            print(
+                f"engine_soa: {payload['aggregate_ticks_per_second']} "
+                f"aggregate ticks/s over {payload['batch']} replicas "
+                f"({payload['speedup_vs_object_same_run']}x object engine "
+                f"in the same run) -> {path}"
+            )
         elif name == "update":
             print(
                 f"update: {payload['update_steps_per_second']} minibatch-steps/s fused "
@@ -348,6 +356,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"update {payload['update_seconds_per_episode']} s/episode "
                 f"({payload['speedup_vs_baseline']}x baseline) -> {path}"
             )
+            batched = payload.get("batched")
+            if batched:
+                print(
+                    f"  batched: {batched['aggregate_env_steps_per_second']} "
+                    f"aggregate env-steps/s over {batched['batch']} "
+                    f"lockstep replicas"
+                )
     return 0
 
 
@@ -451,6 +466,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=0,
         help="forked worker processes (0 = serial; results are identical)",
     )
+    p_multi.add_argument(
+        "--engine", choices=("object", "soa"), default="object",
+        help="'soa' batches all seeds into one structure-of-arrays "
+        "engine in this process (bit-identical results; ignores --workers)",
+    )
     p_multi.set_defaults(func=cmd_multiseed)
 
     p_serve = subparsers.add_parser(
@@ -486,7 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run throughput benchmarks, write BENCH_*.json"
     )
     p_bench.add_argument(
-        "--which", choices=("all", "engine", "train", "update", "serve"),
+        "--which", choices=("all", "engine", "engine_soa", "train", "update", "serve"),
         default="all",
     )
     p_bench.add_argument("--out", type=str, default="benchmarks")

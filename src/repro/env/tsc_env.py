@@ -57,6 +57,11 @@ class EnvConfig:
     saturation_rate: float = DEFAULT_SATURATION_RATE
     startup_lost_time: float = DEFAULT_STARTUP_LOST_TIME
     stochastic_demand: bool = True
+    #: Simulation backend: ``"object"`` is the reference
+    #: object-per-vehicle :class:`Simulation`; ``"soa"`` runs a
+    #: single-replica :class:`repro.sim.soa.SoAEngine` behind the same
+    #: API (bit-exact, faster; see DESIGN.md "SoA engine").
+    engine: str = "object"
     #: Optional fault injection (see :mod:`repro.faults`); ``None`` = healthy.
     faults: FaultConfig | None = None
     #: Graceful sensing degradation: impute dropped detector readings
@@ -68,6 +73,10 @@ class EnvConfig:
             raise ConfigError("delta_t must be positive")
         if self.horizon_ticks <= 0 or self.max_ticks < self.horizon_ticks:
             raise ConfigError("need 0 < horizon_ticks <= max_ticks")
+        if self.engine not in ("object", "soa"):
+            raise ConfigError(
+                f"engine must be 'object' or 'soa', got {self.engine!r}"
+            )
 
 
 @dataclass
@@ -182,20 +191,44 @@ class TrafficSignalEnv:
         if seed is None:
             seed = self._base_seed + self._episode_count
         self._episode_count += 1
-        demand = DemandGenerator(
+        demand = self._fresh_demand(seed)
+        if self.config.engine == "soa":
+            from repro.sim.soa import SoAEngine
+
+            sim = SoAEngine(
+                self.network,
+                [demand],
+                self.phase_plans,
+                yellow_time=self.config.yellow_time,
+                saturation_rate=self.config.saturation_rate,
+                startup_lost_time=self.config.startup_lost_time,
+            ).view(0)
+        else:
+            sim = Simulation(
+                self.network,
+                demand,
+                self.phase_plans,
+                yellow_time=self.config.yellow_time,
+                saturation_rate=self.config.saturation_rate,
+                startup_lost_time=self.config.startup_lost_time,
+            )
+        return self._adopt_sim(sim, seed)
+
+    def _fresh_demand(self, seed: int) -> DemandGenerator:
+        """A fresh seeded generator over copies of this env's flows."""
+        return DemandGenerator(
             [Flow(f.name, f.origin_link, f.destination_link, f.profile) for f in self.flows],
             self.router,
             seed=seed,
             stochastic=self.config.stochastic_demand,
         )
-        self.sim = Simulation(
-            self.network,
-            demand,
-            self.phase_plans,
-            yellow_time=self.config.yellow_time,
-            saturation_rate=self.config.saturation_rate,
-            startup_lost_time=self.config.startup_lost_time,
-        )
+
+    def _adopt_sim(self, sim, seed: int) -> dict[str, np.ndarray]:
+        """Install ``sim`` (a Simulation or an SoA replica view) as this
+        episode's backend and return the initial observations.  Also the
+        entry point for :class:`repro.eval.batched.LockstepEnvGroup`,
+        which hands every env a replica view of one shared engine."""
+        self.sim = sim
         if self._telemetry is not None:
             self.sim.metrics = self._telemetry.metrics
             self._teleports_seen = 0
@@ -218,6 +251,12 @@ class TrafficSignalEnv:
         """Apply one phase decision per agent and advance ``delta_t`` s."""
         if self.sim is None:
             raise ConfigError("call reset() before step()")
+        self._apply_actions(actions)
+        self.sim.step(self.config.delta_t)
+        return self._finish_step()
+
+    def _apply_actions(self, actions: dict[str, int]) -> None:
+        """Validate and request this step's phase choices (no stepping)."""
         for node_id, action in actions.items():
             if not self.action_spaces[node_id].contains(int(action)):
                 raise ConfigError(
@@ -225,7 +264,12 @@ class TrafficSignalEnv:
                     f"({self.action_spaces[node_id].n} phases)"
                 )
             self.sim.set_phase(node_id, int(action))
-        self.sim.step(self.config.delta_t)
+
+    def _finish_step(self) -> StepResult:
+        """Observe/reward/report after the simulator advanced ``delta_t``.
+
+        Split from :meth:`step` so ``LockstepEnvGroup`` can advance a
+        shared batched engine once and then finish every member env."""
         observations = self._observe_all()
         rewards = all_rewards(self.sim, self.agent_ids, self.config.reward_scale)
         done = self._is_done()

@@ -1,0 +1,237 @@
+"""Single-process batched multiseed runs over one SoA engine.
+
+``run_multiseed(..., engine="soa")`` used to have exactly two speed
+options: serial seeds, or fork-parallel workers (``perf/parallel.py``).
+This module adds the third: all B seeds' environments share **one**
+:class:`repro.sim.soa.SoAEngine` whose batch axis holds one replica per
+seed, and every env advances in lockstep inside a single process.
+
+Equivalence contract: each seed's agent, RNG streams, observations,
+rewards, and episode metrics are identical to the serial run — the SoA
+engine is lockstep bit-exact with the object engine (see
+``tests/sim/test_soa_lockstep.py``) and the per-seed agents never
+interact, so batching only changes wall-clock.  Drain-mode evaluation
+episodes can end at different ticks per replica; a finished replica's
+metrics are captured at its done step and the shared engine simply keeps
+stepping its (no longer observed) replica until the slowest one drains.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.env.tsc_env import StepResult, TrafficSignalEnv
+from repro.errors import ConfigError
+from repro.rl.runner import (
+    EpisodeLog,
+    EvaluationResult,
+    TrainingHistory,
+)
+from repro.sim.soa import SoAEngine
+
+
+class LockstepEnvGroup:
+    """B :class:`TrafficSignalEnv`s over one shared batched SoA engine.
+
+    All member envs must agree on network structure, phase plans, and the
+    engine-relevant config fields (``delta_t``, ``yellow_time``,
+    ``saturation_rate``, ``startup_lost_time``); what differs per env is
+    its demand seed (and agent).  ``reset_all`` builds a fresh engine
+    with one replica per env; ``step_all`` applies every env's actions,
+    advances the whole batch one ``delta_t``, and finishes each env's
+    step exactly as ``TrafficSignalEnv.step`` would.
+    """
+
+    def __init__(self, envs: list[TrafficSignalEnv]) -> None:
+        if not envs:
+            raise ConfigError("LockstepEnvGroup needs at least one env")
+        head = envs[0].config
+        for env in envs[1:]:
+            cfg = env.config
+            if (
+                cfg.delta_t != head.delta_t
+                or cfg.yellow_time != head.yellow_time
+                or cfg.saturation_rate != head.saturation_rate
+                or cfg.startup_lost_time != head.startup_lost_time
+            ):
+                raise ConfigError(
+                    "lockstep envs must share delta_t/yellow_time/"
+                    "saturation_rate/startup_lost_time"
+                )
+            if set(env.phase_plans) != set(envs[0].phase_plans):
+                raise ConfigError("lockstep envs must share phase plans")
+        self.envs = envs
+        self.engine: SoAEngine | None = None
+
+    def reset_all(self, seeds: list[int]) -> list[dict[str, np.ndarray]]:
+        """Start a fresh episode in every env, batched in one engine."""
+        if len(seeds) != len(self.envs):
+            raise ConfigError("need one seed per env")
+        demands = [
+            env._fresh_demand(seed) for env, seed in zip(self.envs, seeds)
+        ]
+        head = self.envs[0]
+        self.engine = SoAEngine(
+            head.network,
+            demands,
+            head.phase_plans,
+            yellow_time=head.config.yellow_time,
+            saturation_rate=head.config.saturation_rate,
+            startup_lost_time=head.config.startup_lost_time,
+        )
+        observations = []
+        for b, (env, seed) in enumerate(zip(self.envs, seeds)):
+            env._episode_count += 1
+            observations.append(env._adopt_sim(self.engine.view(b), seed))
+        return observations
+
+    def step_all(
+        self, actions: list[dict[str, int] | None]
+    ) -> list[StepResult | None]:
+        """One lockstep decision interval for the whole group.
+
+        ``actions[b] is None`` marks env ``b`` as already done (drain
+        mode): no phases are requested for it and no result is built —
+        its replica still advances with the batch, unobserved.
+        """
+        if self.engine is None:
+            raise ConfigError("call reset_all() before step_all()")
+        for env, acts in zip(self.envs, actions):
+            if acts is not None:
+                env._apply_actions(acts)
+        self.engine.step(self.envs[0].config.delta_t)
+        return [
+            env._finish_step() if acts is not None else None
+            for env, acts in zip(self.envs, actions)
+        ]
+
+
+def train_lockstep(
+    agents: list,
+    envs: list[TrafficSignalEnv],
+    episodes: int,
+    seeds: list[int],
+) -> list[TrainingHistory]:
+    """Train B independent (agent, env) pairs batched over one engine.
+
+    Mirrors ``rl.runner.train``'s core loop (fixed-horizon episodes,
+    per-episode ``end_episode`` updates) for every pair at once; seed
+    ``b`` runs episode ``e`` with episode seed ``seeds[b] + e``, exactly
+    like the serial runner.
+    """
+    group = LockstepEnvGroup(envs)
+    histories = [TrainingHistory(agent_name=agent.name) for agent in agents]
+    for episode in range(episodes):
+        started = time.perf_counter()
+        observations = group.reset_all([seed + episode for seed in seeds])
+        for agent, env in zip(agents, envs):
+            agent.begin_episode(env, True)
+        wait_samples: list[list[float]] = [[] for _ in envs]
+        total_rewards = [0.0] * len(envs)
+        done = False
+        while not done:
+            actions = [
+                agent.act(obs, env, True)
+                for agent, env, obs in zip(agents, envs, observations)
+            ]
+            results = group.step_all(actions)
+            for b, (agent, env, result) in enumerate(
+                zip(agents, envs, results)
+            ):
+                agent.observe(result, env)
+                observations[b] = result.observations
+                wait_samples[b].append(result.info["average_wait"])
+                total_rewards[b] += float(sum(result.rewards.values()))
+            # drain=False: every env shares the horizon, so dones agree.
+            done = results[0].done
+        duration = time.perf_counter() - started
+        for b, (agent, env) in enumerate(zip(agents, envs)):
+            stats = agent.end_episode(env, training=True)
+            histories[b].episodes.append(
+                EpisodeLog(
+                    episode=episode,
+                    avg_wait=float(np.mean(wait_samples[b]))
+                    if wait_samples[b]
+                    else 0.0,
+                    total_reward=total_rewards[b],
+                    duration_s=duration,
+                    update_stats=stats,
+                )
+            )
+    return histories
+
+
+def evaluate_lockstep(
+    agents: list,
+    envs: list[TrafficSignalEnv],
+    episodes: int,
+    seeds: list[int],
+) -> list[EvaluationResult]:
+    """Evaluate B (agent, env) pairs batched; envs may be drain-mode.
+
+    Mirrors ``rl.runner.evaluate`` per pair: greedy policies, one
+    travel-time sample per episode, NaN-excluded aggregation.  A replica
+    that drains early has its final info captured at its done step and
+    then coasts inside the shared engine until the batch finishes.
+    """
+    group = LockstepEnvGroup(envs)
+    B = len(envs)
+    travel_times: list[list[float]] = [[] for _ in range(B)]
+    waits: list[list[float]] = [[] for _ in range(B)]
+    finished = [0] * B
+    created = [0] * B
+    for episode in range(episodes):
+        observations = group.reset_all([seed + episode for seed in seeds])
+        for agent, env in zip(agents, envs):
+            agent.begin_episode(env, False)
+        wait_samples: list[list[float]] = [[] for _ in range(B)]
+        infos: list[dict] = [{} for _ in range(B)]
+        live = [True] * B
+        while any(live):
+            actions = [
+                agents[b].act(observations[b], envs[b], False)
+                if live[b]
+                else None
+                for b in range(B)
+            ]
+            results = group.step_all(actions)
+            for b in range(B):
+                result = results[b]
+                if result is None:
+                    continue
+                observations[b] = result.observations
+                wait_samples[b].append(result.info["average_wait"])
+                infos[b] = result.info
+                if result.done:
+                    live[b] = False
+        for b in range(B):
+            agents[b].end_episode(envs[b], training=False)
+            travel_times[b].append(
+                infos[b].get("average_travel_time", float("nan"))
+            )
+            waits[b].append(
+                float(np.mean(wait_samples[b])) if wait_samples[b] else 0.0
+            )
+            finished[b] += infos[b].get("finished_vehicles", 0)
+            created[b] += infos[b].get("total_created", 0)
+    out = []
+    for b in range(B):
+        samples = np.asarray(travel_times[b], dtype=np.float64)
+        invalid = int(np.count_nonzero(np.isnan(samples)))
+        average_tt = (
+            float(np.nanmean(samples)) if invalid < len(samples) else float("nan")
+        )
+        out.append(
+            EvaluationResult(
+                agent_name=agents[b].name,
+                average_travel_time=average_tt,
+                average_wait=float(np.mean(waits[b])),
+                finished_vehicles=finished[b],
+                total_created=created[b],
+                episodes=episodes,
+                invalid_episodes=invalid,
+            )
+        )
+    return out

@@ -78,6 +78,7 @@ def run_multiseed(
     workers: int = 0,
     timeout_s: float | None = None,
     telemetry=None,
+    engine: str = "object",
 ) -> MultiSeedResult:
     """Train/evaluate the same configuration under several seeds.
 
@@ -93,6 +94,12 @@ def run_multiseed(
     as a :class:`repro.errors.SimulationError` naming its seeds instead
     of blocking the sweep forever.
 
+    ``engine="soa"`` routes all seeds through one batched
+    structure-of-arrays engine in this process (one replica per seed,
+    see :mod:`repro.eval.batched`) instead of serial or fork-parallel
+    object-engine runs; results are bit-identical to the serial path.
+    ``workers`` is ignored in that mode.
+
     ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`) records one
     ``multiseed_seed`` event per run plus aggregate gauges.  Events are
     emitted *after* the runs complete, in the parent process, so the
@@ -102,8 +109,17 @@ def run_multiseed(
 
     if not seeds:
         raise ConfigError("need at least one seed")
+    if engine not in ("object", "soa"):
+        raise ConfigError(f"engine must be 'object' or 'soa', got {engine!r}")
     eval_pattern = train_pattern if eval_pattern is None else eval_pattern
     result = MultiSeedResult(model=model_name, pattern=eval_pattern)
+
+    if engine == "soa":
+        result.runs.extend(
+            _run_seeds_batched(scale, factory, seeds, train_pattern, eval_pattern)
+        )
+        _emit_telemetry(result, telemetry, model_name, eval_pattern)
+        return result
 
     def run_one_seed(seed: int) -> SeedRun:
         experiment = GridExperiment(scale, seed=seed)
@@ -123,21 +139,64 @@ def run_multiseed(
     result.runs.extend(
         parallel_map(run_one_seed, seeds, workers=workers, timeout_s=timeout_s)
     )
-    if telemetry is not None:
-        for run in result.runs:
-            telemetry.events.emit(
-                "multiseed_seed",
-                model=model_name,
-                pattern=eval_pattern,
-                seed=run.seed,
-                eval_travel_time=float(run.eval_travel_time),
-                completion_rate=float(run.completion_rate),
-                episodes=int(run.wait_curve.size),
-            )
-            telemetry.metrics.observe(
-                "multiseed.eval_travel_time", run.eval_travel_time
-            )
-        telemetry.metrics.gauge("multiseed.travel_time_mean", result.travel_time_mean)
-        telemetry.metrics.gauge("multiseed.travel_time_std", result.travel_time_std)
-        telemetry.metrics.count("multiseed.runs", len(result.runs))
+    _emit_telemetry(result, telemetry, model_name, eval_pattern)
     return result
+
+
+def _run_seeds_batched(
+    scale: ExperimentScale,
+    factory: SeededAgentFactory,
+    seeds: list[int],
+    train_pattern: int,
+    eval_pattern: int,
+) -> list[SeedRun]:
+    """All seeds in one process over one batched SoA engine.
+
+    Builds the same per-seed experiments/envs/agents the serial path
+    does, then trains and evaluates them in lockstep (one engine replica
+    per seed); per-seed episode seeds match the serial runner exactly.
+    """
+    from repro.eval.batched import evaluate_lockstep, train_lockstep
+
+    experiments = [GridExperiment(scale, seed=seed) for seed in seeds]
+    train_envs = [exp.train_env(train_pattern) for exp in experiments]
+    agents = [
+        factory(env, seed) for env, seed in zip(train_envs, seeds)
+    ]
+    histories = train_lockstep(agents, train_envs, scale.train_episodes, seeds)
+    eval_envs = [exp.eval_env(eval_pattern) for exp in experiments]
+    evaluations = evaluate_lockstep(
+        agents, eval_envs, scale.eval_episodes, [seed + 900 for seed in seeds]
+    )
+    return [
+        SeedRun(
+            seed=seed,
+            wait_curve=history.wait_curve,
+            eval_travel_time=evaluation.average_travel_time,
+            completion_rate=evaluation.completion_rate,
+        )
+        for seed, history, evaluation in zip(seeds, histories, evaluations)
+    ]
+
+
+def _emit_telemetry(
+    result: MultiSeedResult, telemetry, model_name: str, eval_pattern: int
+) -> None:
+    if telemetry is None:
+        return
+    for run in result.runs:
+        telemetry.events.emit(
+            "multiseed_seed",
+            model=model_name,
+            pattern=eval_pattern,
+            seed=run.seed,
+            eval_travel_time=float(run.eval_travel_time),
+            completion_rate=float(run.completion_rate),
+            episodes=int(run.wait_curve.size),
+        )
+        telemetry.metrics.observe(
+            "multiseed.eval_travel_time", run.eval_travel_time
+        )
+    telemetry.metrics.gauge("multiseed.travel_time_mean", result.travel_time_mean)
+    telemetry.metrics.gauge("multiseed.travel_time_std", result.travel_time_std)
+    telemetry.metrics.count("multiseed.runs", len(result.runs))

@@ -1,11 +1,18 @@
 """Benchmark runners emitting ``benchmarks/BENCH_*.json``.
 
-Four benchmarks track the perf trajectory across PRs:
+Five benchmarks track the perf trajectory across PRs:
 
 * **engine** — raw simulator tick throughput on the 4x4 grid under a
   fixed-time controller (no learning, no observation building).
+* **engine_soa** — aggregate tick throughput of the batched
+  structure-of-arrays engine (:mod:`repro.sim.soa`) stepping B
+  independent replicas in one process, with the object engine measured
+  in the same interleaved rounds so the recorded speedup compares
+  like-for-like under identical machine conditions.
 * **train** — PairUpLight shared-parameter training throughput on the
-  same grid: rollout env-steps/s, agent-steps/s, and PPO update time.
+  same grid: rollout env-steps/s, agent-steps/s, and PPO update time;
+  the emitted JSON also carries a ``batched`` section measuring B
+  lockstep seeds over one shared SoA engine.
 * **update** — PPO-update minibatch throughput on the same grid,
   measured for the fused kernel path and the composed op chain in
   interleaved rounds (the two are bit-exact, so both systems do
@@ -115,6 +122,126 @@ def bench_engine(
             "commit": BASELINE_COMMIT,
         },
         "speedup_vs_baseline": round(best / PRE_OPT_ENGINE_TICKS_PER_S, 2),
+    }
+
+
+def _fresh_soa_engine(batch: int):
+    """B-replica SoA engine over the engine-bench grid (seeds 123+b)."""
+    from repro.sim.soa import SoAEngine
+
+    scale = ExperimentScale(**_BENCH_SCALE)
+    experiment = GridExperiment(scale, seed=7)
+    demands = []
+    env = None
+    for b in range(batch):
+        env = experiment.train_env(1)
+        env.reset(seed=123 + b)
+        demands.append(env.sim.demand)
+    programs = {
+        node_id: FixedTimeProgram([(i, 15) for i in range(plan.num_phases)])
+        for node_id, plan in env.phase_plans.items()
+    }
+    return SoAEngine(env.network, demands, env.phase_plans), programs
+
+
+def bench_engine_soa(
+    batch: int = 16,
+    warmup_ticks: int = 300,
+    measure_ticks: int = 600,
+    repeats: int = 5,
+) -> dict:
+    """Batched SoA-engine aggregate tick throughput (B replicas, 4x4 grid).
+
+    One :class:`repro.sim.soa.SoAEngine` steps ``batch`` independent
+    replicas (distinct demand seeds) per tick in a single process; the
+    headline is **aggregate** replica-ticks/s (``batch * ticks /
+    elapsed``).  Every round also measures the object engine with the
+    ``bench_engine`` harness, interleaved, so
+    ``speedup_vs_object_same_run`` compares the two engines under
+    identical machine conditions rather than against a number recorded
+    in a different era of the host.
+    """
+    soa_rates: list[float] = []
+    obj_rates: list[float] = []
+    for _ in range(repeats):
+        sim, programs = _fresh_sim()
+        sim.run_fixed_time(programs, warmup_ticks)
+        started = time.process_time()
+        sim.run_fixed_time(programs, measure_ticks)
+        obj_rates.append(measure_ticks / (time.process_time() - started))
+        engine, programs = _fresh_soa_engine(batch)
+        engine.run_fixed_time(programs, warmup_ticks)
+        started = time.process_time()
+        engine.run_fixed_time(programs, measure_ticks)
+        elapsed = time.process_time() - started
+        soa_rates.append(batch * measure_ticks / elapsed)
+    best = max(soa_rates)
+    best_obj = max(obj_rates)
+    return {
+        "benchmark": "engine_soa",
+        "scenario": dict(_BENCH_SCALE, batch=batch, warmup_ticks=warmup_ticks,
+                         measure_ticks=measure_ticks, controller="fixed-time"),
+        "batch": batch,
+        "aggregate_ticks_per_second": round(best, 1),
+        "per_replica_ticks_per_second": round(best / batch, 1),
+        "repeats": [round(rate, 1) for rate in soa_rates],
+        "object_engine_same_run": {
+            "ticks_per_second": round(best_obj, 1),
+            "repeats": [round(rate, 1) for rate in obj_rates],
+        },
+        "speedup_vs_object_same_run": round(best / best_obj, 2),
+    }
+
+
+def bench_train_soa(batch: int = 8, episodes: int = 1) -> dict:
+    """Batched lockstep training throughput (B seeds, one SoA engine).
+
+    ``batch`` independent PairUpLight systems train on ``batch`` demand
+    seeds whose envs share one batched SoA engine
+    (:class:`repro.eval.batched.LockstepEnvGroup`) — the single-process
+    replacement for fork-parallel multiseed workers.  Reports aggregate
+    rollout env-steps/s across all replicas (updates untimed, as in
+    ``bench_train``).
+    """
+    from repro.agents.pairuplight import PairUpLightSystem
+    from repro.eval.batched import LockstepEnvGroup
+
+    scale = ExperimentScale(**_TRAIN_SCALE)
+    envs = [
+        GridExperiment(scale, seed=7).train_env(1) for _ in range(batch)
+    ]
+    agents = [PairUpLightSystem(env, seed=7 + b) for b, env in enumerate(envs)]
+    group = LockstepEnvGroup(envs)
+    total_steps = 0
+    total_rollout = 0.0
+    for episode in range(episodes):
+        observations = group.reset_all([100 + episode + b for b in range(batch)])
+        for agent, env in zip(agents, envs):
+            agent.begin_episode(env, True)
+        done = False
+        started = time.process_time()
+        while not done:
+            actions = [
+                agent.act(obs, env, True)
+                for agent, env, obs in zip(agents, envs, observations)
+            ]
+            results = group.step_all(actions)
+            for b, (agent, env) in enumerate(zip(agents, envs)):
+                agent.observe(results[b], env)
+                observations[b] = results[b].observations
+            done = results[0].done
+            total_steps += batch
+        total_rollout += time.process_time() - started
+        for agent, env in zip(agents, envs):
+            agent.end_episode(env, training=True)
+    aggregate = total_steps / total_rollout
+    return {
+        "benchmark": "train_soa",
+        "scenario": dict(_TRAIN_SCALE, model="PairUpLight", batch=batch,
+                         episodes=episodes, engine="soa"),
+        "batch": batch,
+        "aggregate_env_steps_per_second": round(aggregate, 2),
+        "per_replica_env_steps_per_second": round(aggregate / batch, 2),
     }
 
 
@@ -405,10 +532,18 @@ def write_benchmarks(
             json.dump(bench_engine(**bench_kwargs), handle, indent=2)
             handle.write("\n")
         written["engine"] = path
+    if which in ("all", "engine_soa"):
+        path = os.path.join(out_dir, "BENCH_engine_soa.json")
+        with open(path, "w") as handle:
+            json.dump(bench_engine_soa(), handle, indent=2)
+            handle.write("\n")
+        written["engine_soa"] = path
     if which in ("all", "train"):
         path = os.path.join(out_dir, "BENCH_train.json")
         with open(path, "w") as handle:
-            json.dump(bench_train(), handle, indent=2)
+            data = bench_train()
+            data["batched"] = bench_train_soa()
+            json.dump(data, handle, indent=2)
             handle.write("\n")
         written["train"] = path
     if which in ("all", "update"):

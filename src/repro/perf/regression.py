@@ -6,10 +6,12 @@ committed number and fails when the drop exceeds ``threshold`` (default
 20%).  Benchmarks are noisy, so measurements favour best-of/median
 aggregation — a genuine regression shifts every repeat, noise does not.
 
-Four gates cover the four committed benchmark files:
+Five gates cover the five committed benchmark files:
 
 * :func:`check_engine_regression` — simulator ticks/s
   (``BENCH_engine.json``),
+* :func:`check_engine_soa_regression` — batched SoA-engine speedup over
+  the object engine, same interleaved run (``BENCH_engine_soa.json``),
 * :func:`check_train_regression` — rollout env-steps/s
   (``BENCH_train.json``),
 * :func:`check_update_regression` — fused PPO-update minibatch steps/s
@@ -23,7 +25,13 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
-from repro.perf.bench import bench_engine, bench_serve, bench_train, bench_update
+from repro.perf.bench import (
+    bench_engine,
+    bench_engine_soa,
+    bench_serve,
+    bench_train,
+    bench_update,
+)
 
 DEFAULT_THRESHOLD = 0.20
 
@@ -90,6 +98,38 @@ def check_engine_regression(
     live = bench_engine(repeats=repeats, measure_ticks=measure_ticks)
     return evaluate_gate(
         float(live["ticks_per_second"]), baseline, threshold=threshold
+    )
+
+
+def check_engine_soa_regression(
+    baseline_path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    batch: int = 16,
+    repeats: int = 5,
+    measure_ticks: int = 600,
+) -> RegressionVerdict:
+    """Measure the live batched-SoA speedup over the object engine and
+    gate it against the committed ``speedup_vs_object_same_run``.
+
+    The gate deliberately compares the *same-run speedup ratio* rather
+    than absolute aggregate ticks/s: host throughput swings far more
+    than the regression threshold between runs, and the benchmark
+    measures the object engine in the same interleaved rounds precisely
+    so that era noise cancels.  A regression in the SoA kernels or the
+    batching machinery lowers the ratio regardless of how fast the host
+    happens to be; a uniformly slow machine does not.
+    """
+    with open(baseline_path) as handle:
+        committed = json.load(handle)
+    baseline = float(committed["speedup_vs_object_same_run"])
+    live = bench_engine_soa(
+        batch=batch, repeats=repeats, measure_ticks=measure_ticks
+    )
+    return evaluate_gate(
+        float(live["speedup_vs_object_same_run"]),
+        baseline,
+        threshold=threshold,
+        metric="engine_soa speedup vs object (same run)",
     )
 
 

@@ -319,19 +319,39 @@ class Simulation:
         # Vehicle.wait_total); no per-vehicle sweep is needed here.
         self.time += 1
 
+    def _dequeue_head(self, queue: deque, link_id: str) -> Vehicle:
+        """Shared dequeue bookkeeping for a vehicle leaving a lane queue.
+
+        Pops the head, releases its storage slot, and (fast path)
+        invalidates the memos keyed on this link's queue state.  Lazy
+        wait materialization is *not* done here: both exits from a queue
+        (``_finish_vehicle`` and ``_enter_link``) materialize the wait
+        themselves, so the counters stay exact on every path.  The
+        discharge loops inline these same operations on their hot path —
+        any change here must be mirrored there; the teleporting lockstep
+        test in ``tests/sim/test_engine_equivalence.py`` pins the pair.
+        """
+        head = queue.popleft()
+        self.link_occupancy[link_id] -= 1
+        if self.fast_path:
+            self._queue_version[link_id] += 1
+        return head
+
     def _teleport_stuck(self) -> None:
         """Force queue heads stuck beyond ``teleport_time`` onto their
-        next link (or out of the network), ignoring signal and storage."""
+        next link (or out of the network), ignoring signal and storage.
+
+        At most one vehicle teleports per lane per tick (each lane's
+        head is examined exactly once), and the dequeue uses the same
+        bookkeeping as the discharge paths via :meth:`_dequeue_head`.
+        """
         for lane_id, queue in self.lane_queues.items():
             if not queue:
                 continue
             head = queue[0]
             if head.wait_current_link <= self.teleport_time:
                 continue
-            queue.popleft()
-            self.link_occupancy[head.current_link] -= 1
-            if self.fast_path:
-                self._queue_version[head.current_link] += 1
+            self._dequeue_head(queue, head.current_link)
             self.teleport_count += 1
             if head.next_link is None:
                 self._finish_vehicle(head)
@@ -726,6 +746,13 @@ class Simulation:
             )
             while pending and credit >= 1.0:
                 if self.link_occupancy[link_id] >= storage:
+                    # Spillback parity with lane discharge credit: while
+                    # the origin link is full, banked insertion credit is
+                    # capped at one vehicle (a lane's cap), so the
+                    # unblock tick inserts at most 1 + that tick's
+                    # accrual instead of bursting the whole blocked
+                    # window (DESIGN.md, "Insertion-credit semantics").
+                    credit = 1.0
                     break
                 vehicle = pending.popleft()
                 vehicle.inserted = self.time
@@ -765,30 +792,51 @@ class Simulation:
     # Introspection used by detectors / metrics / agents
     # ------------------------------------------------------------------
     def discharge_credit(self, lane_id: str) -> float:
-        """Current discharge credit of a lane (diagnostics/tests)."""
-        if self.fast_path:
-            return float(self._credit[self._lane_index[lane_id]])
-        return self._discharge_credit[lane_id]
+        """Current discharge credit of a lane (diagnostics/tests).
+
+        Unknown lane ids raise :class:`~repro.errors.SimulationError`
+        with the same message on both ``fast_path`` settings (the fast
+        path resolves through ``_lane_index``, the slow path through
+        ``_discharge_credit``; both key sets equal the network's lanes).
+        """
+        try:
+            if self.fast_path:
+                return float(self._credit[self._lane_index[lane_id]])
+            return self._discharge_credit[lane_id]
+        except KeyError:
+            raise SimulationError(f"unknown lane id {lane_id!r}") from None
 
     def queue_length(self, lane_id: str) -> int:
         """Vehicles halted in a lane (ground truth, unlimited range)."""
-        return len(self.lane_queues[lane_id])
+        try:
+            return len(self.lane_queues[lane_id])
+        except KeyError:
+            raise SimulationError(f"unknown lane id {lane_id!r}") from None
 
     def halting_count(self, link_id: str) -> int:
         """Total halted vehicles across a link's lanes."""
-        link = self.network.links[link_id]
+        try:
+            link = self.network.links[link_id]
+        except KeyError:
+            raise SimulationError(f"unknown link id {link_id!r}") from None
         return sum(len(self.lane_queues[lane.lane_id]) for lane in link.lanes)
 
     def head_wait(self, lane_id: str) -> int:
         """Accumulated wait (s) of the first vehicle in a lane, 0 if empty."""
-        queue = self.lane_queues[lane_id]
+        try:
+            queue = self.lane_queues[lane_id]
+        except KeyError:
+            raise SimulationError(f"unknown lane id {lane_id!r}") from None
         if not queue:
             return 0
         return queue[0].wait_current_link
 
     def link_head_wait(self, link_id: str) -> int:
         """Maximum head wait across a link's lanes (paper's link-level wait)."""
-        link = self.network.links[link_id]
+        try:
+            link = self.network.links[link_id]
+        except KeyError:
+            raise SimulationError(f"unknown link id {link_id!r}") from None
         return max(self.head_wait(lane.lane_id) for lane in link.lanes)
 
     def vehicles_in_network(self) -> int:

@@ -80,7 +80,9 @@ def _snapshot(sim: Simulation) -> dict:
     }
 
 
-def _run_paired(ticks: int, snapshot_every: int = 50, **sim_kwargs) -> None:
+def _run_paired(
+    ticks: int, snapshot_every: int = 50, **sim_kwargs
+) -> tuple[Simulation, Simulation]:
     fast = _make_sim(True, **sim_kwargs)
     reference = _make_sim(False, **sim_kwargs)
     churn_fast = np.random.default_rng(42)
@@ -96,6 +98,7 @@ def _run_paired(ticks: int, snapshot_every: int = 50, **sim_kwargs) -> None:
         reference.step()
         if t % snapshot_every == 0 or t == ticks - 1:
             assert _snapshot(fast) == _snapshot(reference), f"divergence at tick {t}"
+    return fast, reference
 
 
 class TestFastPathEquivalence:
@@ -105,6 +108,14 @@ class TestFastPathEquivalence:
 
     def test_with_teleport_watchdog(self):
         _run_paired(400, teleport_time=60)
+
+    def test_teleports_actually_fire_in_lockstep(self):
+        """Aggressive watchdog on a congested grid: teleports must occur,
+        and the fast path's memo/credit bookkeeping must survive heads
+        vanishing mid-queue (the ``_dequeue_head`` sharing contract)."""
+        fast, reference = _run_paired(400, snapshot_every=25, teleport_time=25)
+        assert fast.teleport_count > 0
+        assert fast.teleport_count == reference.teleport_count
 
     def test_protected_lefts_only(self):
         _run_paired(400, permissive_left=False)
@@ -127,6 +138,58 @@ class TestFastPathEquivalence:
                 reference.signals[node_id].request_phase(program.phase_at(t))
             reference.step()
         assert _snapshot(fast) == _snapshot(reference)
+
+
+class TestAccessorErrorParity:
+    """Unknown ids raise the same SimulationError on every engine.
+
+    The fast path resolves lanes through ``_lane_index`` and the slow
+    path through ``_discharge_credit``; the SoA view resolves through
+    ``_lane_of``/``_link_of``.  All three must agree on message shape so
+    callers can handle a typo'd detector id uniformly.
+    """
+
+    LANE_ACCESSORS = ("discharge_credit", "queue_length", "head_wait")
+    LINK_ACCESSORS = ("halting_count", "link_head_wait")
+
+    def _engines(self):
+        from repro.sim.soa import SoAEngine
+
+        experiment = GridExperiment(SCALE, seed=7)
+        env = experiment.train_env(1)
+        env.reset(seed=123)
+        yield "fast", _make_sim(True)
+        yield "slow", _make_sim(False)
+        yield "soa", SoAEngine(
+            env.network, [env.sim.demand], env.phase_plans
+        ).view(0)
+
+    @pytest.mark.parametrize("accessor", LANE_ACCESSORS)
+    def test_unknown_lane_id(self, accessor):
+        from repro.errors import SimulationError
+
+        for label, sim in self._engines():
+            with pytest.raises(SimulationError) as excinfo:
+                getattr(sim, accessor)("no_such_lane")
+            assert str(excinfo.value) == "unknown lane id 'no_such_lane'", label
+
+    @pytest.mark.parametrize("accessor", LINK_ACCESSORS)
+    def test_unknown_link_id(self, accessor):
+        from repro.errors import SimulationError
+
+        for label, sim in self._engines():
+            with pytest.raises(SimulationError) as excinfo:
+                getattr(sim, accessor)("no_such_link")
+            assert str(excinfo.value) == "unknown link id 'no_such_link'", label
+
+    def test_known_ids_do_not_raise(self):
+        for label, sim in self._engines():
+            link_id = next(iter(sim.network.links))
+            lane_id = sim.network.links[link_id].lanes[0].lane_id
+            for accessor in self.LANE_ACCESSORS:
+                getattr(sim, accessor)(lane_id)
+            for accessor in self.LINK_ACCESSORS:
+                getattr(sim, accessor)(link_id)
 
 
 class TestPhaseTable:

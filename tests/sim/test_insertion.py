@@ -76,6 +76,64 @@ class TestInsertion:
         # Constant profile spans [0, 30] inclusive: 31 emissions at 1 veh/s.
         assert len(sim.finished_vehicles) == sim.total_created == 31
 
+    def test_storage_unblock_does_not_burst(self):
+        """Regression: banked insertion credit is clamped while the
+        origin link is storage-blocked (DESIGN.md, "Insertion-credit
+        semantics").
+
+        A long red fills the 3-lane entry link while credit would accrue
+        at 1.5/tick; on unblock an unclamped engine would dump
+        ``num_lanes`` vehicles per freed slot.  With the clamp, no tick
+        after the blocked window may insert more than
+        ``floor(1.0 + rate * num_lanes) = 2`` vehicles.
+        """
+        net, plans = short_corridor(entry_lanes=3)
+        flows = [Flow("f", "in", "out", RateProfile.constant(10800, 60))]
+        demand = DemandGenerator(flows, Router(net), seed=0, stochastic=False)
+        sim = Simulation(net, demand, plans)
+        sim.set_phase("B", 1)  # red: fill the link, bank a backlog
+        sim.step(150)
+        assert sim.link_occupancy["in"] == net.links["in"].storage
+        assert sim.pending_insertions() > 0
+        sim.set_phase("B", 0)  # green: storage frees as the queue drains
+        inserted_per_tick = []
+        for _ in range(200):
+            before = sim.pending_insertions()
+            sim.step()
+            inserted_per_tick.append(before - sim.pending_insertions())
+        assert sum(inserted_per_tick) > 0
+        assert max(inserted_per_tick) <= 2
+
+    def test_storage_unblock_engines_agree(self):
+        """The clamp behaves identically on slow, fast, and SoA engines."""
+        from repro.sim.soa import SoAEngine
+
+        def run(engine: str) -> list[tuple[int, int, int]]:
+            net, plans = short_corridor(entry_lanes=3)
+            flows = [Flow("f", "in", "out", RateProfile.constant(10800, 60))]
+            demand = DemandGenerator(flows, Router(net), seed=0, stochastic=False)
+            if engine == "soa":
+                sim = SoAEngine(net, [demand], plans).view(0)
+            else:
+                sim = Simulation(net, demand, plans, fast_path=engine == "fast")
+            sim.set_phase("B", 1)
+            sim.step(150)
+            sim.set_phase("B", 0)
+            trace = []
+            for _ in range(200):
+                sim.step()
+                trace.append(
+                    (
+                        sim.vehicles_in_network(),
+                        sim.pending_insertions(),
+                        len(sim.finished_vehicles),
+                    )
+                )
+            return trace
+
+        slow, fast, soa = run("slow"), run("fast"), run("soa")
+        assert slow == fast == soa
+
     def test_insertion_delay_counted_in_travel_time(self):
         net, plans = short_corridor()
         flows = [Flow("f", "in", "out", RateProfile.constant(7200, 10))]
