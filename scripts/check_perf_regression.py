@@ -1,14 +1,18 @@
 #!/usr/bin/env python
 """CI perf gate: fail when measured throughput drops >20% vs the committed
 ``benchmarks/BENCH_*.json`` files (engine ticks/s, batched SoA-engine
-aggregate ticks/s, train env-steps/s, fused PPO-update steps/s, and
-serve intersections/s).
+aggregate ticks/s, train env-steps/s, fused PPO-update steps/s, serve
+intersections/s, and the sharded-simulation same-run speedup ratio).
 
 Run from the repository root::
 
     PYTHONPATH=src python scripts/check_perf_regression.py
 
 Exit code 0 = within budget, 1 = regression, 2 = baseline missing.
+Missing baselines are detected for *all* enabled gates up front — every
+absent file is reported and the script exits 2 before any benchmark
+runs, so a misconfigured CI job fails in milliseconds instead of after
+minutes of benching.
 """
 
 from __future__ import annotations
@@ -23,9 +27,11 @@ sys.path.insert(
 
 from repro.perf.regression import (
     DEFAULT_THRESHOLD,
+    SHARDED_THRESHOLD,
     check_engine_regression,
     check_engine_soa_regression,
     check_serve_regression,
+    check_sharded_regression,
     check_train_regression,
     check_update_regression,
 )
@@ -58,7 +64,19 @@ def main(argv: list[str] | None = None) -> int:
         default=os.path.join("benchmarks", "BENCH_serve.json"),
         help="committed serve benchmark file to gate against",
     )
+    parser.add_argument(
+        "--sharded-baseline",
+        default=os.path.join("benchmarks", "BENCH_sharded.json"),
+        help="committed sharded-simulation benchmark file to gate against",
+    )
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    parser.add_argument(
+        "--sharded-threshold",
+        type=float,
+        default=SHARDED_THRESHOLD,
+        help="allowed drop for the sharded speedup ratio (noisier than "
+        "the throughput gates, so its floor is looser)",
+    )
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
         "--skip-engine-soa",
@@ -73,6 +91,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--skip-serve", action="store_true", help="skip the serve benchmark gate"
+    )
+    parser.add_argument(
+        "--skip-sharded",
+        action="store_true",
+        help="skip the sharded-simulation benchmark gate",
     )
     args = parser.parse_args(argv)
 
@@ -114,12 +137,26 @@ def main(argv: list[str] | None = None) -> int:
                 lambda path: check_serve_regression(path, threshold=args.threshold),
             )
         )
+    if not args.skip_sharded:
+        gates.append(
+            (
+                args.sharded_baseline,
+                lambda path: check_sharded_regression(
+                    path, threshold=args.sharded_threshold
+                ),
+            )
+        )
+
+    # Every enabled gate's baseline is checked before any benchmark runs:
+    # uniform exit 2, every absent file named.
+    missing = [path for path, _ in gates if not os.path.exists(path)]
+    if missing:
+        for path in missing:
+            print(f"error: baseline file {path!r} not found", file=sys.stderr)
+        return 2
 
     exit_code = 0
     for path, check in gates:
-        if not os.path.exists(path):
-            print(f"error: baseline file {path!r} not found", file=sys.stderr)
-            return 2
         verdict = check(path)
         print(verdict.summary())
         if not verdict.ok:

@@ -3,10 +3,13 @@
 #   1. the default test suite (pytest.ini excludes -m perf),
 #   2. the serve suite explicitly (fault-tolerant control service,
 #      including the fault-schedule soak smoke test),
-#   3. the perf-regression gates (engine ticks/s, batched SoA aggregate
+#   3. the sharded suite explicitly (city-scale construction and
+#      scaling-curve smokes, excluded from tier-1 for runtime),
+#   4. the perf-regression gates (engine ticks/s, batched SoA aggregate
 #      ticks/s, train env-steps/s, fused PPO-update steps/s, serve
-#      intersections/s — each vs its committed BENCH_*.json),
-#   4. the telemetry coverage floor (stdlib trace; no coverage package).
+#      intersections/s, sharded same-run speedup — each vs its
+#      committed BENCH_*.json),
+#   5. the telemetry coverage floor (stdlib trace; no coverage package).
 #
 # Usage, from the repository root:
 #   bash scripts/run_ci.sh
@@ -20,7 +23,10 @@ python -m pytest
 echo "== serve suite (control service + soak smoke) =="
 python -m pytest -m serve
 
-echo "== perf regression gates (engine / engine_soa / train / update / serve) =="
+echo "== sharded suite (city-scale smokes) =="
+python -m pytest -m sharded
+
+echo "== perf regression gates (engine / engine_soa / train / update / serve / sharded) =="
 python scripts/check_perf_regression.py --engine-soa-baseline benchmarks/BENCH_engine_soa.json
 
 echo "== telemetry coverage floor (src/repro/obs) =="

@@ -24,9 +24,14 @@ Commands
     checkpoint, serve every intersection inside a per-tick deadline with
     per-intersection fallback and optional fault injection, hot-reload a
     checkpoint mid-run, and print the health report.
+``sharded``
+    Run one spatially sharded city-scale episode: partition the grid
+    into K contiguous shards, one persistent worker process per shard,
+    lockstep ticks with boundary vehicle handoffs, and report partition
+    stats, throughput and the vehicle-conservation check.
 ``bench``
-    Run the engine / training / serving throughput benchmarks and write
-    ``BENCH_*.json`` files for the perf regression gate.
+    Run the engine / training / serving / sharded throughput benchmarks
+    and write ``BENCH_*.json`` files for the perf regression gate.
 ``obs``
     Telemetry tooling: ``obs report <run_dir>`` re-renders the training
     curve and event summary of a persisted run (written by ``train
@@ -43,7 +48,12 @@ import sys
 from repro.agents.base import AgentSystem
 from repro.env.tsc_env import TrafficSignalEnv
 from repro.errors import ConfigError
-from repro.errors import CheckpointError, FaultInjectionError
+from repro.errors import (
+    CheckpointError,
+    FaultInjectionError,
+    NetworkError,
+    SimulationError,
+)
 from repro.eval.comm_overhead import formatted_overhead_table, overhead_table
 from repro.eval.comparison import default_model_factories, run_table2, run_table3
 from repro.eval.harness import ExperimentScale, GridExperiment
@@ -95,10 +105,20 @@ def _build_agent(name: str, env: TrafficSignalEnv, seed: int) -> AgentSystem:
         raise ConfigError(f"unknown model {name!r}; choose from {MODEL_CHOICES}")
 
 
+def _grid_shape(args: argparse.Namespace) -> tuple[int, int]:
+    """(rows, cols) from ``--grid-size WxH`` if given, else --rows/--cols."""
+    if getattr(args, "grid_size", ""):
+        from repro.scenarios.grid import parse_grid_size
+
+        return parse_grid_size(args.grid_size)
+    return args.rows, args.cols
+
+
 def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    rows, cols = _grid_shape(args)
     return ExperimentScale(
-        rows=args.rows,
-        cols=args.cols,
+        rows=rows,
+        cols=cols,
         peak_rate=args.peak_rate,
         t_peak=args.t_peak,
         light_duration=2 * args.t_peak,
@@ -111,6 +131,10 @@ def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
 def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--rows", type=int, default=3)
     parser.add_argument("--cols", type=int, default=3)
+    parser.add_argument(
+        "--grid-size", type=str, default="",
+        help="grid shape as 'WxH' (or 'N' for NxN); overrides --rows/--cols",
+    )
     parser.add_argument("--peak-rate", type=float, default=600.0)
     parser.add_argument("--t-peak", type=float, default=150.0)
     parser.add_argument("--horizon", type=int, default=450)
@@ -314,6 +338,81 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0 if service.health.healthy else 1
 
 
+def cmd_sharded(args: argparse.Namespace) -> int:
+    from repro.eval.sharded import run_sharded_episode
+    from repro.faults.config import FaultConfig
+
+    rows, cols = _grid_shape(args)
+    faults = None
+    if args.shard_link_loss > 0 or args.message_delay > 0:
+        faults = FaultConfig(
+            shard_link_loss=args.shard_link_loss,
+            message_delay=args.message_delay,
+        )
+    telemetry = None
+    if args.telemetry_dir:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry(
+            args.telemetry_dir,
+            config={
+                "rows": rows,
+                "cols": cols,
+                "shards": args.shards,
+                "ticks": args.ticks,
+                "controller": args.controller,
+                "workers": not args.serial,
+                "shard_link_loss": args.shard_link_loss,
+                "message_delay": args.message_delay,
+            },
+            seed=args.seed,
+            agent_name=f"sharded-{args.controller}",
+        )
+    try:
+        result = run_sharded_episode(
+            rows,
+            cols,
+            args.shards,
+            args.ticks,
+            pattern=args.pattern,
+            seed=args.seed,
+            controller=args.controller,
+            workers=not args.serial,
+            faults=faults,
+            telemetry=telemetry,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+            print(f"telemetry written to {telemetry.run_dir}")
+    mode = "serial" if args.serial or args.shards == 1 else "workers"
+    print(
+        f"sharded run: {rows}x{cols} grid, {args.shards} shards ({mode}), "
+        f"{result.ticks} ticks"
+    )
+    print(
+        f"partition: sizes {result.shard_sizes}, edge cut {result.edge_cut} links"
+    )
+    print(
+        f"throughput: {result.ticks_per_second:.1f} ticks/s "
+        f"({result.elapsed_s:.2f} s wall)"
+    )
+    print(
+        f"vehicles: {result.created} created, {result.finished} finished, "
+        f"{result.in_network} in network, {result.pending} pending, "
+        f"{result.in_flight} in flight (conservation OK)"
+    )
+    print(
+        f"boundary: {result.handoffs} handoffs, {result.link_losses} handoff "
+        f"losses, {result.message_losses} message losses"
+    )
+    print(
+        f"avg travel time {result.avg_travel_time:.1f} s, "
+        f"avg wait {result.avg_wait:.1f} s"
+    )
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import write_benchmarks
 
@@ -348,6 +447,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"{payload['unserved_ticks']} unserved, "
                 f"reloads {payload['reloads']['applied']} applied / "
                 f"{payload['reloads']['rejected']} rejected -> {path}"
+            )
+        elif name == "sharded":
+            curve = ", ".join(
+                f"{point['num_shards']}: {point['ticks_per_second']}"
+                for point in payload["curve"]
+            )
+            print(
+                f"sharded: ticks/s by shard count {{{curve}}}, "
+                f"{payload['speedup_max_shards_vs_serial_same_run']}x "
+                f"max-shards vs serial (same run, "
+                f"{payload['cpu_count']} cpu) -> {path}"
             )
         else:
             print(
@@ -502,11 +612,50 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write serve telemetry (events.jsonl) here")
     p_serve.set_defaults(func=cmd_serve)
 
+    p_sharded = subparsers.add_parser(
+        "sharded", help="run one spatially sharded city-scale episode"
+    )
+    p_sharded.add_argument(
+        "--grid-size", type=str, default="10x10",
+        help="grid shape as 'WxH' (or 'N' for NxN)",
+    )
+    p_sharded.add_argument("--rows", type=int, default=10)
+    p_sharded.add_argument("--cols", type=int, default=10)
+    p_sharded.add_argument("--shards", type=int, default=4,
+                           help="number of spatial shards (1 = monolithic)")
+    p_sharded.add_argument("--ticks", type=int, default=300)
+    p_sharded.add_argument("--pattern", type=int, default=5, choices=range(1, 6))
+    p_sharded.add_argument(
+        "--controller", choices=("fixed_time", "max_pressure"),
+        default="fixed_time",
+    )
+    p_sharded.add_argument(
+        "--serial", action="store_true",
+        help="run all shards in-process (bit-exact with worker mode)",
+    )
+    p_sharded.add_argument("--seed", type=int, default=0)
+    p_sharded.add_argument(
+        "--shard-link-loss", type=float, default=0.0,
+        help="per-(edge, tick) probability of losing a boundary exchange "
+             "(handoff batches are held upstream and retried)",
+    )
+    p_sharded.add_argument(
+        "--message-delay", type=float, default=0.0,
+        help="per-(edge, tick) probability of dropping occupancy/messages "
+             "(receivers reuse stale values)",
+    )
+    p_sharded.add_argument("--telemetry-dir", type=str, default="",
+                           help="write shard telemetry (events.jsonl) here")
+    p_sharded.set_defaults(func=cmd_sharded)
+
     p_bench = subparsers.add_parser(
         "bench", help="run throughput benchmarks, write BENCH_*.json"
     )
     p_bench.add_argument(
-        "--which", choices=("all", "engine", "engine_soa", "train", "update", "serve"),
+        "--which",
+        choices=(
+            "all", "engine", "engine_soa", "train", "update", "serve", "sharded"
+        ),
         default="all",
     )
     p_bench.add_argument("--out", type=str, default="benchmarks")
@@ -536,7 +685,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (CheckpointError, ConfigError, FaultInjectionError) as error:
+    except (
+        CheckpointError,
+        ConfigError,
+        FaultInjectionError,
+        NetworkError,
+        SimulationError,
+    ) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -6,7 +6,7 @@ committed number and fails when the drop exceeds ``threshold`` (default
 20%).  Benchmarks are noisy, so measurements favour best-of/median
 aggregation — a genuine regression shifts every repeat, noise does not.
 
-Five gates cover the five committed benchmark files:
+Six gates cover the six committed benchmark files:
 
 * :func:`check_engine_regression` — simulator ticks/s
   (``BENCH_engine.json``),
@@ -17,7 +17,9 @@ Five gates cover the five committed benchmark files:
 * :func:`check_update_regression` — fused PPO-update minibatch steps/s
   (``BENCH_update.json``),
 * :func:`check_serve_regression` — control-service intersections-served/s
-  under faults (``BENCH_serve.json``).
+  under faults (``BENCH_serve.json``),
+* :func:`check_sharded_regression` — sharded-simulation max-shards/serial
+  speedup, same interleaved run (``BENCH_sharded.json``).
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from repro.perf.bench import (
     bench_engine,
     bench_engine_soa,
     bench_serve,
+    bench_sharded,
     bench_train,
     bench_update,
 )
@@ -190,4 +193,54 @@ def check_serve_regression(
         baseline,
         threshold=threshold,
         metric="serve intersections/s",
+    )
+
+
+#: Allowed drop for the sharded-speedup gate.  The same-run ratio is
+#: era-robust but still the noisiest gated metric (worker scheduling on
+#: shared hosts moves single-round ratios ~20%), so its floor sits
+#: below the throughput gates' ``DEFAULT_THRESHOLD``.
+SHARDED_THRESHOLD = 0.35
+
+
+def check_sharded_regression(
+    baseline_path: str,
+    threshold: float = SHARDED_THRESHOLD,
+    rounds: int = 2,
+    measure_ticks: int | None = None,
+) -> RegressionVerdict:
+    """Measure the live sharded max-shards/serial speedup and gate it
+    against the committed ``speedup_max_shards_vs_serial_same_run``.
+
+    Like the SoA gate, this rides the *same-run ratio* rather than
+    absolute ticks/s: serial and sharded runs are interleaved in the
+    same rounds, so host-era noise cancels out of the ratio while a
+    regression in the exchange protocol, the worker pipes or the shard
+    engines moves it.  The live run re-uses the committed scenario
+    (rows/cols/warmup) so the two ratios describe the same workload —
+    and it also re-asserts vehicle conservation at every shard count.
+    The live ratio is the median over ``rounds`` interleaved rounds and
+    is gated with the looser :data:`SHARDED_THRESHOLD` — per-round
+    ratios swing far more than the raw-throughput metrics do.
+    """
+    with open(baseline_path) as handle:
+        committed = json.load(handle)
+    baseline = float(committed["speedup_max_shards_vs_serial_same_run"])
+    scenario = committed.get("scenario", {})
+    live = bench_sharded(
+        rows=int(scenario.get("rows", 50)),
+        cols=int(scenario.get("cols", 50)),
+        warmup_ticks=int(scenario.get("warmup_ticks", 10)),
+        measure_ticks=int(
+            measure_ticks
+            if measure_ticks is not None
+            else scenario.get("measure_ticks", 60)
+        ),
+        rounds=rounds,
+    )
+    return evaluate_gate(
+        float(live["speedup_max_shards_vs_serial_same_run"]),
+        baseline,
+        threshold=threshold,
+        metric="sharded speedup vs serial (same run)",
     )

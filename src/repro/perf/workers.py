@@ -1,0 +1,209 @@
+"""Persistent forked workers with request/reply pipes.
+
+:func:`~repro.perf.parallel.parallel_map` forks a fresh process per
+call, which is fine for coarse jobs (multi-seed evaluation) but far too
+expensive for protocols that exchange small messages every simulation
+tick.  :class:`WorkerPool` keeps the fork model — workers are forked, so
+factories and requests may close over arbitrary parent state with
+nothing pickled on the way in — but makes the workers *long-lived*: each
+worker builds one target object from its factory and then serves method
+calls over a duplex pipe until the pool is closed.
+
+The request protocol is deliberately tiny:
+
+* parent → worker: ``(method_name, args, kwargs)`` tuples;
+* worker → parent: ``("ok", result)`` or ``("error", message)``.
+
+:meth:`WorkerPool.call_all` sends every worker its request *before*
+reading any reply, so one round of K calls costs one parallel round trip
+rather than K sequential ones — the property the sharded simulation's
+lockstep tick loop depends on.
+
+Failure handling mirrors ``parallel_map``: a worker exception is
+re-raised in the parent as :class:`RuntimeError` naming the worker, and
+an unresponsive worker (when ``timeout_s`` is set) gets terminated and
+reported via :class:`~repro.errors.SimulationError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+from typing import Any, Callable, Sequence
+
+from repro.errors import SimulationError
+
+#: Sentinel request asking the serve loop to exit cleanly.
+_STOP = "__stop__"
+
+
+def _serve_loop(factory: Callable[[], Any], conn) -> None:
+    """Worker body: build the target object, then answer requests forever."""
+    try:
+        target = factory()
+    except BaseException as exc:
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", os.getpid()))
+    try:
+        while True:
+            request = conn.recv()
+            if request == _STOP:
+                break
+            method, args, kwargs = request
+            try:
+                result = getattr(target, method)(*args, **kwargs)
+            except BaseException as exc:
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            else:
+                conn.send(("ok", result))
+    except EOFError:  # parent went away; nothing left to serve
+        pass
+    finally:
+        conn.close()
+
+
+class WorkerPool:
+    """A fixed set of persistent forked workers, one object per worker.
+
+    Parameters
+    ----------
+    factories:
+        One zero-argument callable per worker; each is invoked *inside*
+        the forked child to build that worker's target object.  Closures
+        are fine — fork means nothing inbound is pickled.
+    timeout_s:
+        Optional per-round wall-clock budget for :meth:`call_all` /
+        :meth:`call` replies.  ``None`` waits forever.
+
+    Raises :class:`~repro.errors.SimulationError` when the platform has
+    no ``fork`` start method — callers that can degrade to an in-process
+    driver should catch it (the sharded coordinator does).
+    """
+
+    def __init__(
+        self,
+        factories: Sequence[Callable[[], Any]],
+        timeout_s: float | None = None,
+    ) -> None:
+        if not factories:
+            raise SimulationError("WorkerPool needs at least one factory")
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            raise SimulationError(
+                "WorkerPool requires the 'fork' start method"
+            ) from None
+        self.timeout_s = timeout_s
+        self._processes = []
+        self._pipes = []
+        self._closed = False
+        for factory in factories:
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_serve_loop, args=(factory, child_conn), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._pipes.append(parent_conn)
+        self.pids = [
+            self._expect_reply(index, "startup") for index in range(len(factories))
+        ]
+
+    def __len__(self) -> int:
+        return len(self._pipes)
+
+    # ------------------------------------------------------------------
+    def _expect_reply(self, index: int, method: str):
+        conn = self._pipes[index]
+        if self.timeout_s is not None and not conn.poll(self.timeout_s):
+            self._kill(index)
+            raise SimulationError(
+                f"worker {index} unresponsive after {self.timeout_s:.1f}s "
+                f"(request {method!r})"
+            )
+        try:
+            status, payload = conn.recv()
+        except EOFError:
+            raise RuntimeError(
+                f"worker {index} exited without replying to {method!r}"
+            ) from None
+        if status != "ok":
+            raise RuntimeError(f"worker {index} failed in {method!r}: {payload}")
+        return payload
+
+    def _kill(self, index: int) -> None:
+        process = self._processes[index]
+        if process.is_alive():
+            process.terminate()
+        process.join()
+
+    # ------------------------------------------------------------------
+    def call(self, index: int, method: str, *args, **kwargs):
+        """Invoke ``method`` on one worker's target object and wait."""
+        if self._closed:
+            raise SimulationError("WorkerPool is closed")
+        self._pipes[index].send((method, args, kwargs))
+        return self._expect_reply(index, method)
+
+    def call_all(
+        self,
+        method: str,
+        args_list: Sequence[tuple] | None = None,
+    ) -> list:
+        """Invoke ``method`` on every worker concurrently.
+
+        ``args_list`` optionally supplies one positional-argument tuple
+        per worker.  All requests are written before any reply is read
+        (one parallel round trip); replies are returned in worker order.
+        """
+        if self._closed:
+            raise SimulationError("WorkerPool is closed")
+        count = len(self._pipes)
+        if args_list is None:
+            args_list = [()] * count
+        if len(args_list) != count:
+            raise SimulationError(
+                f"call_all needs {count} argument tuples, got {len(args_list)}"
+            )
+        for conn, args in zip(self._pipes, args_list):
+            conn.send((method, tuple(args), {}))
+        return [self._expect_reply(index, method) for index in range(count)]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker and reap the processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._pipes:
+            try:
+                conn.send(_STOP)
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 5.0
+        for process in self._processes:
+            process.join(timeout=max(deadline - time.monotonic(), 0.1))
+            if process.is_alive():
+                process.terminate()
+                process.join()
+        for conn in self._pipes:
+            conn.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,43 @@
+"""City-scale sharded simulation: spatial partitioning across workers.
+
+Public surface:
+
+* :func:`~repro.sim.sharded.partition.partition_network` /
+  :class:`~repro.sim.sharded.partition.Partition` — greedy-BFS K-way
+  contiguous node partition with cut-link accounting.
+* :func:`~repro.sim.sharded.shard.build_shard_specs` /
+  :class:`~repro.sim.sharded.shard.ShardSpec` — per-shard subnetworks
+  with exit stubs, entry links and ghost nodes.
+* :class:`~repro.sim.sharded.shard.ShardEngine` — the unmodified
+  mesoscopic engine plus boundary handoffs at cut links.
+* :class:`~repro.sim.sharded.coordinator.ShardedSimulation` /
+  :func:`~repro.sim.sharded.coordinator.run_sharded` — lockstep
+  coordination over serial or persistent-worker drivers, with boundary
+  fault injection and telemetry.
+
+See DESIGN.md §8 for the protocol and its semantics at shard cuts.
+"""
+
+from repro.sim.sharded.coordinator import ShardedSimulation, run_sharded
+from repro.sim.sharded.partition import Partition, partition_network
+from repro.sim.sharded.shard import (
+    HandoffRecord,
+    ShardEngine,
+    ShardRuntime,
+    ShardSpec,
+    build_shard_specs,
+    clip_route,
+)
+
+__all__ = [
+    "HandoffRecord",
+    "Partition",
+    "ShardEngine",
+    "ShardRuntime",
+    "ShardSpec",
+    "ShardedSimulation",
+    "build_shard_specs",
+    "clip_route",
+    "partition_network",
+    "run_sharded",
+]

@@ -1,0 +1,534 @@
+"""Per-shard subnetwork construction, boundary handoffs, shard engine.
+
+One shard simulates the links it *owns* (links whose ``to_node`` falls in
+the shard — signal, lane queues, storage and discharge are all local)
+plus a thin halo:
+
+* **exit stubs** — cut links leaving the shard.  The stub carries the
+  real geometry so movements, phase plans and lane choice at the
+  upstream intersection are untouched, but no vehicle ever occupies it
+  here: the moment a vehicle would enter an exit stub,
+  :class:`ShardEngine` intercepts the entry and emits a
+  :class:`HandoffRecord` instead.  The stub's ``link_occupancy`` entry is
+  reserved for the *remote* occupancy relayed from the owning shard each
+  tick, which restores cross-cut spillback with one-tick-stale
+  information.
+* **entry links** — cut links entering the shard.  The shard owns them
+  fully and treats them exactly like demand origins: handed-off vehicles
+  join the link's insertion queue and re-enter under the normative
+  insertion-credit semantics of DESIGN.md §6 (credit accrual, storage
+  clamp, drain reset), one tick after leaving the upstream shard.
+* **ghost nodes** — the remote endpoints of cut links, copied with their
+  coordinates (so turn classification is identical) but never
+  signalized.
+
+Routes are *clipped* per shard: a vehicle's local route is the prefix of
+owned links plus, when the route leaves the shard, the first exit stub;
+the remaining global suffix is kept aside and travels with the handoff.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import NamedTuple, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.demand import DemandGenerator
+from repro.sim.engine import Simulation
+from repro.sim.network import RoadNetwork
+from repro.sim.sharded.partition import Partition
+from repro.sim.signal import FixedTimeProgram, PhasePlan
+from repro.sim.vehicle import Vehicle
+
+
+class HandoffRecord(NamedTuple):
+    """A vehicle crossing a shard cut, serialized upstream at the moment
+    it would have entered the cut link."""
+
+    vehicle_id: int
+    #: Remaining *global* route, starting at the cut link itself.
+    route: tuple[str, ...]
+    created: int
+    wait_base: int
+    links_travelled: int
+
+
+@dataclass
+class ShardSpec:
+    """Everything one shard worker needs to build its engine."""
+
+    index: int
+    num_shards: int
+    network: RoadNetwork
+    phase_plans: dict[str, PhasePlan]
+    #: links fully simulated by this shard.
+    owned_links: frozenset[str]
+    #: exit stub link id → destination shard index.
+    exit_stubs: dict[str, int]
+    #: cut links owned by this shard (handoffs arrive here).
+    entry_links: tuple[str, ...]
+    #: global link id → owning shard, for route clipping.
+    link_owner: dict[str, int] = field(repr=False)
+    #: local signalized nodes incident to at least one cut link.
+    boundary_nodes: tuple[str, ...] = ()
+
+
+def clip_route(
+    route: Sequence[str], link_owner: dict[str, int], shard_index: int
+) -> tuple[list[str], tuple[str, ...] | None]:
+    """Split a global route into this shard's local leg and the handoff
+    continuation.
+
+    Returns ``(local_route, continuation)``: ``local_route`` is the
+    owned prefix plus (when the route leaves the shard) the exit stub;
+    ``continuation`` is the full remaining global route starting at that
+    stub, or ``None`` when the route ends inside the shard.
+    """
+    local: list[str] = []
+    for position, link_id in enumerate(route):
+        local.append(link_id)
+        if link_owner[link_id] != shard_index:
+            if position == 0:
+                raise SimulationError(
+                    f"route starts at {link_id!r}, owned by shard "
+                    f"{link_owner[link_id]}, not {shard_index}"
+                )
+            return local, tuple(route[position:])
+    return local, None
+
+
+def build_shard_specs(
+    network: RoadNetwork,
+    phase_plans: dict[str, PhasePlan],
+    partition: Partition,
+) -> list[ShardSpec]:
+    """Cut one validated network into per-shard subnetworks."""
+    assignment = partition.assignment
+    link_owner = partition.link_owner
+    specs: list[ShardSpec] = []
+    for shard_index in range(partition.num_shards):
+        members = set(partition.shards[shard_index])
+        sub = RoadNetwork()
+        # Local nodes keep their signalization; ghost endpoints of cut
+        # links are added on demand, never signalized.
+        for node_id in partition.shards[shard_index]:
+            node = network.nodes[node_id]
+            sub.add_node(node_id, node.x, node.y, signalized=node.signalized)
+
+        def ensure_ghost(node_id: str) -> None:
+            if node_id not in sub.nodes:
+                node = network.nodes[node_id]
+                sub.add_node(node_id, node.x, node.y, signalized=False)
+
+        owned: list[str] = []
+        exit_stubs: dict[str, int] = {}
+        entry_links: list[str] = []
+        for link_id, link in network.links.items():
+            to_local = link.to_node in members
+            from_local = link.from_node in members
+            if not to_local and not from_local:
+                continue
+            if to_local and not from_local:
+                entry_links.append(link_id)
+            if from_local and not to_local:
+                exit_stubs[link_id] = assignment[link.to_node]
+            ensure_ghost(link.from_node)
+            ensure_ghost(link.to_node)
+            sub.add_link(
+                link_id,
+                link.from_node,
+                link.to_node,
+                length=link.length,
+                num_lanes=link.num_lanes,
+                speed_limit=link.speed_limit,
+                lane_turns=[lane.allowed_turns for lane in link.lanes],
+            )
+            if to_local:
+                owned.append(link_id)
+        # Movements at local nodes: both endpoint links are present by
+        # construction (in-links of a local node are owned; out-links are
+        # owned or exit stubs).  Turns are copied, not re-classified.
+        for movement in network.movements.values():
+            node_id = network.links[movement.in_link].to_node
+            if node_id in members:
+                sub.add_movement(movement.in_link, movement.out_link, movement.turn)
+        sub.validate()
+
+        local_plans = {
+            node_id: plan
+            for node_id, plan in phase_plans.items()
+            if node_id in members
+        }
+        cut_set = set(partition.cut_links)
+        boundary: list[str] = []
+        for node_id in partition.shards[shard_index]:
+            if node_id not in local_plans:
+                continue
+            node = network.nodes[node_id]
+            if any(
+                link_id in cut_set for link_id in (*node.incoming, *node.outgoing)
+            ):
+                boundary.append(node_id)
+        specs.append(
+            ShardSpec(
+                index=shard_index,
+                num_shards=partition.num_shards,
+                network=sub,
+                phase_plans=local_plans,
+                owned_links=frozenset(owned),
+                exit_stubs=exit_stubs,
+                entry_links=tuple(entry_links),
+                link_owner=link_owner,
+                boundary_nodes=tuple(boundary),
+            )
+        )
+    return specs
+
+
+class ShardEngine(Simulation):
+    """A :class:`~repro.sim.engine.Simulation` over one shard's
+    subnetwork, with boundary handoffs at the cut links.
+
+    Everything inside the shard — discharge, spillback, permissive
+    lefts, insertion credit — is the unmodified engine.  The overrides
+    only touch the boundary:
+
+    * entering an exit stub becomes a :class:`HandoffRecord` appended to
+      the per-destination outbox (the vehicle leaves this shard);
+    * received handoffs join the cut link's insertion queue, exactly
+      like freshly generated demand at an origin;
+    * demand emissions are route-clipped and vehicle ids are namespaced
+      (``local_id * num_shards + shard_index``) so ids stay globally
+      unique; with one shard this is the identity, which is what makes
+      the single-shard run bit-exact with the monolithic engine.
+    """
+
+    def __init__(self, spec: ShardSpec, demand: DemandGenerator | None, **kwargs) -> None:
+        super().__init__(spec.network, demand, spec.phase_plans, **kwargs)
+        self.spec = spec
+        self._exit_stub_dest = spec.exit_stubs
+        #: vehicle id → remaining global route from its next cut link on.
+        self._continuations: dict[int, tuple[str, ...]] = {}
+        self._outbox: dict[int, list[HandoffRecord]] = {
+            dest: [] for dest in sorted(set(spec.exit_stubs.values()))
+        }
+        self.handoffs_out = 0
+        self.handoffs_in = 0
+
+    # -- boundary: leaving the shard -----------------------------------
+    def _enter_link(self, vehicle: Vehicle, link_id: str) -> None:
+        dest = self._exit_stub_dest.get(link_id)
+        if dest is None:
+            super()._enter_link(vehicle, link_id)
+            return
+        # The caller (discharge/teleport) has already dequeued the
+        # vehicle and released its storage slot; serialize it out
+        # instead of entering the stub.  ``links_travelled`` is *not*
+        # bumped here — the receiving shard's _enter_link onto the cut
+        # link counts it, so the tally matches a monolithic run.
+        self._materialize_wait(vehicle)
+        continuation = self._continuations.pop(vehicle.vehicle_id)
+        if continuation[0] != link_id:
+            raise SimulationError(
+                f"vehicle {vehicle.vehicle_id} crossed cut at {link_id!r} but "
+                f"its continuation starts at {continuation[0]!r}"
+            )
+        self._outbox[dest].append(
+            HandoffRecord(
+                vehicle_id=vehicle.vehicle_id,
+                route=continuation,
+                created=vehicle.created,
+                wait_base=vehicle.wait_base,
+                links_travelled=vehicle.links_travelled,
+            )
+        )
+        self.handoffs_out += 1
+        del self.vehicles[vehicle.vehicle_id]
+
+    def collect_handoffs(self) -> dict[int, list[HandoffRecord]]:
+        """Drain the outbox: destination shard → this tick's records."""
+        out = {dest: batch for dest, batch in self._outbox.items() if batch}
+        for dest in out:
+            self._outbox[dest] = []
+        return out
+
+    # -- boundary: arriving from another shard -------------------------
+    def receive_handoffs(self, records: Sequence[HandoffRecord]) -> None:
+        """Queue handed-off vehicles at their cut links' insertion
+        queues; they re-enter under normal insertion-credit semantics
+        next tick."""
+        owner = self.spec.link_owner
+        shard_index = self.spec.index
+        for record in records:
+            local_route, continuation = clip_route(record.route, owner, shard_index)
+            vehicle = Vehicle(
+                vehicle_id=record.vehicle_id,
+                route=local_route,
+                created=record.created,
+                wait_base=record.wait_base,
+                links_travelled=record.links_travelled,
+            )
+            if continuation is not None:
+                self._continuations[record.vehicle_id] = continuation
+            self.vehicles[record.vehicle_id] = vehicle
+            self.insertion_queues.setdefault(local_route[0], deque()).append(vehicle)
+            self.handoffs_in += 1
+
+    # -- boundary: remote occupancy overlay ----------------------------
+    def apply_remote_occupancy(self, values: dict[str, int]) -> None:
+        """Overlay the owning shard's occupancy onto exit stubs.
+
+        Nothing else ever writes a stub's occupancy (entries are
+        intercepted above), so the discharge loops' spillback check
+        reads the remote value directly — upstream queues block when the
+        downstream side of the cut is full, one tick stale.
+        """
+        occupancy = self.link_occupancy
+        for link_id, value in values.items():
+            occupancy[link_id] = value
+
+    def boundary_occupancy(self) -> dict[str, int]:
+        """Occupancy of this shard's entry links, published upstream."""
+        occupancy = self.link_occupancy
+        return {link_id: occupancy[link_id] for link_id in self.spec.entry_links}
+
+    # -- demand ---------------------------------------------------------
+    def _generate_demand(self) -> None:
+        demand = self.demand
+        if demand is None:
+            return
+        num_shards = self.spec.num_shards
+        shard_index = self.spec.index
+        owner = self.spec.link_owner
+        for local_id, route in demand.emit(self.time):
+            vehicle_id = local_id * num_shards + shard_index
+            local_route, continuation = clip_route(route, owner, shard_index)
+            vehicle = Vehicle(
+                vehicle_id=vehicle_id, route=local_route, created=self.time
+            )
+            if continuation is not None:
+                self._continuations[vehicle_id] = continuation
+            self.vehicles[vehicle_id] = vehicle
+            self.insertion_queues.setdefault(local_route[0], deque()).append(vehicle)
+            self._total_created += 1
+
+    # -- introspection --------------------------------------------------
+    def vehicles_in_network(self) -> int:
+        """Occupancy sum, excluding exit stubs (those hold the *remote*
+        overlay, counted by the owning shard)."""
+        total = sum(self.link_occupancy.values())
+        for link_id in self._exit_stub_dest:
+            total -= self.link_occupancy[link_id]
+        return total
+
+
+class ShardRuntime:
+    """One shard's engine plus its local controller and tick protocol.
+
+    The runtime is the object a worker process hosts (or the serial
+    driver holds in-process): it applies the coordinator's inbound
+    boundary payloads, requests signal phases from its controller, steps
+    the engine one tick and returns the outbound boundary payloads.
+
+    Controllers run *inside* the shard:
+
+    * ``"fixed_time"`` — per-node :class:`FixedTimeProgram` schedules,
+      mirroring :meth:`Simulation.run_fixed_time` exactly (the
+      single-shard grounding test leans on this);
+    * ``"max_pressure"`` — per-node max-pressure over the shard's own
+      queues, with out-link occupancy read through the remote-occupancy
+      overlay, so cross-shard congestion steers boundary intersections.
+    """
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        demand: DemandGenerator | None,
+        *,
+        controller: str = "fixed_time",
+        programs: dict[str, FixedTimeProgram] | None = None,
+        delta_t: int = 5,
+        engine_kwargs: dict | None = None,
+    ) -> None:
+        self.sim = ShardEngine(spec, demand, **(engine_kwargs or {}))
+        self.spec = spec
+        self.controller = controller
+        self.delta_t = max(1, int(delta_t))
+        #: neighbour congestion messages from adjacent shards, kept with
+        #: a staleness counter (ticks since last refresh) so consumers
+        #: can decay confidence the way PairUpLight's message-reuse path
+        #: does when deliveries are dropped.
+        self.remote_messages: dict[str, tuple[float, int]] = {}
+        #: last boundary occupancy reported to the coordinator; only
+        #: changed entries cross the pipe each tick (the coordinator
+        #: reconstructs and re-sends after faulted exchanges).
+        self._occ_sent: dict[str, int] = {}
+        if controller == "fixed_time":
+            if programs is None:
+                raise SimulationError("fixed_time controller needs programs")
+            self._program_entries = [
+                (self.sim.signals[node_id], program)
+                for node_id, program in programs.items()
+                if node_id in self.sim.signals
+            ]
+        elif controller == "max_pressure":
+            self._pressure_entries = self._build_pressure_entries()
+            self._held_phase: dict[str, int] = {}
+        else:
+            raise SimulationError(f"unknown sharded controller {controller!r}")
+
+    # ------------------------------------------------------------------
+    def _build_pressure_entries(self):
+        """Precompute, per signal and phase, the lane queues feeding each
+        green movement and the movement's out-link."""
+        network = self.spec.network
+        entries = []
+        for node_id, plan in self.sim.phase_plans.items():
+            phases = []
+            for phase in plan.phases:
+                terms = []
+                for key in phase.green_movements:
+                    movement = network.movements.get(key)
+                    if movement is None:
+                        continue
+                    lane_ids = [
+                        lane.lane_id for lane in network.lanes_for_movement(movement)
+                    ]
+                    terms.append((lane_ids, movement.out_link))
+                phases.append(terms)
+            entries.append((node_id, self.sim.signals[node_id], phases))
+        return entries
+
+    def _max_pressure_actions(self) -> None:
+        sim = self.sim
+        queues = sim.lane_queues
+        occupancy = sim.link_occupancy
+        for node_id, signal, phases in self._pressure_entries:
+            best_index = 0
+            best_pressure = None
+            for index, terms in enumerate(phases):
+                pressure = 0.0
+                for lane_ids, out_link in terms:
+                    pressure += sum(len(queues[lane_id]) for lane_id in lane_ids)
+                    pressure -= occupancy[out_link]
+                if best_pressure is None or pressure > best_pressure:
+                    best_index, best_pressure = index, pressure
+            self._held_phase[node_id] = best_index
+
+    # ------------------------------------------------------------------
+    def tick(self, inbound: dict) -> dict:
+        """Advance one lockstep tick.
+
+        ``inbound`` carries the coordinator's boundary payloads gathered
+        after the *previous* tick: ``handoffs`` (records to enqueue),
+        ``occupancy`` (remote stub occupancy) and ``messages``
+        (neighbour congestion scores).  Returns the symmetric outbound
+        payloads produced by this tick.
+        """
+        sim = self.sim
+        handoffs = inbound.get("handoffs")
+        if handoffs:
+            sim.receive_handoffs(handoffs)
+        occupancy = inbound.get("occupancy")
+        if occupancy:
+            sim.apply_remote_occupancy(occupancy)
+        messages = inbound.get("messages")
+        for node_id, (_, staleness) in list(self.remote_messages.items()):
+            self.remote_messages[node_id] = (
+                self.remote_messages[node_id][0],
+                staleness + 1,
+            )
+        if messages:
+            for node_id, score in messages.items():
+                self.remote_messages[node_id] = (score, 0)
+
+        t = sim.time
+        if self.controller == "fixed_time":
+            for signal, program in self._program_entries:
+                signal.request_phase(program.phase_at(t))
+        else:
+            if t % self.delta_t == 0:
+                self._max_pressure_actions()
+            for node_id, phase_index in self._held_phase.items():
+                sim.signals[node_id].request_phase(phase_index)
+        sim._step_once()
+
+        occupancy_full = sim.boundary_occupancy()
+        sent = self._occ_sent
+        occupancy_delta = {
+            link_id: value
+            for link_id, value in occupancy_full.items()
+            if sent.get(link_id, 0) != value
+        }
+        sent.update(occupancy_delta)
+        return {
+            "handoffs": sim.collect_handoffs(),
+            "occupancy": occupancy_delta,
+            "messages": self._emit_messages(),
+        }
+
+    def _emit_messages(self) -> dict[str, float]:
+        """Congestion scores of boundary intersections (halted vehicles
+        on incoming links), relayed to adjacent shards."""
+        sim = self.sim
+        network = self.spec.network
+        scores: dict[str, float] = {}
+        for node_id in self.spec.boundary_nodes:
+            node = network.nodes[node_id]
+            scores[node_id] = float(
+                sum(sim.halting_count(link_id) for link_id in node.incoming)
+            )
+        return scores
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Raw per-shard tallies; the coordinator aggregates exactly."""
+        sim = self.sim
+        finished = sim.finished_vehicles
+        return {
+            "shard": self.spec.index,
+            "time": sim.time,
+            "created": sim.total_created,
+            "finished": len(finished),
+            "in_network": sim.vehicles_in_network(),
+            "pending": sim.pending_insertions(),
+            "handoffs_out": sim.handoffs_out,
+            "handoffs_in": sim.handoffs_in,
+            "teleports": sim.teleport_count,
+            "travel_time_sum": float(
+                sum(v.finished - v.created for v in finished)
+            ),
+            "wait_sum": float(sum(v.wait_total for v in finished)),
+        }
+
+    def trajectories(self) -> list[tuple]:
+        """Per-vehicle state tuples, sorted by vehicle id.
+
+        Handed-off vehicles live in exactly one shard at any time, so
+        the union across shards covers every vehicle once.  The tuples
+        are the bit-exactness currency of the equivalence tests.
+        """
+        rows = []
+        for vehicle in self.vehicles_snapshot():
+            rows.append(
+                (
+                    vehicle.vehicle_id,
+                    vehicle.created,
+                    vehicle.inserted,
+                    vehicle.finished,
+                    vehicle.state.value,
+                    vehicle.wait_total,
+                    vehicle.links_travelled,
+                    tuple(vehicle.route),
+                    vehicle.route_index,
+                )
+            )
+        rows.sort()
+        return rows
+
+    def vehicles_snapshot(self):
+        return list(self.sim.vehicles.values())
+
+    def close(self) -> None:  # symmetry with the worker protocol
+        return None

@@ -1,0 +1,120 @@
+"""Sharded-simulation telemetry: events emitted, RNG untouched.
+
+The telemetry contract (module docstring of ``repro.obs.telemetry``)
+says no recording call may draw from any random stream.  For the
+sharded coordinator this is load-bearing: ``shard_link_loss`` events
+are emitted from inside the fault-exchange path, right next to the
+fault RNG — a stray draw there would silently change which boundary
+exchanges fail.  The bit-exactness test pins that down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.config import FaultConfig
+from repro.obs.events import read_events
+from repro.obs.telemetry import Telemetry
+from repro.scenarios.flows import flow_pattern
+from repro.scenarios.grid import build_grid
+from repro.sim.sharded import ShardedSimulation
+from repro.sim.signal import FixedTimeProgram
+
+pytestmark = pytest.mark.obs
+
+TICKS = 200
+
+
+def _run(telemetry=None, faults=None, num_shards=3, workers=False):
+    scenario = build_grid(3, 3)
+    flows = flow_pattern(scenario, 5, light_duration=float(TICKS))
+    programs = {
+        node_id: FixedTimeProgram([(i, 15) for i in range(plan.num_phases)])
+        for node_id, plan in scenario.phase_plans.items()
+    }
+    with ShardedSimulation(
+        scenario.network,
+        scenario.phase_plans,
+        flows,
+        num_shards,
+        seed=0,
+        workers=workers,
+        programs=programs,
+        faults=faults,
+        telemetry=telemetry,
+        handoff_report_every=50,
+    ) as sim:
+        sim.run(TICKS)
+        sim.check_conservation()
+        return sim.trajectories()
+
+
+class TestShardEvents:
+    def test_lifecycle_and_volume_events(self, tmp_path):
+        faults = FaultConfig(shard_link_loss=0.3, message_delay=0.3)
+        telemetry = Telemetry(tmp_path / "run", seed=0, agent_name="sharded")
+        _run(telemetry=telemetry, faults=faults)
+        telemetry.close()
+        events = read_events(tmp_path / "run" / "events.jsonl")
+        by_type: dict[str, list] = {}
+        for event in events:
+            by_type.setdefault(event["type"], []).append(event["data"])
+
+        spawns = by_type["shard_spawn"]
+        assert len(spawns) == 3
+        assert sorted(e["shard"] for e in spawns) == [0, 1, 2]
+        assert all(e["pid"] is None for e in spawns)  # serial driver
+        assert all(e["owned_links"] > 0 for e in spawns)
+
+        handoffs = by_type["shard_handoff"]
+        assert handoffs, "no handoff volume reports"
+        assert all(e["total"] >= 1 for e in handoffs)
+        for event in handoffs:
+            assert sum(event["edges"].values()) == event["total"]
+
+        losses = by_type["shard_link_loss"]
+        kinds = {e["kind"] for e in losses}
+        assert kinds <= {"handoff", "message"}
+        assert "message" in kinds
+        for event in losses:
+            assert event["src"] != event["dst"]
+
+    def test_worker_spawns_report_pids(self, tmp_path):
+        telemetry = Telemetry(tmp_path / "run", seed=0, agent_name="sharded")
+        _run(telemetry=telemetry, workers=True)
+        telemetry.close()
+        events = read_events(tmp_path / "run" / "events.jsonl")
+        pids = [e["data"]["pid"] for e in events if e["type"] == "shard_spawn"]
+        assert len(pids) == 3
+        assert all(isinstance(pid, int) for pid in pids)
+        assert len(set(pids)) == 3  # distinct worker processes
+
+    def test_metrics_counters(self, tmp_path):
+        faults = FaultConfig(shard_link_loss=0.3, message_delay=0.3)
+        telemetry = Telemetry(tmp_path / "run", seed=0, agent_name="sharded")
+        _run(telemetry=telemetry, faults=faults)
+        snapshot = telemetry.metrics.snapshot()
+        telemetry.close()
+        counters = snapshot["counters"]
+        assert counters["sharded.shards"] == 3
+        assert counters["sharded.handoffs"] >= 1
+        assert counters["sharded.link_loss.message"] >= 1
+
+    def test_unknown_loss_kind_rejected(self, tmp_path):
+        telemetry = Telemetry(tmp_path / "run", seed=0)
+        with pytest.raises(ConfigError):
+            telemetry.shard_link_loss(tick=0, src=0, dst=1, kind="carrier", held=0)
+        telemetry.close()
+
+
+class TestZeroRngPerturbation:
+    def test_bit_exact_with_and_without_telemetry(self, tmp_path):
+        """Telemetry on vs off: identical trajectories under faults (the
+        fault RNG and every demand RNG are untouched by recording)."""
+        faults = FaultConfig(shard_link_loss=0.25, message_delay=0.25)
+        silent = _run(telemetry=None, faults=faults)
+        telemetry = Telemetry(tmp_path / "run", seed=0, agent_name="sharded")
+        recorded = _run(telemetry=telemetry, faults=faults)
+        telemetry.close()
+        assert silent == recorded

@@ -1,0 +1,116 @@
+"""Persistent worker pool: ordering, failure, timeout, lifecycle.
+
+These are fast unit tests of :class:`repro.perf.workers.WorkerPool` —
+the request/reply substrate under the sharded simulation's worker
+driver.  The protocol-level guarantees (one parallel round trip per
+``call_all``, replies in worker order, errors re-raised in the parent)
+are pinned here so the coordinator tests can assume them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perf.workers import WorkerPool
+
+
+class Counter:
+    """Tiny stateful target proving workers are long-lived."""
+
+    def __init__(self, start: int) -> None:
+        self.value = start
+
+    def bump(self, amount: int = 1) -> int:
+        self.value += amount
+        return self.value
+
+    def pid(self) -> int:
+        return os.getpid()
+
+    def boom(self) -> None:
+        raise ValueError("intentional failure")
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+def _pool(starts=(0, 100, 200), **kwargs) -> WorkerPool:
+    return WorkerPool([lambda s=s: Counter(s) for s in starts], **kwargs)
+
+
+class TestCallAll:
+    def test_results_in_worker_order(self):
+        with _pool() as pool:
+            assert pool.call_all("bump") == [1, 101, 201]
+
+    def test_state_persists_between_rounds(self):
+        with _pool() as pool:
+            pool.call_all("bump")
+            pool.call_all("bump", [(10,), (10,), (10,)])
+            assert pool.call_all("bump") == [12, 112, 212]
+
+    def test_distinct_processes(self):
+        with _pool() as pool:
+            pids = pool.call_all("pid")
+            assert len(set(pids)) == 3
+            assert os.getpid() not in pids
+            assert pool.pids == pids
+
+    def test_args_list_length_checked(self):
+        with _pool() as pool:
+            with pytest.raises(SimulationError):
+                pool.call_all("bump", [(1,)])
+
+    def test_single_worker_call(self):
+        with _pool() as pool:
+            assert pool.call(1, "bump", 5) == 105
+            # other workers untouched
+            assert pool.call(0, "bump") == 1
+
+
+class TestFailures:
+    def test_worker_exception_reraised(self):
+        with _pool() as pool:
+            with pytest.raises(RuntimeError, match="intentional failure"):
+                pool.call(0, "boom")
+            # the pool survives a failed request
+            assert pool.call(1, "bump") == 101
+
+    def test_factory_failure_surfaces_at_startup(self):
+        def bad_factory():
+            raise OSError("no resources")
+
+        with pytest.raises(RuntimeError, match="no resources"):
+            WorkerPool([bad_factory])
+
+    def test_timeout_raises_simulation_error(self):
+        with _pool(starts=(0,), timeout_s=0.2) as pool:
+            with pytest.raises(SimulationError, match="unresponsive"):
+                pool.call(0, "sleep", 30.0)
+
+    def test_empty_factories_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkerPool([])
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        pool = _pool()
+        pool.close()
+        pool.close()
+        with pytest.raises(SimulationError):
+            pool.call_all("bump")
+
+    def test_context_manager_closes(self):
+        with _pool() as pool:
+            pool.call_all("bump")
+        with pytest.raises(SimulationError):
+            pool.call(0, "bump")
+
+    def test_len(self):
+        with _pool() as pool:
+            assert len(pool) == 3

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import NetworkError
 from repro.scenarios.flows import PATTERN_GROUPS, corridor_groups, flow_pattern
-from repro.scenarios.grid import build_grid
+from repro.scenarios.grid import build_grid, parse_grid_size
 from repro.sim.demand import DemandGenerator
 from repro.sim.engine import Simulation
 from repro.sim.routing import Router
@@ -70,3 +71,26 @@ class TestSmallGridPhases:
         net = grid.network
         assert len(net.neighbours("I0_0")) == 2
         assert len(net.neighbours("I0_1")) == 3
+
+
+class TestParseGridSize:
+    def test_square_shorthand(self):
+        assert parse_grid_size("50") == (50, 50)
+
+    def test_wxh_returns_rows_cols(self):
+        # "WxH": width (cols) first in the string, (rows, cols) out.
+        assert parse_grid_size("4x3") == (3, 4)
+        assert parse_grid_size("3x4") == (4, 3)
+
+    def test_whitespace_and_case_tolerated(self):
+        assert parse_grid_size(" 10X10 ") == (10, 10)
+
+    @pytest.mark.parametrize("bad", ["", "x", "3x", "x3", "3x3x3", "axb", "3.5x2"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(NetworkError):
+            parse_grid_size(bad)
+
+    @pytest.mark.parametrize("bad", ["0", "0x5", "5x0", "-2x3"])
+    def test_non_positive_rejected(self, bad):
+        with pytest.raises(NetworkError):
+            parse_grid_size(bad)

@@ -1,0 +1,92 @@
+"""Spatial partitioner properties (repro.sim.sharded.partition)."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.scenarios.grid import build_grid
+from repro.sim.sharded import partition_network
+
+
+def _assert_contiguous(network, partition) -> None:
+    """Every shard's node set is connected in the undirected link graph."""
+    neighbours: dict[str, set[str]] = {node_id: set() for node_id in network.nodes}
+    for link in network.links.values():
+        neighbours[link.from_node].add(link.to_node)
+        neighbours[link.to_node].add(link.from_node)
+    for shard_nodes in partition.shards:
+        members = set(shard_nodes)
+        start = next(iter(shard_nodes))
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            node = frontier.popleft()
+            for other in neighbours[node]:
+                if other in members and other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        assert seen == members, "shard is not contiguous"
+
+
+class TestPartition:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 4, 7])
+    def test_covers_every_node_once(self, num_shards):
+        grid = build_grid(4, 4)
+        partition = partition_network(grid.network, num_shards)
+        assigned = [node for shard in partition.shards for node in shard]
+        assert sorted(assigned) == sorted(grid.network.nodes)
+        assert len(assigned) == len(set(assigned))
+        assert set(partition.assignment) == set(grid.network.nodes)
+
+    @pytest.mark.parametrize("num_shards", [2, 3, 4, 6])
+    def test_shards_are_contiguous(self, num_shards):
+        grid = build_grid(4, 5)
+        partition = partition_network(grid.network, num_shards)
+        _assert_contiguous(grid.network, partition)
+
+    def test_deterministic(self):
+        grid = build_grid(3, 4)
+        a = partition_network(grid.network, 4)
+        b = partition_network(grid.network, 4)
+        assert a.shards == b.shards
+        assert a.cut_links == b.cut_links
+
+    @pytest.mark.parametrize("num_shards", [2, 4, 8])
+    def test_roughly_balanced(self, num_shards):
+        grid = build_grid(6, 6)
+        sizes = partition_network(grid.network, num_shards).shard_sizes()
+        assert min(sizes) >= 1
+        # Greedy BFS with per-shard targets keeps the spread modest.
+        assert max(sizes) <= 2 * (len(grid.network.nodes) // num_shards) + 1
+
+    def test_cut_links_cross_shards_and_nothing_else(self):
+        grid = build_grid(3, 3)
+        partition = partition_network(grid.network, 3)
+        assignment = partition.assignment
+        cut = set(partition.cut_links)
+        for link_id, link in grid.network.links.items():
+            crosses = assignment[link.from_node] != assignment[link.to_node]
+            assert (link_id in cut) == crosses
+        assert partition.edge_cut == len(cut)
+
+    def test_link_owner_is_destination_shard(self):
+        grid = build_grid(2, 3)
+        partition = partition_network(grid.network, 2)
+        for link_id, link in grid.network.links.items():
+            assert partition.link_owner[link_id] == partition.assignment[link.to_node]
+
+    def test_single_shard_has_no_cut(self):
+        grid = build_grid(2, 2)
+        partition = partition_network(grid.network, 1)
+        assert partition.edge_cut == 0
+        assert partition.shard_sizes() == [len(grid.network.nodes)]
+
+    def test_rejects_bad_arity(self):
+        grid = build_grid(2, 2)
+        with pytest.raises(SimulationError):
+            partition_network(grid.network, 0)
+        with pytest.raises(SimulationError):
+            partition_network(grid.network, len(grid.network.nodes) + 1)

@@ -1,0 +1,87 @@
+"""Heavy sharded-scale tests (marked ``sharded``, excluded from tier-1).
+
+These exercise the city-scale path the quick suites cannot afford:
+partitioning and running grids in the hundreds-of-intersections range,
+plus a miniature end-to-end pass through the scaling benchmark and its
+regression gate.  ``scripts/run_ci.sh`` runs them via
+``pytest -m sharded``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.bench import bench_sharded
+from repro.perf.regression import check_sharded_regression
+from repro.scenarios.grid import build_grid
+from repro.sim.sharded import ShardedSimulation
+from repro.sim.sharded.partition import partition_network
+from repro.sim.signal import FixedTimeProgram
+
+pytestmark = pytest.mark.sharded
+
+
+class TestLargeGridPartition:
+    def test_20x20_into_8_shards(self):
+        network = build_grid(20, 20).network
+        partition = partition_network(network, 8)
+        sizes = [len(shard) for shard in partition.shards]
+        assert sum(sizes) == len(network.nodes)
+        assert min(sizes) > 0
+        # Contiguous BFS growth keeps the cut a small fraction of links.
+        assert partition.edge_cut < len(network.links) * 0.25
+
+    def test_hundreds_of_intersections_run_and_conserve(self):
+        scenario = build_grid(15, 15)
+        from repro.scenarios.flows import flow_pattern
+
+        flows = flow_pattern(scenario, 5, light_duration=120.0)
+        programs = {
+            node_id: FixedTimeProgram([(i, 15) for i in range(plan.num_phases)])
+            for node_id, plan in scenario.phase_plans.items()
+        }
+        with ShardedSimulation(
+            scenario.network,
+            scenario.phase_plans,
+            flows,
+            8,
+            seed=0,
+            workers=True,
+            programs=programs,
+        ) as sim:
+            sim.run(120)
+            sim.check_conservation()
+            summary = sim.summary()
+        assert summary["created"] > 100
+        assert summary["handoffs"] > 0
+
+
+class TestBenchSharded:
+    def test_tiny_curve_schema(self):
+        payload = bench_sharded(
+            rows=4, cols=4, shard_counts=(1, 2), warmup_ticks=4,
+            measure_ticks=12, rounds=1,
+        )
+        assert payload["benchmark"] == "sharded"
+        assert payload["cpu_count"] >= 1
+        counts = [point["num_shards"] for point in payload["curve"]]
+        assert counts == [1, 2]
+        for point in payload["curve"]:
+            assert point["ticks_per_second"] > 0
+        assert payload["speedup_max_shards_vs_serial_same_run"] > 0
+
+    def test_regression_gate_round_trip(self, tmp_path):
+        payload = bench_sharded(
+            rows=4, cols=4, shard_counts=(1, 2), warmup_ticks=4,
+            measure_ticks=12, rounds=1,
+        )
+        baseline_path = tmp_path / "BENCH_sharded.json"
+        baseline_path.write_text(json.dumps(payload))
+        # A near-1.0 threshold: this asserts the baseline/re-measure
+        # plumbing works end to end, not the gate margin — the ratio is
+        # far too noisy at these tiny tick counts to gate tightly.
+        verdict = check_sharded_regression(str(baseline_path), threshold=0.99)
+        assert verdict.ok
+        assert "sharded" in verdict.metric
