@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
-"""Line-coverage floor for the telemetry package (stdlib only).
+"""Line-coverage floor for gated packages (stdlib only).
 
-This environment has no ``coverage``/``pytest-cov``, so the gate runs
-the observability test suite under the standard library's ``trace``
-module and computes line coverage over ``src/repro/obs``.  Fails (exit
-1) when package coverage drops below the floor.
+This environment has no ``coverage``/``pytest-cov``, so the gate runs a
+package's test suite under the standard library's ``trace`` module and
+computes line coverage over the package's sources.  Fails (exit 1) when
+package coverage drops below the floor.
+
+Gated packages and their default test selections:
+
+* ``repro.obs`` (the original gate) — the observability suite,
+* ``repro.scenarios`` — the scenario compiler / zoo / fuzz suite.
 
 Run from the repository root::
 
     python scripts/check_obs_coverage.py [--floor 80]
+    python scripts/check_obs_coverage.py --package repro.scenarios --floor 85
 
 Exit code 0 = floor met, 1 = below floor or tests failed.
 """
@@ -25,20 +31,31 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
 sys.path.insert(0, os.path.join(REPO, "tests"))
 
-#: Package whose coverage is gated.
-TARGET = os.path.join(REPO, "src", "repro", "obs")
-
-#: Test selection that exercises the target package.
-DEFAULT_TESTS = ["tests/obs", "tests/test_cli.py::TestObsCommands"]
+#: Per-package default test selection that exercises it.
+PACKAGE_TESTS = {
+    "repro.obs": ["tests/obs", "tests/test_cli.py::TestObsCommands"],
+    "repro.scenarios": [
+        "tests/scenarios",
+        "tests/test_cli.py::TestZooCommand",
+        "tests/test_cli.py::TestScenarioFlag",
+    ],
+}
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--package", default="repro.obs",
+                        choices=sorted(PACKAGE_TESTS),
+                        help="dotted package under src/ whose coverage is gated")
     parser.add_argument("--floor", type=float, default=80.0,
                         help="minimum package line coverage percent")
-    parser.add_argument("--tests", nargs="*", default=DEFAULT_TESTS,
-                        help="pytest selection to run under the tracer")
+    parser.add_argument("--tests", nargs="*", default=None,
+                        help="pytest selection to run under the tracer "
+                             "(default: the package's own suite)")
     args = parser.parse_args(argv)
+
+    target = os.path.join(REPO, "src", *args.package.split("."))
+    tests = PACKAGE_TESTS[args.package] if args.tests is None else args.tests
 
     import pytest
 
@@ -46,7 +63,7 @@ def main(argv: list[str] | None = None) -> int:
         count=1, trace=0, ignoredirs=[sys.prefix, sys.exec_prefix]
     )
     exit_code = tracer.runfunc(
-        pytest.main, [*args.tests, "-q", "-p", "no:cacheprovider"]
+        pytest.main, [*tests, "-q", "-p", "no:cacheprovider"]
     )
     if exit_code != 0:
         print(f"error: traced test run failed (exit {exit_code})",
@@ -60,7 +77,7 @@ def main(argv: list[str] | None = None) -> int:
 
     total_executable = total_covered = 0
     print(f"\n{'file':<40} {'lines':>6} {'hit':>6} {'cover':>7}")
-    for path in sorted(glob.glob(os.path.join(TARGET, "*.py"))):
+    for path in sorted(glob.glob(os.path.join(target, "*.py"))):
         executable = set(trace._find_executable_linenos(path))
         covered = executable & hits.get(os.path.abspath(path), set())
         total_executable += len(executable)
@@ -69,12 +86,13 @@ def main(argv: list[str] | None = None) -> int:
         name = os.path.relpath(path, REPO)
         print(f"{name:<40} {len(executable):>6} {len(covered):>6} {percent:>6.1f}%")
 
+    rel_target = os.path.relpath(target, REPO)
     if total_executable == 0:
-        print("error: no executable lines found under src/repro/obs",
+        print(f"error: no executable lines found under {rel_target}",
               file=sys.stderr)
         return 1
     package_percent = 100.0 * total_covered / total_executable
-    print(f"\nsrc/repro/obs package coverage: {package_percent:.1f}% "
+    print(f"\n{rel_target} package coverage: {package_percent:.1f}% "
           f"(floor {args.floor:.0f}%)")
     if package_percent < args.floor:
         print("error: coverage below floor", file=sys.stderr)

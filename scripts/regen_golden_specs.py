@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Regenerate the golden scenario-spec fixtures.
+
+Exports the canonical zoo scenarios pinned by
+``tests/scenarios/test_golden_specs.py`` — each entry's *canonical*
+(compiled, round-tripped) spec JSON plus a digest manifest — into
+``tests/scenarios/golden/``.  Only run this after an *intentional*
+change to the spec schema, the zoo builders, or network serialisation,
+and review the fixture diff before committing: a digest drift means
+every previously-exported spec file in the wild now compiles to a
+different scenario.
+
+Usage:
+    PYTHONPATH=src python scripts/regen_golden_specs.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.scenarios.spec import (  # noqa: E402
+    scenario_digest,
+    scenario_to_spec,
+)
+from repro.scenarios.zoo import build_zoo_scenario  # noqa: E402
+
+#: (name, seed) pairs pinned as golden; keep in sync with the test.
+GOLDEN_ENTRIES = (
+    ("commuter_day", 0),
+    ("incident_closure", 0),
+    ("stadium_surge", 2),
+)
+
+
+def main() -> int:
+    golden_dir = os.path.join(REPO, "tests", "scenarios", "golden")
+    os.makedirs(golden_dir, exist_ok=True)
+    manifest = {}
+    for name, seed in GOLDEN_ENTRIES:
+        scenario = build_zoo_scenario(name, seed=seed)
+        canonical = scenario_to_spec(scenario)
+        filename = f"{name}-s{seed}.json"
+        path = os.path.join(golden_dir, filename)
+        with open(path, "w") as handle:
+            json.dump(canonical, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        manifest[filename] = scenario_digest(scenario)
+        print(f"wrote {path}")
+    manifest_path = os.path.join(golden_dir, "digests.json")
+    with open(manifest_path, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {manifest_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,11 +5,16 @@
 #      including the fault-schedule soak smoke test),
 #   3. the sharded suite explicitly (city-scale construction and
 #      scaling-curve smokes, excluded from tier-1 for runtime),
-#   4. the perf-regression gates (engine ticks/s, batched SoA aggregate
+#   4. the scenario fuzz stage: the seeded spec fuzzer widened to 50
+#      distinct scenarios (tier-1 runs 8), every one driven through the
+#      object fast/slow and SoA engines with conservation/round-trip
+#      property checks and a fixed per-case time budget,
+#   5. the perf-regression gates (engine ticks/s, batched SoA aggregate
 #      ticks/s, train env-steps/s, fused PPO-update steps/s, serve
 #      intersections/s, sharded same-run speedup — each vs its
 #      committed BENCH_*.json),
-#   5. the telemetry coverage floor (stdlib trace; no coverage package).
+#   6. the coverage floors (stdlib trace; no coverage package):
+#      src/repro/obs and src/repro/scenarios.
 #
 # Usage, from the repository root:
 #   bash scripts/run_ci.sh
@@ -26,10 +31,17 @@ python -m pytest -m serve
 echo "== sharded suite (city-scale smokes) =="
 python -m pytest -m sharded
 
+echo "== scenario fuzz stage (50 fuzzed specs, fixed seed, per-case budget) =="
+REPRO_FUZZ_CASES=50 REPRO_FUZZ_SEED=20260808 REPRO_FUZZ_CASE_BUDGET_S=30 \
+    python -m pytest tests/scenarios/test_fuzz_zoo.py -q
+
 echo "== perf regression gates (engine / engine_soa / train / update / serve / sharded) =="
 python scripts/check_perf_regression.py --engine-soa-baseline benchmarks/BENCH_engine_soa.json
 
 echo "== telemetry coverage floor (src/repro/obs) =="
 python scripts/check_obs_coverage.py
+
+echo "== scenario coverage floor (src/repro/scenarios) =="
+python scripts/check_obs_coverage.py --package repro.scenarios --floor 85
 
 echo "CI OK"

@@ -32,6 +32,11 @@ Commands
 ``bench``
     Run the engine / training / serving / sharded throughput benchmarks
     and write ``BENCH_*.json`` files for the perf regression gate.
+``zoo``
+    Scenario-zoo tooling: list the seeded demand-scenario catalogue and
+    print or export the spec JSON the ``--scenario`` flags consume
+    (``compare``/``multiseed``/``robustness`` also accept ``zoo:<name>``
+    references directly).
 ``obs``
     Telemetry tooling: ``obs report <run_dir>`` re-renders the training
     curve and event summary of a persisted run (written by ``train
@@ -50,8 +55,10 @@ from repro.env.tsc_env import TrafficSignalEnv
 from repro.errors import ConfigError
 from repro.errors import (
     CheckpointError,
+    DemandError,
     FaultInjectionError,
     NetworkError,
+    ScenarioSpecError,
     SimulationError,
 )
 from repro.eval.comm_overhead import formatted_overhead_table, overhead_table
@@ -225,10 +232,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
         factories = {k: v for k, v in factories.items() if k in args.models}
         if not factories:
             raise ConfigError(f"no known models among {args.models}")
+    scenario = getattr(args, "scenario", "") or None
     if args.table == 2:
-        table = run_table2(scale, factories, seed=args.seed)
-        print(table.formatted("Table II — avg travel time (s), trained on pattern 1"))
+        table = run_table2(scale, factories, seed=args.seed, scenario=scenario)
+        if scenario is not None:
+            title = f"Table II — avg travel time (s), scenario {scenario}"
+        else:
+            title = "Table II — avg travel time (s), trained on pattern 1"
+        print(table.formatted(title))
     else:
+        if scenario is not None:
+            raise ConfigError("--scenario applies to --table 2 only")
         table = run_table3(scale, factories, seed=args.seed)
         print(table.formatted("Table III — light traffic avg travel time (s)"))
     return 0
@@ -246,6 +260,7 @@ def cmd_robustness(args: argparse.Namespace) -> int:
         include_ablation=not args.no_ablation,
         include_baselines=not args.no_baselines,
         fallback=args.fallback,
+        scenario=getattr(args, "scenario", "") or None,
     )
     kinds = "+".join(args.kinds)
     print(f"Degradation sweep — {kinds} faults, avg travel time (s) vs fault rate")
@@ -265,6 +280,7 @@ def cmd_multiseed(args: argparse.Namespace) -> int:
         train_pattern=args.pattern,
         workers=args.workers,
         engine=args.engine,
+        scenario=getattr(args, "scenario", "") or None,
     )
     print(result.summary())
     for run in result.runs:
@@ -490,6 +506,26 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_zoo(args: argparse.Namespace) -> int:
+    from repro.scenarios.spec import save_spec, spec_digest
+    from repro.scenarios.zoo import build_zoo_spec, zoo_catalogue
+
+    if args.zoo_command == "list":
+        for name, description in zoo_catalogue().items():
+            print(f"{name:20s} {description}")
+        return 0
+    spec = build_zoo_spec(args.name, seed=args.seed, rows=args.rows, cols=args.cols)
+    if args.zoo_command == "show":
+        print(json.dumps(spec, indent=2, sort_keys=True))
+        return 0
+    save_spec(args.out, spec)
+    print(
+        f"wrote {spec['name']} to {args.out} "
+        f"(digest {spec_digest(spec)[:12]})"
+    )
+    return 0
+
+
 def cmd_overhead(args: argparse.Namespace) -> int:
     scale = _scale_from_args(args)
     experiment = GridExperiment(scale, seed=args.seed)
@@ -541,6 +577,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(p_compare)
     p_compare.add_argument("--table", type=int, choices=(2, 3), default=2)
     p_compare.add_argument("--models", nargs="*", default=[])
+    p_compare.add_argument(
+        "--scenario", type=str, default="",
+        help="train/evaluate on a scenario spec instead of the paper "
+             "patterns: a spec JSON path or 'zoo:<name>[:<seed>]'",
+    )
     p_compare.set_defaults(func=cmd_compare)
 
     p_overhead = subparsers.add_parser("overhead", help="Table IV analysis")
@@ -563,6 +604,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_robust.add_argument("--no-ablation", action="store_true")
     p_robust.add_argument("--no-baselines", action="store_true")
+    p_robust.add_argument(
+        "--scenario", type=str, default="",
+        help="sweep fault rates on a scenario spec (path or 'zoo:<name>')",
+    )
     p_robust.set_defaults(func=cmd_robustness)
 
     p_multi = subparsers.add_parser(
@@ -572,6 +617,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_multi.add_argument("--model", choices=MODEL_CHOICES, default="PairUpLight")
     p_multi.add_argument("--pattern", type=int, default=1, choices=range(1, 6))
     p_multi.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    p_multi.add_argument(
+        "--scenario", type=str, default="",
+        help="run all seeds on a scenario spec (path or 'zoo:<name>[:<seed>]')",
+    )
     p_multi.add_argument(
         "--workers", type=int, default=0,
         help="forked worker processes (0 = serial; results are identical)",
@@ -677,6 +726,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_tail.add_argument("run_dir", help="telemetry run directory (or events.jsonl)")
     p_tail.add_argument("-n", type=int, default=10)
     p_tail.set_defaults(func=cmd_obs)
+
+    p_zoo = subparsers.add_parser(
+        "zoo", help="scenario zoo: list entries, show/export spec JSON"
+    )
+    zoo_sub = p_zoo.add_subparsers(dest="zoo_command", required=True)
+    p_zoo_list = zoo_sub.add_parser("list", help="list the zoo catalogue")
+    p_zoo_list.set_defaults(func=cmd_zoo)
+    for sub_name, sub_help in (
+        ("show", "print a zoo spec as JSON"),
+        ("export", "write a zoo spec to a JSON file"),
+    ):
+        p_zoo_entry = zoo_sub.add_parser(sub_name, help=sub_help)
+        p_zoo_entry.add_argument("name", help="zoo scenario name (see 'zoo list')")
+        p_zoo_entry.add_argument("--seed", type=int, default=0)
+        p_zoo_entry.add_argument("--rows", type=int, default=4)
+        p_zoo_entry.add_argument("--cols", type=int, default=4)
+        if sub_name == "export":
+            p_zoo_entry.add_argument("--out", type=str, required=True)
+        p_zoo_entry.set_defaults(func=cmd_zoo)
     return parser
 
 
@@ -688,12 +756,22 @@ def main(argv: list[str] | None = None) -> int:
     except (
         CheckpointError,
         ConfigError,
+        DemandError,
         FaultInjectionError,
         NetworkError,
+        ScenarioSpecError,
         SimulationError,
     ) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into a consumer that stopped reading (e.g.
+        # ``repro zoo show ... | head``): exit quietly, not a traceback.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

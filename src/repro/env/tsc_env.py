@@ -40,6 +40,7 @@ from repro.sim.signal import PhasePlan
 
 if TYPE_CHECKING:  # runtime import is lazy to avoid a package cycle
     from repro.faults.config import FaultConfig
+    from repro.faults.incidents import IncidentSchedule
     from repro.faults.schedule import FaultSchedule
 
 
@@ -64,6 +65,11 @@ class EnvConfig:
     engine: str = "object"
     #: Optional fault injection (see :mod:`repro.faults`); ``None`` = healthy.
     faults: FaultConfig | None = None
+    #: Optional scheduled lane/link closures
+    #: (:class:`repro.faults.incidents.IncidentSchedule`), attached to the
+    #: simulation each episode.  The schedule is stateless, so sharing one
+    #: object across episodes and engines is safe.
+    incidents: IncidentSchedule | None = None
     #: Graceful sensing degradation: impute dropped detector readings
     #: from last-known values.  ``False`` is the no-fallback ablation.
     fault_degrade: bool = True
@@ -229,6 +235,8 @@ class TrafficSignalEnv:
         entry point for :class:`repro.eval.batched.LockstepEnvGroup`,
         which hands every env a replica view of one shared engine."""
         self.sim = sim
+        if self.config.incidents is not None:
+            self.sim.incidents = self.config.incidents
         if self._telemetry is not None:
             self.sim.metrics = self._telemetry.metrics
             self._teleports_seen = 0

@@ -21,6 +21,10 @@ class ConfigError(ReproError):
     """Raised for invalid experiment / agent configuration."""
 
 
+class ScenarioSpecError(ReproError):
+    """Raised for invalid declarative scenario specifications."""
+
+
 class FaultInjectionError(ReproError):
     """Raised for invalid fault-injection configuration or schedules."""
 

@@ -158,3 +158,88 @@ class GridExperiment:
         return evaluate(
             agent, env, episodes=self.scale.eval_episodes, seed=self.seed + 900
         )
+
+
+class ScenarioExperiment(GridExperiment):
+    """The grid-experiment protocol over one compiled scenario spec.
+
+    Drop-in for :class:`GridExperiment` anywhere the comparison /
+    multiseed / robustness pipelines build experiments: ``pattern``
+    arguments are accepted and ignored because the scenario defines its
+    own demand (and optional incident schedule).  The episode horizon
+    comes from the scenario; ``scale`` still supplies episode counts and
+    the drain-mode tick ceiling.
+    """
+
+    def __init__(self, compiled, scale: ExperimentScale, seed: int = 0) -> None:
+        from repro.scenarios.spec import CompiledScenario
+
+        if not isinstance(compiled, CompiledScenario):
+            raise ConfigError(
+                "ScenarioExperiment needs a CompiledScenario; use "
+                "repro.scenarios.resolve_scenario() for specs/paths/zoo refs"
+            )
+        self.scale = scale
+        self.seed = seed
+        self.compiled = compiled
+        #: Grid helpers when the spec's network kind was ``grid``; None
+        #: for edge-list/explicit networks.
+        self.scenario = compiled.grid
+
+    def _env(
+        self,
+        drain: bool,
+        faults: FaultConfig | None,
+        fault_degrade: bool,
+        seed: int,
+    ) -> TrafficSignalEnv:
+        horizon = self.compiled.horizon_ticks
+        config = EnvConfig(
+            horizon_ticks=horizon,
+            max_ticks=max(self.scale.max_ticks, 2 * horizon),
+            drain=drain,
+            faults=faults,
+            fault_degrade=fault_degrade,
+            incidents=self.compiled.incidents,
+        )
+        return TrafficSignalEnv(
+            self.compiled.network,
+            self.compiled.phase_plans,
+            self.compiled.fresh_flows(),
+            config,
+            seed=seed,
+        )
+
+    def train_env(
+        self,
+        pattern: int = 1,
+        faults: FaultConfig | None = None,
+        fault_degrade: bool = True,
+    ) -> TrafficSignalEnv:
+        return self._env(False, faults, fault_degrade, self.seed)
+
+    def eval_env(
+        self,
+        pattern: int = 1,
+        faults: FaultConfig | None = None,
+        fault_degrade: bool = True,
+    ) -> TrafficSignalEnv:
+        return self._env(True, faults, fault_degrade, self.seed + 500)
+
+
+def make_experiment(
+    scale: ExperimentScale, seed: int = 0, scenario=None
+) -> GridExperiment:
+    """The experiment the eval pipelines should run.
+
+    ``scenario=None`` gives the paper's :class:`GridExperiment`;
+    otherwise ``scenario`` is anything
+    :func:`repro.scenarios.resolve_scenario` accepts (a compiled
+    scenario, a spec dict, a spec JSON path, or ``"zoo:<name>"``) and
+    the result is a :class:`ScenarioExperiment` over it.
+    """
+    if scenario is None:
+        return GridExperiment(scale, seed=seed)
+    from repro.scenarios.spec import resolve_scenario
+
+    return ScenarioExperiment(resolve_scenario(scenario), scale, seed=seed)

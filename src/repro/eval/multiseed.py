@@ -16,7 +16,7 @@ import numpy as np
 from repro.agents.base import AgentSystem
 from repro.env.tsc_env import TrafficSignalEnv
 from repro.errors import ConfigError
-from repro.eval.harness import ExperimentScale, GridExperiment
+from repro.eval.harness import ExperimentScale, make_experiment
 
 SeededAgentFactory = Callable[[TrafficSignalEnv, int], AgentSystem]
 """Builds an agent bound to the environment, seeded per run."""
@@ -79,6 +79,7 @@ def run_multiseed(
     timeout_s: float | None = None,
     telemetry=None,
     engine: str = "object",
+    scenario=None,
 ) -> MultiSeedResult:
     """Train/evaluate the same configuration under several seeds.
 
@@ -104,6 +105,12 @@ def run_multiseed(
     ``multiseed_seed`` event per run plus aggregate gauges.  Events are
     emitted *after* the runs complete, in the parent process, so the
     sink composes with forked workers and cannot perturb any run.
+
+    ``scenario`` (anything :func:`repro.scenarios.resolve_scenario`
+    accepts) replaces the pattern-based grid experiment with a
+    scenario-spec experiment; ``train_pattern``/``eval_pattern`` are
+    then ignored for demand (the spec defines it) but still label the
+    result.
     """
     from repro.perf.parallel import parallel_map
 
@@ -111,18 +118,26 @@ def run_multiseed(
         raise ConfigError("need at least one seed")
     if engine not in ("object", "soa"):
         raise ConfigError(f"engine must be 'object' or 'soa', got {engine!r}")
+    if scenario is not None:
+        # Resolve once so every seed shares one compiled network and a
+        # file/zoo reference is not re-read per seed.
+        from repro.scenarios.spec import resolve_scenario
+
+        scenario = resolve_scenario(scenario)
     eval_pattern = train_pattern if eval_pattern is None else eval_pattern
     result = MultiSeedResult(model=model_name, pattern=eval_pattern)
 
     if engine == "soa":
         result.runs.extend(
-            _run_seeds_batched(scale, factory, seeds, train_pattern, eval_pattern)
+            _run_seeds_batched(
+                scale, factory, seeds, train_pattern, eval_pattern, scenario
+            )
         )
         _emit_telemetry(result, telemetry, model_name, eval_pattern)
         return result
 
     def run_one_seed(seed: int) -> SeedRun:
-        experiment = GridExperiment(scale, seed=seed)
+        experiment = make_experiment(scale, seed=seed, scenario=scenario)
 
         def seeded_factory(environment, s=seed):
             return factory(environment, s)
@@ -149,6 +164,7 @@ def _run_seeds_batched(
     seeds: list[int],
     train_pattern: int,
     eval_pattern: int,
+    scenario=None,
 ) -> list[SeedRun]:
     """All seeds in one process over one batched SoA engine.
 
@@ -158,7 +174,9 @@ def _run_seeds_batched(
     """
     from repro.eval.batched import evaluate_lockstep, train_lockstep
 
-    experiments = [GridExperiment(scale, seed=seed) for seed in seeds]
+    experiments = [
+        make_experiment(scale, seed=seed, scenario=scenario) for seed in seeds
+    ]
     train_envs = [exp.train_env(train_pattern) for exp in experiments]
     agents = [
         factory(env, seed) for env, seed in zip(train_envs, seeds)

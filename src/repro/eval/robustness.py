@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.agents.base import AgentSystem
 from repro.errors import ConfigError, FaultInjectionError
-from repro.eval.harness import ExperimentScale, GridExperiment
+from repro.eval.harness import ExperimentScale, GridExperiment, make_experiment
 from repro.faults.config import FAULT_KINDS, FaultConfig
 from repro.faults.controller import ControllerFaultWrapper
 from repro.rl.runner import EvaluationResult, evaluate, train
@@ -150,6 +150,7 @@ def run_degradation_comparison(
     include_ablation: bool = True,
     include_baselines: bool = True,
     fallback: str = "max_pressure",
+    scenario=None,
 ) -> list[DegradationCurve]:
     """Degradation curves for PairUpLight vs. its ablation and baselines.
 
@@ -157,11 +158,15 @@ def run_degradation_comparison(
     paper's protocol), then the *same frozen weights* are evaluated with
     graceful degradation on and — as the ablation — off, alongside the
     static baselines, under the identical fault schedules.
+
+    ``scenario`` (a spec path, ``"zoo:<name>"``, spec dict or compiled
+    scenario) swaps the pattern-based grid for a scenario-spec
+    experiment — measuring degradation under, e.g., incident workloads.
     """
     from repro.agents import FixedTimeSystem, MaxPressureSystem, PairUpLightSystem
     from repro.agents.pairuplight.agent import PairUpLightConfig
 
-    experiment = GridExperiment(scale, seed=seed)
+    experiment = make_experiment(scale, seed=seed, scenario=scenario)
     train_env = experiment.train_env(pattern)
     episodes = scale.train_episodes if train_episodes is None else train_episodes
     paired = PairUpLightSystem(train_env, seed=seed)

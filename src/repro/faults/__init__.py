@@ -22,6 +22,7 @@ from repro.faults.controller import (
     FallbackController,
 )
 from repro.faults.detectors import FaultyDetectorSuite
+from repro.faults.incidents import INCIDENT_KINDS, Incident, IncidentSchedule
 from repro.faults.schedule import FaultSchedule
 
 __all__ = [
@@ -32,4 +33,7 @@ __all__ = [
     "FaultConfig",
     "FaultSchedule",
     "FaultyDetectorSuite",
+    "INCIDENT_KINDS",
+    "Incident",
+    "IncidentSchedule",
 ]

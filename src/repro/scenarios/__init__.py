@@ -1,4 +1,5 @@
-"""Evaluation scenarios: grids, flow patterns, Monaco-style net, arterials."""
+"""Evaluation scenarios: grids, flow patterns, Monaco-style net, arterials,
+plus the declarative spec compiler, the demand zoo and the spec fuzzer."""
 
 from repro.scenarios.arterial import (
     ArterialScenario,
@@ -21,25 +22,54 @@ from repro.scenarios.grid import (
     link_id,
     terminal_id,
 )
+from repro.scenarios.fuzz import fuzz_specs, sample_spec
 from repro.scenarios.monaco import MonacoScenario, MonacoSpec, build_monaco
+from repro.scenarios.spec import (
+    SPEC_VERSION,
+    CompiledScenario,
+    compile_spec,
+    load_spec,
+    resolve_scenario,
+    save_spec,
+    scenario_digest,
+    scenario_to_spec,
+    spec_digest,
+    validate_spec,
+)
+from repro.scenarios.zoo import build_zoo_scenario, build_zoo_spec, zoo_catalogue
 
 __all__ = [
     "ArterialScenario",
     "ArterialSpec",
+    "CompiledScenario",
     "GridScenario",
     "GridSpec",
     "MonacoScenario",
     "MonacoSpec",
     "OffsetProgram",
     "PATTERN_GROUPS",
+    "SPEC_VERSION",
     "build_arterial",
     "build_grid",
     "build_monaco",
+    "build_zoo_scenario",
+    "build_zoo_spec",
+    "compile_spec",
     "congested_pattern",
     "corridor_groups",
     "flow_pattern",
+    "fuzz_specs",
     "intersection_id",
     "light_uniform_pattern",
     "link_id",
+    "load_spec",
+    "resolve_scenario",
+    "sample_spec",
+    "save_spec",
+    "scenario_digest",
+    "scenario_to_spec",
+    "spec_digest",
     "terminal_id",
+    "validate_spec",
+    "zoo_catalogue",
 ]

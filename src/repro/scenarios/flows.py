@@ -20,14 +20,20 @@ from repro.sim.demand import Flow, RateProfile
 
 
 def _spread(indices_wanted: int, available: int) -> list[int]:
-    """Pick ``indices_wanted`` roughly-even indices out of ``available``."""
+    """Pick ``min(indices_wanted, available)`` evenly-spread distinct indices.
+
+    Exact integer arithmetic: index ``i`` maps to the midpoint of the
+    ``i``-th of ``count`` equal bins, ``((2*i + 1) * available) // (2 * count)``.
+    Consecutive midpoints differ by at least ``available // count >= 1``,
+    so the result always has exactly ``count`` distinct sorted entries —
+    no float rounding, no set-dedupe shrinkage.
+    """
+    if indices_wanted <= 0:
+        raise DemandError("must request at least one corridor index")
     if available <= 0:
         raise DemandError("grid has no corridors")
     count = min(indices_wanted, available)
-    if count == available:
-        return list(range(available))
-    step = available / count
-    return sorted({min(available - 1, int(i * step + step / 2)) for i in range(count)})
+    return [((2 * i + 1) * available) // (2 * count) for i in range(count)]
 
 
 def corridor_groups(scenario: GridScenario) -> dict[str, list[tuple]]:

@@ -1,0 +1,710 @@
+"""Declarative scenario compiler: JSON specs -> runnable scenarios.
+
+The paper evaluates on five hand-coded flow patterns over one grid;
+measuring generalisation needs *many* workloads, defined as data rather
+than Python.  A **scenario spec** is a JSON document:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "name": "rush-hour",
+      "network": {"kind": "grid", "rows": 4, "cols": 4},
+      "demand": [
+        {"kind": "od", "name": "main", "origin": "Tn1->I0_1",
+         "destination": "I3_1->Ts1",
+         "profile": {"kind": "triangular", "start": 0, "peak_time": 900,
+                     "end": 1800, "peak_rate": 450}}
+      ],
+      "incidents": [
+        {"kind": "link_closure", "link": "I1_1->I1_2",
+         "start": 600, "duration": 300}
+      ],
+      "horizon": 2100
+    }
+
+Network kinds:
+
+* ``grid`` — the paper's synthetic grid (:class:`~repro.scenarios.grid.GridSpec`
+  fields: ``rows``, ``cols``, ``block_length``, ``speed_limit``).
+* ``edge_list`` — arbitrary topologies from ``nodes`` + ``edges``
+  (two-way unless ``"oneway": true``); movements are auto-declared at
+  every pass-through node and signalized nodes get the default
+  four-phase plan.
+* ``explicit`` — the full :mod:`repro.sim.io` payload
+  (``nodes``/``links``/``movements``/``phase_plans``), for scenarios
+  exported by :func:`scenario_to_spec` or written by hand.
+
+Demand entry kinds: ``od`` (one flow, any profile kind below),
+``pattern`` (the paper's patterns 1-5, grid networks only) and
+``uniform`` (light uniform grid background).  Profile kinds:
+``constant``, ``triangular``, ``multi_peak`` (day-long AM/PM commuter
+shapes), ``surge`` (trapezoidal special-event pulse) and raw ``points``.
+
+Every compiled scenario has a *canonical* form — network serialised
+explicitly, every flow reduced to an ``od`` entry with a ``points``
+profile, incidents normalised to ``capacity`` windows — produced by
+:func:`scenario_to_spec`.  Canonicalisation is idempotent, and
+:func:`scenario_digest` hashes the canonical JSON, which is what the
+golden-spec regression tests and the fuzzer's distinctness guarantee
+are built on.  All validation errors raise :class:`ScenarioSpecError`
+with the offending path spelled out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import (
+    DemandError,
+    FaultInjectionError,
+    NetworkError,
+    ScenarioSpecError,
+)
+from repro.faults.incidents import Incident, IncidentSchedule
+from repro.scenarios.flows import flow_pattern, light_uniform_pattern
+from repro.scenarios.grid import GridScenario, GridSpec
+from repro.sim.demand import DemandGenerator, Flow, RateProfile
+from repro.sim.io import network_from_dict, network_to_dict
+from repro.sim.network import RoadNetwork, TurnType
+from repro.sim.routing import Router
+from repro.sim.signal import PhasePlan, default_four_phase_plan
+
+SPEC_VERSION = 1
+
+NETWORK_KINDS = ("grid", "edge_list", "explicit")
+DEMAND_KINDS = ("od", "pattern", "uniform")
+PROFILE_KINDS = ("constant", "triangular", "multi_peak", "surge", "points")
+INCIDENT_SPEC_KINDS = ("link_closure", "lane_closure", "capacity")
+
+#: Seconds appended to the last demand/incident event when the spec does
+#: not pin ``horizon`` — lets emitted vehicles drain before the episode ends.
+DEFAULT_DRAIN_MARGIN_S = 300
+
+#: All-turns lane layout used for ``edge_list`` links without an explicit
+#: per-lane turn assignment.
+_ALL_TURNS = frozenset(
+    {TurnType.LEFT, TurnType.THROUGH, TurnType.RIGHT, TurnType.UTURN}
+)
+
+
+@dataclass
+class CompiledScenario:
+    """A spec compiled to runnable objects.
+
+    ``flows`` hold mutable emission accumulators; never share them
+    between concurrent runs — call :meth:`fresh_flows` per run.
+    """
+
+    name: str
+    network: RoadNetwork
+    phase_plans: dict[str, PhasePlan]
+    flows: list[Flow]
+    incidents: IncidentSchedule | None
+    horizon_ticks: int
+    metadata: dict[str, Any] = field(default_factory=dict)
+    #: Set when the network kind was ``grid`` — gives eval harnesses the
+    #: corridor helpers without re-deriving geometry.
+    grid: GridScenario | None = None
+
+    def fresh_flows(self) -> list[Flow]:
+        """Per-run copies of the flows (clean emission accumulators)."""
+        return [
+            Flow(flow.name, flow.origin_link, flow.destination_link, flow.profile)
+            for flow in self.flows
+        ]
+
+    def expected_vehicles(self) -> float:
+        """Total expected emissions over the whole scenario."""
+        return sum(flow.expected_vehicles() for flow in self.flows)
+
+    def demand_generator(
+        self, seed: int = 0, stochastic: bool = True
+    ) -> DemandGenerator:
+        """A fresh, independently-seeded demand source for one run."""
+        return DemandGenerator(
+            self.fresh_flows(), Router(self.network), seed=seed, stochastic=stochastic
+        )
+
+    def build_simulation(
+        self, seed: int = 0, stochastic: bool = True, **sim_kwargs
+    ):
+        """An object-engine :class:`~repro.sim.engine.Simulation` with
+        demand and the incident schedule attached."""
+        from repro.sim.engine import Simulation
+
+        sim = Simulation(
+            self.network,
+            self.demand_generator(seed=seed, stochastic=stochastic),
+            self.phase_plans,
+            **sim_kwargs,
+        )
+        if self.incidents:
+            sim.incidents = self.incidents
+        return sim
+
+
+# ----------------------------------------------------------------------
+# Validation helpers
+# ----------------------------------------------------------------------
+def _require(payload: dict, key: str, where: str) -> Any:
+    if key not in payload:
+        raise ScenarioSpecError(f"{where}: missing required field {key!r}")
+    return payload[key]
+
+
+def _number(payload: dict, key: str, where: str, default=None, minimum=None):
+    value = payload.get(key, default)
+    if value is None:
+        raise ScenarioSpecError(f"{where}: missing required field {key!r}")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioSpecError(f"{where}: {key!r} must be a number, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise ScenarioSpecError(f"{where}: {key!r} must be >= {minimum}, got {value}")
+    return float(value)
+
+
+def _integer(payload: dict, key: str, where: str, default=None, minimum=None) -> int:
+    value = _number(payload, key, where, default=default, minimum=minimum)
+    if value != int(value):
+        raise ScenarioSpecError(f"{where}: {key!r} must be an integer, got {value}")
+    return int(value)
+
+
+def _kind_of(payload: Any, allowed: tuple[str, ...], where: str) -> str:
+    if not isinstance(payload, dict):
+        raise ScenarioSpecError(f"{where}: expected an object, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind not in allowed:
+        raise ScenarioSpecError(
+            f"{where}: 'kind' must be one of {list(allowed)}, got {kind!r}"
+        )
+    return kind
+
+
+def validate_spec(spec: Any) -> dict[str, Any]:
+    """Structural validation; returns the spec (raises on bad shape).
+
+    Checks field presence, kinds and value ranges — everything that can
+    be checked without building the network.  Link existence and route
+    feasibility are checked during :func:`compile_spec`.
+    """
+    if not isinstance(spec, dict):
+        raise ScenarioSpecError(f"spec must be a JSON object, got {type(spec).__name__}")
+    version = spec.get("version", SPEC_VERSION)
+    if version != SPEC_VERSION:
+        raise ScenarioSpecError(
+            f"unsupported spec version {version!r} (this library reads {SPEC_VERSION})"
+        )
+    name = spec.get("name", "scenario")
+    if not isinstance(name, str) or not name:
+        raise ScenarioSpecError(f"'name' must be a non-empty string, got {name!r}")
+
+    network = _require(spec, "network", "spec")
+    net_kind = _kind_of(network, NETWORK_KINDS, "network")
+    if net_kind == "grid":
+        _integer(network, "rows", "network(grid)", default=6, minimum=1)
+        _integer(network, "cols", "network(grid)", default=6, minimum=1)
+    elif net_kind == "edge_list":
+        nodes = _require(network, "nodes", "network(edge_list)")
+        edges = _require(network, "edges", "network(edge_list)")
+        if not isinstance(nodes, list) or not nodes:
+            raise ScenarioSpecError("network(edge_list): 'nodes' must be a non-empty list")
+        if not isinstance(edges, list) or not edges:
+            raise ScenarioSpecError("network(edge_list): 'edges' must be a non-empty list")
+        for i, node in enumerate(nodes):
+            _require(node, "id", f"network.nodes[{i}]")
+        for i, edge in enumerate(edges):
+            _require(edge, "from", f"network.edges[{i}]")
+            _require(edge, "to", f"network.edges[{i}]")
+    else:  # explicit
+        for key in ("nodes", "links"):
+            if not network.get(key):
+                raise ScenarioSpecError(
+                    f"network(explicit): non-empty {key!r} list required"
+                )
+
+    demand = spec.get("demand", [])
+    if not isinstance(demand, list):
+        raise ScenarioSpecError("'demand' must be a list of demand entries")
+    embedded_flows = net_kind == "explicit" and bool(network.get("flows"))
+    if demand and embedded_flows:
+        raise ScenarioSpecError(
+            "demand is ambiguous: both spec['demand'] and explicit network "
+            "'flows' are present; keep one"
+        )
+    if not demand and not embedded_flows:
+        raise ScenarioSpecError("scenario has no demand: add 'demand' entries")
+    names: set[str] = set()
+    for i, entry in enumerate(demand):
+        where = f"demand[{i}]"
+        kind = _kind_of(entry, DEMAND_KINDS, where)
+        if kind == "od":
+            flow_name = _require(entry, "name", where)
+            if flow_name in names:
+                raise ScenarioSpecError(f"{where}: duplicate flow name {flow_name!r}")
+            names.add(flow_name)
+            _require(entry, "origin", where)
+            _require(entry, "destination", where)
+            _validate_profile(_require(entry, "profile", where), f"{where}.profile")
+        elif kind == "pattern":
+            pattern = _integer(entry, "pattern", where, minimum=1)
+            if pattern > 5:
+                raise ScenarioSpecError(f"{where}: pattern must be 1-5, got {pattern}")
+        else:  # uniform
+            _number(entry, "duration", where, default=1800.0, minimum=1.0)
+
+    incidents = spec.get("incidents", [])
+    if not isinstance(incidents, list):
+        raise ScenarioSpecError("'incidents' must be a list")
+    for i, entry in enumerate(incidents):
+        where = f"incidents[{i}]"
+        kind = _kind_of(entry, INCIDENT_SPEC_KINDS, where)
+        _require(entry, "link", where)
+        _integer(entry, "start", where, minimum=0)
+        _integer(entry, "duration", where, minimum=1)
+        if kind == "capacity":
+            factor = _number(entry, "factor", where, minimum=0.0)
+            if factor > 1.0:
+                raise ScenarioSpecError(f"{where}: factor must be <= 1, got {factor}")
+        elif kind == "lane_closure":
+            _integer(entry, "lanes_closed", where, default=1, minimum=1)
+
+    if "horizon" in spec:
+        _integer(spec, "horizon", "spec", minimum=1)
+    metadata = spec.get("metadata", {})
+    if not isinstance(metadata, dict):
+        raise ScenarioSpecError("'metadata' must be a JSON object")
+    return spec
+
+
+def _validate_profile(payload: Any, where: str) -> None:
+    kind = _kind_of(payload, PROFILE_KINDS, where)
+    if kind == "constant":
+        _number(payload, "rate", where, minimum=0.0)
+        _number(payload, "duration", where, minimum=0.0)
+    elif kind == "triangular":
+        start = _number(payload, "start", where, default=0.0, minimum=0.0)
+        peak = _number(payload, "peak_time", where, minimum=0.0)
+        end = _number(payload, "end", where, minimum=0.0)
+        _number(payload, "peak_rate", where, minimum=0.0)
+        if not start <= peak <= end:
+            raise ScenarioSpecError(f"{where}: requires start <= peak_time <= end")
+    elif kind == "multi_peak":
+        peaks = _require(payload, "peaks", where)
+        if not isinstance(peaks, list) or not peaks:
+            raise ScenarioSpecError(f"{where}: 'peaks' must be a non-empty list")
+        _number(payload, "base_rate", where, default=0.0, minimum=0.0)
+        _number(payload, "duration", where, minimum=1.0)
+        for j, peak in enumerate(peaks):
+            _number(peak, "time", f"{where}.peaks[{j}]", minimum=0.0)
+            _number(peak, "rate", f"{where}.peaks[{j}]", minimum=0.0)
+            _number(peak, "width", f"{where}.peaks[{j}]", minimum=1.0)
+    elif kind == "surge":
+        start = _number(payload, "start", where, default=0.0, minimum=0.0)
+        duration = _number(payload, "duration", where, minimum=1.0)
+        _number(payload, "rate", where, minimum=0.0)
+        ramp = _number(payload, "ramp", where, default=duration / 4.0, minimum=0.0)
+        if 2 * ramp > duration:
+            raise ScenarioSpecError(
+                f"{where}: ramp ({ramp}) too long for duration ({duration})"
+            )
+    else:  # points
+        points = _require(payload, "points", where)
+        if not isinstance(points, list) or not points:
+            raise ScenarioSpecError(f"{where}: 'points' must be a non-empty list")
+        for j, point in enumerate(points):
+            if not isinstance(point, (list, tuple)) or len(point) != 2:
+                raise ScenarioSpecError(
+                    f"{where}.points[{j}]: expected a [time, rate] pair"
+                )
+
+
+# ----------------------------------------------------------------------
+# Profile / demand compilation
+# ----------------------------------------------------------------------
+def _compile_profile(payload: dict, where: str) -> RateProfile:
+    kind = payload["kind"]
+    try:
+        if kind == "constant":
+            return RateProfile.constant(payload["rate"], payload["duration"])
+        if kind == "triangular":
+            return RateProfile.triangular(
+                payload.get("start", 0.0),
+                payload["peak_time"],
+                payload["end"],
+                payload["peak_rate"],
+            )
+        if kind == "multi_peak":
+            return _multi_peak_profile(payload, where)
+        if kind == "surge":
+            return _surge_profile(payload)
+        return RateProfile(
+            tuple((float(t), float(r)) for t, r in payload["points"])
+        )
+    except DemandError as exc:
+        raise ScenarioSpecError(f"{where}: {exc}") from exc
+
+
+def _multi_peak_profile(payload: dict, where: str) -> RateProfile:
+    """Day-long commuter shape: a base rate with trapezoid-free triangular
+    peaks (AM/PM rush) riding on top."""
+    base = float(payload.get("base_rate", 0.0))
+    duration = float(payload["duration"])
+    points: list[tuple[float, float]] = [(0.0, base)]
+    for peak in sorted(payload["peaks"], key=lambda p: float(p["time"])):
+        t, rate, width = float(peak["time"]), float(peak["rate"]), float(peak["width"])
+        rise, fall = max(0.0, t - width / 2), min(duration, t + width / 2)
+        if rise < points[-1][0]:
+            raise ScenarioSpecError(
+                f"{where}: peaks overlap near t={t} (previous point at "
+                f"t={points[-1][0]}); widen spacing or merge peaks"
+            )
+        points.extend([(rise, base), (t, rate), (fall, base)])
+    if points[-1][0] < duration:
+        points.append((duration, base))
+    return RateProfile(tuple(points))
+
+
+def _surge_profile(payload: dict) -> RateProfile:
+    """Trapezoidal special-event pulse: ramp up, hold, ramp down."""
+    start = float(payload.get("start", 0.0))
+    duration = float(payload["duration"])
+    rate = float(payload["rate"])
+    ramp = float(payload.get("ramp", duration / 4.0))
+    return RateProfile(
+        (
+            (start, 0.0),
+            (start + ramp, rate),
+            (start + duration - ramp, rate),
+            (start + duration, 0.0),
+        )
+    )
+
+
+def _compile_demand(
+    spec: dict, network_kind: str, grid: GridScenario | None, embedded: list[Flow]
+) -> list[Flow]:
+    flows: list[Flow] = list(embedded)
+    for i, entry in enumerate(spec.get("demand", [])):
+        where = f"demand[{i}]"
+        kind = entry["kind"]
+        if kind == "od":
+            flows.append(
+                Flow(
+                    entry["name"],
+                    entry["origin"],
+                    entry["destination"],
+                    _compile_profile(entry["profile"], f"{where}.profile"),
+                )
+            )
+            continue
+        if grid is None:
+            raise ScenarioSpecError(
+                f"{where}: kind {kind!r} needs a grid network, "
+                f"got {network_kind!r}"
+            )
+        try:
+            if kind == "pattern":
+                flows.extend(
+                    flow_pattern(
+                        grid,
+                        int(entry["pattern"]),
+                        peak_rate=float(entry.get("peak_rate", 500.0)),
+                        t_peak=float(entry.get("t_peak", 900.0)),
+                        light_duration=float(entry.get("light_duration", 1800.0)),
+                    )
+                )
+            else:  # uniform
+                flows.extend(
+                    light_uniform_pattern(
+                        grid,
+                        duration=float(entry.get("duration", 1800.0)),
+                        ew_rate=float(entry.get("ew_rate", 300.0)),
+                        sn_rate=float(entry.get("sn_rate", 90.0)),
+                    )
+                )
+        except DemandError as exc:
+            raise ScenarioSpecError(f"{where}: {exc}") from exc
+    seen: set[str] = set()
+    for flow in flows:
+        if flow.name in seen:
+            raise ScenarioSpecError(
+                f"duplicate flow name {flow.name!r} after demand expansion; "
+                "rename the 'od' entry or drop the overlapping pattern"
+            )
+        seen.add(flow.name)
+    return flows
+
+
+# ----------------------------------------------------------------------
+# Network compilation
+# ----------------------------------------------------------------------
+def _compile_edge_list(
+    payload: dict,
+) -> tuple[RoadNetwork, dict[str, PhasePlan]]:
+    network = RoadNetwork()
+    try:
+        for node in payload["nodes"]:
+            network.add_node(
+                node["id"],
+                float(node.get("x", 0.0)),
+                float(node.get("y", 0.0)),
+                bool(node.get("signalized", False)),
+            )
+        for edge in payload["edges"]:
+            src, dst = edge["from"], edge["to"]
+            num_lanes = int(edge.get("lanes", 1))
+            if num_lanes < 1:
+                raise ScenarioSpecError(
+                    f"edge {src}->{dst}: 'lanes' must be >= 1, got {num_lanes}"
+                )
+            pairs = [(src, dst)]
+            if not edge.get("oneway", False):
+                pairs.append((dst, src))
+            for a, b in pairs:
+                network.add_link(
+                    f"{a}->{b}",
+                    a,
+                    b,
+                    length=float(edge.get("length", 200.0)),
+                    num_lanes=num_lanes,
+                    speed_limit=float(edge.get("speed_limit", 13.89)),
+                    lane_turns=[_ALL_TURNS] * num_lanes,
+                )
+        # Declare movements at every pass-through node.  U-turns are
+        # skipped unless they are a node's only way out (dead ends).
+        for node_id, node in network.nodes.items():
+            for in_link_id in node.incoming:
+                in_link = network.links[in_link_id]
+                non_uturn = [
+                    out_id
+                    for out_id in node.outgoing
+                    if network.links[out_id].to_node != in_link.from_node
+                ]
+                for out_id in non_uturn or list(node.outgoing):
+                    network.add_movement(in_link_id, out_id)
+        network.validate()
+    except NetworkError as exc:
+        raise ScenarioSpecError(f"network(edge_list): {exc}") from exc
+    try:
+        plans = {
+            node_id: default_four_phase_plan(network, node_id)
+            for node_id in network.signalized_nodes()
+        }
+    except NetworkError as exc:
+        raise ScenarioSpecError(f"network(edge_list): {exc}") from exc
+    return network, plans
+
+
+def _compile_network(
+    payload: dict,
+) -> tuple[RoadNetwork, dict[str, PhasePlan], list[Flow], GridScenario | None]:
+    kind = payload["kind"]
+    if kind == "grid":
+        try:
+            grid = GridScenario(
+                GridSpec(
+                    rows=int(payload.get("rows", 6)),
+                    cols=int(payload.get("cols", 6)),
+                    block_length=float(payload.get("block_length", 200.0)),
+                    speed_limit=float(payload.get("speed_limit", 13.89)),
+                )
+            )
+        except NetworkError as exc:
+            raise ScenarioSpecError(f"network(grid): {exc}") from exc
+        return grid.network, dict(grid.phase_plans), [], grid
+    if kind == "edge_list":
+        network, plans = _compile_edge_list(payload)
+        return network, plans, [], None
+    # explicit: the sim.io payload, minus our 'kind' discriminator
+    try:
+        network, plans, embedded = network_from_dict(
+            {key: value for key, value in payload.items() if key != "kind"}
+        )
+    except NetworkError as exc:
+        raise ScenarioSpecError(f"network(explicit): {exc}") from exc
+    return network, plans, embedded, None
+
+
+def _compile_incidents(
+    spec: dict, network: RoadNetwork
+) -> IncidentSchedule | None:
+    entries = spec.get("incidents", [])
+    if not entries:
+        return None
+    incidents: list[Incident] = []
+    for i, entry in enumerate(entries):
+        where = f"incidents[{i}]"
+        link = network.links.get(entry["link"])
+        if link is None:
+            raise ScenarioSpecError(
+                f"{where}: unknown link {entry['link']!r}"
+            )
+        start, duration = int(entry["start"]), int(entry["duration"])
+        try:
+            if entry["kind"] == "link_closure":
+                incidents.append(Incident.link_closure(link.link_id, start, duration))
+            elif entry["kind"] == "lane_closure":
+                incidents.append(
+                    Incident.lane_closure(
+                        link.link_id,
+                        start,
+                        duration,
+                        num_lanes=link.num_lanes,
+                        lanes_closed=int(entry.get("lanes_closed", 1)),
+                    )
+                )
+            else:
+                incidents.append(
+                    Incident(link.link_id, start, duration, float(entry["factor"]))
+                )
+        except FaultInjectionError as exc:
+            raise ScenarioSpecError(f"{where}: {exc}") from exc
+    return IncidentSchedule(incidents)
+
+
+# ----------------------------------------------------------------------
+# Compile / canonicalise / digest
+# ----------------------------------------------------------------------
+def compile_spec(spec: dict[str, Any]) -> CompiledScenario:
+    """Validate and compile a spec into a :class:`CompiledScenario`.
+
+    Every flow's route is resolved eagerly so unroutable OD pairs fail
+    here — with the flow named — rather than mid-run.
+    """
+    spec = validate_spec(spec)
+    network, plans, embedded, grid = _compile_network(spec["network"])
+    flows = _compile_demand(spec, spec["network"]["kind"], grid, embedded)
+    if not flows:
+        raise ScenarioSpecError("scenario compiled to zero flows")
+    router = Router(network)
+    for flow in flows:
+        try:
+            router.route(flow.origin_link, flow.destination_link)
+        except NetworkError as exc:
+            raise ScenarioSpecError(f"flow {flow.name!r}: {exc}") from exc
+    incidents = _compile_incidents(spec, network)
+
+    if "horizon" in spec:
+        horizon = int(spec["horizon"])
+    else:
+        last_event = max(flow.profile.end_time for flow in flows)
+        if incidents:
+            last_event = max(last_event, float(incidents.end_time))
+        horizon = int(math.ceil(last_event)) + DEFAULT_DRAIN_MARGIN_S
+    return CompiledScenario(
+        name=spec.get("name", "scenario"),
+        network=network,
+        phase_plans=plans,
+        flows=flows,
+        incidents=incidents,
+        horizon_ticks=horizon,
+        metadata=dict(spec.get("metadata", {})),
+        grid=grid,
+    )
+
+
+def scenario_to_spec(scenario: CompiledScenario) -> dict[str, Any]:
+    """The canonical spec of a compiled scenario.
+
+    The network is serialised explicitly, every flow becomes an ``od``
+    entry with a raw ``points`` profile and incidents become explicit
+    ``capacity`` windows — so ``compile_spec(scenario_to_spec(s))``
+    rebuilds an identical scenario, and canonicalisation is idempotent
+    (the round-trip property the spec tests pin).
+    """
+    network_payload: dict[str, Any] = {"kind": "explicit"}
+    network_payload.update(network_to_dict(scenario.network, scenario.phase_plans))
+    return {
+        "version": SPEC_VERSION,
+        "name": scenario.name,
+        "network": network_payload,
+        "demand": [
+            {
+                "kind": "od",
+                "name": flow.name,
+                "origin": flow.origin_link,
+                "destination": flow.destination_link,
+                "profile": {
+                    "kind": "points",
+                    "points": [
+                        [float(t), float(rate)] for t, rate in flow.profile.points
+                    ],
+                },
+            }
+            for flow in scenario.flows
+        ],
+        "incidents": scenario.incidents.to_payload() if scenario.incidents else [],
+        "horizon": scenario.horizon_ticks,
+        "metadata": dict(scenario.metadata),
+    }
+
+
+def scenario_digest(scenario: CompiledScenario) -> str:
+    """SHA-256 of the canonical spec JSON (network + demand + incidents)."""
+    canonical = json.dumps(
+        scenario_to_spec(scenario), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def spec_digest(spec: dict[str, Any]) -> str:
+    """Digest of a spec's *compiled* scenario (compile + canonicalise)."""
+    return scenario_digest(compile_spec(spec))
+
+
+def resolve_scenario(source) -> CompiledScenario:
+    """Compile a scenario from whatever the caller has in hand.
+
+    Accepts a :class:`CompiledScenario` (returned as-is), a spec dict, a
+    ``"zoo:<name>"`` / ``"zoo:<name>:<seed>"`` reference, or a path to a
+    spec JSON file — the forms the ``--scenario`` CLI flag takes.
+    """
+    if isinstance(source, CompiledScenario):
+        return source
+    if isinstance(source, dict):
+        return compile_spec(source)
+    text = os.fspath(source)
+    if text.startswith("zoo:"):
+        from repro.scenarios.zoo import build_zoo_scenario
+
+        parts = text.split(":")
+        if len(parts) not in (2, 3) or not parts[1]:
+            raise ScenarioSpecError(
+                f"zoo reference must look like 'zoo:<name>' or "
+                f"'zoo:<name>:<seed>', got {text!r}"
+            )
+        try:
+            seed = int(parts[2]) if len(parts) == 3 else 0
+        except ValueError:
+            raise ScenarioSpecError(
+                f"zoo seed must be an integer, got {parts[2]!r}"
+            ) from None
+        return build_zoo_scenario(parts[1], seed=seed)
+    return compile_spec(load_spec(text))
+
+
+def load_spec(path: str | os.PathLike) -> dict[str, Any]:
+    """Read a spec JSON file (structure validated, not yet compiled)."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ScenarioSpecError(f"cannot read spec {os.fspath(path)!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ScenarioSpecError(f"spec {os.fspath(path)!r} is not valid JSON: {exc}") from exc
+    return validate_spec(payload)
+
+
+def save_spec(path: str | os.PathLike, spec: dict[str, Any]) -> None:
+    """Write a validated spec as JSON."""
+    validate_spec(spec)
+    with open(path, "w") as handle:
+        json.dump(spec, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,285 @@
+"""The demand zoo: a seeded library of named scenario specs.
+
+Every zoo entry is a *spec builder* — it returns a plain JSON-compatible
+spec dict and all compilation goes through :func:`repro.scenarios.spec.compile_spec`,
+so the round-trip, digest and conservation machinery covers the zoo for
+free.  Builders are deterministic in ``(name, seed, rows, cols)``: the
+seed drives bounded jitter (corridor choice, ±10 % rate wobble) so a
+sweep over seeds yields *distinct but comparable* workloads, which is
+what the generalisation tables need.
+
+Catalogue:
+
+* ``commuter_day`` — day-long multi-peak demand: AM rush into the grid
+  core on selected corridors, PM rush back out on the reverse corridors,
+  light base load in between.
+* ``incident_closure`` — the paper's pattern-1 congestion with a
+  mid-episode full closure of a core link plus a lane closure on a
+  second approach, both clearing before the end.
+* ``stadium_surge`` — light uniform background, then a special-event
+  surge: trapezoidal pulses from every compass edge converging on the
+  south-east corner ("the stadium").
+* ``emergency_corridor`` — moderate background with a sustained
+  high-priority flow along one arterial row; the flow names are listed
+  under ``metadata["priority_flows"]`` for controllers that implement
+  emergency-vehicle priority.
+* ``closure_wave`` — light uniform demand while a half-capacity
+  restriction marches link-by-link along an arterial row (rolling
+  roadworks).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Any, Callable
+
+from repro.errors import ScenarioSpecError
+from repro.scenarios.flows import _spread
+from repro.scenarios.grid import GridScenario, GridSpec, intersection_id, link_id
+from repro.scenarios.spec import CompiledScenario, compile_spec
+
+
+def _grid_payload(rows: int, cols: int) -> dict[str, Any]:
+    return {"kind": "grid", "rows": rows, "cols": cols}
+
+
+def _jitter(rng: random.Random, value: float, spread: float = 0.1) -> float:
+    """``value`` wobbled by up to ±``spread``, rounded to keep specs tidy."""
+    return round(value * (1.0 + rng.uniform(-spread, spread)), 1)
+
+
+def _corridors(grid: GridScenario, rng: random.Random, per_axis: int):
+    """Pick ``per_axis`` row and column corridors, evenly spread then
+    seed-shuffled so different seeds load different streets."""
+    rows = _spread(per_axis, grid.spec.rows)
+    cols = _spread(per_axis, grid.spec.cols)
+    rng.shuffle(rows)
+    rng.shuffle(cols)
+    return rows, cols
+
+
+def _commuter_day(rng: random.Random, rows: int, cols: int) -> dict[str, Any]:
+    grid = GridScenario(GridSpec(rows=rows, cols=cols))
+    row_idx, col_idx = _corridors(grid, rng, per_axis=2)
+    am, pm, day = 900.0, 3600.0, 4500.0
+    demand = []
+    for axis, indices in (("row", row_idx), ("col", col_idx)):
+        for idx in indices:
+            if axis == "row":
+                fwd = grid.row_route_links(idx, eastbound=True)
+                rev = grid.row_route_links(idx, eastbound=False)
+            else:
+                fwd = grid.column_route_links(idx, southbound=True)
+                rev = grid.column_route_links(idx, southbound=False)
+            peak = _jitter(rng, 420.0)
+            base = _jitter(rng, 60.0)
+            demand.append(
+                {
+                    "kind": "od",
+                    "name": f"commute-{axis}{idx}-am",
+                    "origin": fwd[0],
+                    "destination": fwd[1],
+                    "profile": {
+                        "kind": "multi_peak",
+                        "base_rate": base,
+                        "duration": day,
+                        "peaks": [{"time": am, "rate": peak, "width": 1200.0}],
+                    },
+                }
+            )
+            demand.append(
+                {
+                    "kind": "od",
+                    "name": f"commute-{axis}{idx}-pm",
+                    "origin": rev[0],
+                    "destination": rev[1],
+                    "profile": {
+                        "kind": "multi_peak",
+                        "base_rate": base,
+                        "duration": day,
+                        "peaks": [{"time": pm, "rate": peak, "width": 1200.0}],
+                    },
+                }
+            )
+    return {
+        "network": _grid_payload(rows, cols),
+        "demand": demand,
+        "metadata": {"family": "commuter_day", "am_peak_s": am, "pm_peak_s": pm},
+    }
+
+
+def _incident_closure(rng: random.Random, rows: int, cols: int) -> dict[str, Any]:
+    mid_r, mid_c = rows // 2, cols // 2
+    closed = link_id(
+        intersection_id(mid_r, max(0, mid_c - 1)), intersection_id(mid_r, mid_c)
+    )
+    restricted = link_id(
+        intersection_id(max(0, mid_r - 1), mid_c), intersection_id(mid_r, mid_c)
+    )
+    start = 200 + rng.randrange(0, 201, 50)
+    return {
+        "network": _grid_payload(rows, cols),
+        "demand": [
+            {
+                "kind": "pattern",
+                "pattern": 1,
+                "peak_rate": _jitter(rng, 400.0),
+                "t_peak": 600.0,
+            }
+        ],
+        "incidents": [
+            {"kind": "link_closure", "link": closed, "start": start, "duration": 400},
+            {
+                "kind": "lane_closure",
+                "link": restricted,
+                "start": start + 300,
+                "duration": 300,
+                "lanes_closed": 1,
+            },
+        ],
+        "metadata": {"family": "incident_closure", "closed_link": closed},
+    }
+
+
+def _stadium_surge(rng: random.Random, rows: int, cols: int) -> dict[str, Any]:
+    grid = GridScenario(GridSpec(rows=rows, cols=cols))
+    start = 600 + rng.randrange(0, 301, 100)
+    surge_rate = _jitter(rng, 520.0)
+    # Four approach streams converging on the south-east corner.
+    south_col = grid.column_route_links(cols - 1, southbound=True)
+    north_col = grid.column_route_links(cols - 1, southbound=False)
+    east_row = grid.row_route_links(rows - 1, eastbound=True)
+    west_row = grid.row_route_links(rows - 1, eastbound=False)
+    approaches = {
+        "from-north": (south_col[0], east_row[1]),
+        "from-south": (north_col[0], east_row[1]),
+        "from-west": (east_row[0], south_col[1]),
+        "from-east": (west_row[0], south_col[1]),
+    }
+    demand: list[dict[str, Any]] = [
+        {"kind": "uniform", "duration": 1800.0, "ew_rate": 120.0, "sn_rate": 60.0}
+    ]
+    for label, (origin, dest) in approaches.items():
+        demand.append(
+            {
+                "kind": "od",
+                "name": f"event-{label}",
+                "origin": origin,
+                "destination": dest,
+                "profile": {
+                    "kind": "surge",
+                    "start": float(start),
+                    "duration": 600.0,
+                    "rate": surge_rate,
+                    "ramp": 120.0,
+                },
+            }
+        )
+    return {
+        "network": _grid_payload(rows, cols),
+        "demand": demand,
+        "metadata": {"family": "stadium_surge", "event_start_s": start},
+    }
+
+
+def _emergency_corridor(rng: random.Random, rows: int, cols: int) -> dict[str, Any]:
+    grid = GridScenario(GridSpec(rows=rows, cols=cols))
+    ev_row = rng.randrange(rows)
+    origin, dest = grid.row_route_links(ev_row, eastbound=True)
+    return {
+        "network": _grid_payload(rows, cols),
+        "demand": [
+            {"kind": "uniform", "duration": 1800.0, "ew_rate": 180.0, "sn_rate": 90.0},
+            {
+                "kind": "od",
+                "name": "ev-priority",
+                "origin": origin,
+                "destination": dest,
+                "profile": {"kind": "constant", "rate": _jitter(rng, 120.0), "duration": 1800.0},
+            },
+        ],
+        "metadata": {
+            "family": "emergency_corridor",
+            "priority_flows": ["ev-priority"],
+            "priority_row": ev_row,
+        },
+    }
+
+
+def _closure_wave(rng: random.Random, rows: int, cols: int) -> dict[str, Any]:
+    wave_row = rng.randrange(rows)
+    incidents = []
+    start = 300
+    for col in range(cols - 1):
+        incidents.append(
+            {
+                "kind": "capacity",
+                "link": link_id(
+                    intersection_id(wave_row, col), intersection_id(wave_row, col + 1)
+                ),
+                "start": start + col * 200,
+                "duration": 400,
+                "factor": 0.5,
+            }
+        )
+    return {
+        "network": _grid_payload(rows, cols),
+        "demand": [{"kind": "pattern", "pattern": 5, "light_duration": 1800.0}],
+        "incidents": incidents,
+        "metadata": {"family": "closure_wave", "wave_row": wave_row},
+    }
+
+
+_BUILDERS: dict[str, tuple[str, Callable[[random.Random, int, int], dict[str, Any]]]] = {
+    "commuter_day": ("day-long AM/PM multi-peak commuter demand", _commuter_day),
+    "incident_closure": (
+        "pattern-1 congestion with a mid-episode link + lane closure",
+        _incident_closure,
+    ),
+    "stadium_surge": (
+        "light background plus a special-event surge into one corner",
+        _stadium_surge,
+    ),
+    "emergency_corridor": (
+        "uniform background with a sustained priority flow on one arterial",
+        _emergency_corridor,
+    ),
+    "closure_wave": (
+        "light uniform demand under rolling half-capacity roadworks",
+        _closure_wave,
+    ),
+}
+
+
+def zoo_catalogue() -> dict[str, str]:
+    """``{scenario name: one-line description}`` for every zoo entry."""
+    return {name: description for name, (description, _) in _BUILDERS.items()}
+
+
+def build_zoo_spec(
+    name: str, seed: int = 0, rows: int = 4, cols: int = 4
+) -> dict[str, Any]:
+    """The spec dict for zoo entry ``name`` at ``seed`` on a rows x cols grid."""
+    if name not in _BUILDERS:
+        raise ScenarioSpecError(
+            f"unknown zoo scenario {name!r}; available: {sorted(_BUILDERS)}"
+        )
+    if rows < 2 or cols < 2:
+        raise ScenarioSpecError("zoo scenarios need at least a 2x2 grid")
+    # crc32, not hash(): str hashes are salted per process and would make
+    # "the same zoo scenario" differ between runs.
+    rng = random.Random(zlib.crc32(name.encode()) ^ (seed * 0x9E3779B1))
+    spec = _BUILDERS[name][1](rng, rows, cols)
+    spec.setdefault("version", 1)
+    spec["name"] = f"{name}-s{seed}-{rows}x{cols}"
+    spec.setdefault("metadata", {})
+    spec["metadata"].update({"zoo": name, "seed": seed, "rows": rows, "cols": cols})
+    return spec
+
+
+def build_zoo_scenario(
+    name: str, seed: int = 0, rows: int = 4, cols: int = 4
+) -> CompiledScenario:
+    """Compile zoo entry ``name`` (validated end to end)."""
+    return compile_spec(build_zoo_spec(name, seed=seed, rows=rows, cols=cols))

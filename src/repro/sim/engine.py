@@ -149,6 +149,18 @@ class Simulation:
             link_id: (link.num_lanes, link.storage)
             for link_id, link in network.links.items()
         }
+        #: Effective per-link storage, the value every entry check
+        #: (discharge spillback, insertion) consults.  Equal to the
+        #: static ``link.storage`` until an incident scales it via
+        #: :meth:`set_capacity_factor`.
+        self._link_storage: dict[str, int] = {
+            link_id: link.storage for link_id, link in network.links.items()
+        }
+        #: Active capacity factors per link (absent = 1.0, healthy).
+        self.capacity_factors: dict[str, float] = {}
+        #: Optional :class:`repro.faults.incidents.IncidentSchedule`
+        #: applied at the start of every tick (lane/link closures).
+        self.incidents = None
         self.fast_path = bool(fast_path)
         if self.fast_path:
             self._build_fast_structures()
@@ -243,9 +255,6 @@ class Simulation:
         self._move_turn: dict[tuple[str, str], TurnType] = {
             key: movement.turn for key, movement in network.movements.items()
         }
-        self._link_storage: dict[str, int] = {
-            link_id: link.storage for link_id, link in network.links.items()
-        }
         #: Opposing-approach lookup for the permissive-left gap check:
         #: in_link → None | (opposing_link_id, [queues], length, speed).
         self._opposing_data: dict[str, tuple | None] = {}
@@ -280,6 +289,32 @@ class Simulation:
         """Request a phase for a signalized intersection."""
         self.signals[node_id].request_phase(phase_index)
 
+    def set_capacity_factor(self, link_id: str, factor: float) -> None:
+        """Scale a link's effective storage (incident modelling).
+
+        ``factor`` in ``[0, 1]`` multiplies the link's static storage:
+        ``0.0`` is a full closure (nothing may enter; vehicles already
+        on the link keep moving and drain out), fractions model partial
+        lane closures.  Every entry check — discharge spillback and
+        origin insertion — consults the effective value each attempt, so
+        factors may change at any tick and the change takes effect
+        immediately.  ``1.0`` restores the healthy capacity.
+        """
+        link = self.network.links.get(link_id)
+        if link is None:
+            raise SimulationError(f"unknown link {link_id!r}")
+        if not 0.0 <= factor <= 1.0:
+            raise SimulationError(
+                f"capacity factor must lie in [0, 1], got {factor}"
+            )
+        effective = int(link.storage * factor)
+        self._link_storage[link_id] = effective
+        self._insert_caps[link_id] = (link.num_lanes, effective)
+        if factor >= 1.0:
+            self.capacity_factors.pop(link_id, None)
+        else:
+            self.capacity_factors[link_id] = factor
+
     def run_fixed_time(self, programs: dict[str, FixedTimeProgram], ticks: int) -> None:
         """Drive all signals from fixed-time programs for ``ticks`` seconds."""
         entries = [
@@ -302,6 +337,8 @@ class Simulation:
             self.metrics.count("sim.ticks", ticks)
 
     def _step_once(self) -> None:
+        if self.incidents is not None:
+            self.incidents.apply(self)
         self._update_signals()
         if self.fast_path:
             self._discharge_queues_fast()
@@ -482,8 +519,7 @@ class Simulation:
                         self._finish_vehicle(head)
                         credit -= 1.0
                         continue
-                    next_link = self.network.links[next_link_id]
-                    if self.link_occupancy[next_link_id] >= next_link.storage:
+                    if self.link_occupancy[next_link_id] >= self._link_storage[next_link_id]:
                         break  # spillback: downstream full
                     queue.popleft()
                     self.link_occupancy[link.link_id] -= 1

@@ -120,6 +120,13 @@ class SoAEngine:
         self.batch = len(demands)
         self.time = 0
         self._demands = list(demands)
+        #: Active capacity factors per link (absent = 1.0, healthy).
+        #: Engine-wide: an incident closure applies to every replica,
+        #: matching the batched use of one scenario across replicas.
+        self.capacity_factors: dict[str, float] = {}
+        #: Optional :class:`repro.faults.incidents.IncidentSchedule`
+        #: applied at the start of every tick (lane/link closures).
+        self.incidents = None
         self._build_static_index()
         self._build_signal_state()
         self._build_dynamic_state()
@@ -148,6 +155,7 @@ class SoAEngine:
         self.NL = len(self._lane_ids)
         links = [network.links[lid] for lid in self._link_ids]
         self._storage = [link.storage for link in links]
+        self._static_storage = list(self._storage)
         self._num_lanes = [link.num_lanes for link in links]
         self._lane_capacity = [link.lane_capacity for link in links]
         self._freeflow = [link.freeflow_ticks for link in links]
@@ -553,6 +561,30 @@ class SoAEngine:
     # ------------------------------------------------------------------
     # Control surface
     # ------------------------------------------------------------------
+    def set_capacity_factor(self, link_id: str, factor: float) -> None:
+        """Scale a link's effective storage across every replica.
+
+        Same semantics and arithmetic as
+        :meth:`repro.sim.engine.Simulation.set_capacity_factor` —
+        ``int(static_storage * factor)`` — so incident trajectories stay
+        bit-exact with the object engine.  Both the discharge spillback
+        check and the insertion loop re-read storage on every attempt
+        (blocked origins re-wake each tick), so mid-run changes take
+        effect immediately.
+        """
+        k = self._link_of.get(link_id)
+        if k is None:
+            raise SimulationError(f"unknown link {link_id!r}")
+        if not 0.0 <= factor <= 1.0:
+            raise SimulationError(
+                f"capacity factor must lie in [0, 1], got {factor}"
+            )
+        self._storage[k] = int(self._static_storage[k] * factor)
+        if factor >= 1.0:
+            self.capacity_factors.pop(link_id, None)
+        else:
+            self.capacity_factors[link_id] = factor
+
     def request_phase(self, b: int, node_id: str, phase_index: int) -> None:
         """Replica-scalar twin of :meth:`SignalState.request_phase`."""
         s = self._sig_of.get(node_id)
@@ -676,6 +708,8 @@ class SoAEngine:
     # Core stepping
     # ------------------------------------------------------------------
     def _step_once(self) -> None:
+        if self.incidents is not None:
+            self.incidents.apply(self)
         self._update_signals()
         self._discharge()
         if self.teleport_time is not None:
@@ -1476,6 +1510,22 @@ class SoAReplicaView:
 
     def set_phase(self, node_id: str, phase_index: int) -> None:
         self.engine.request_phase(self.b, node_id, phase_index)
+
+    def set_capacity_factor(self, link_id: str, factor: float) -> None:
+        """Engine-wide capacity scaling (applies to every replica)."""
+        self.engine.set_capacity_factor(link_id, factor)
+
+    @property
+    def capacity_factors(self) -> dict[str, float]:
+        return self.engine.capacity_factors
+
+    @property
+    def incidents(self):
+        return self.engine.incidents
+
+    @incidents.setter
+    def incidents(self, schedule) -> None:
+        self.engine.incidents = schedule
 
     def step(self, ticks: int = 1) -> None:
         if self.engine.batch != 1:

@@ -156,3 +156,83 @@ class TestOverheadAnalysis:
         env = make_env(tiny_grid)
         agent = PairUpLightSystem(env, PairUpLightConfig(communicate=False), seed=0)
         assert overhead_row(agent, env).bits_per_step == 0
+
+
+@pytest.mark.zoo
+class TestScenarioHarness:
+    def _spec(self, name, peak=400.0):
+        return {
+            "version": 1,
+            "name": name,
+            "network": {"kind": "grid", "rows": 2, "cols": 2},
+            "demand": [
+                {"kind": "od", "name": "main", "origin": "Tn0->I0_0",
+                 "destination": "I1_0->Ts0",
+                 "profile": {"kind": "constant", "rate": peak, "duration": 150.0}}
+            ],
+            "horizon": 200,
+        }
+
+    def test_make_experiment_dispatch(self):
+        from repro.eval.harness import ScenarioExperiment, make_experiment
+
+        assert isinstance(make_experiment(TINY_SCALE), GridExperiment)
+        experiment = make_experiment(TINY_SCALE, scenario=self._spec("a"))
+        assert isinstance(experiment, ScenarioExperiment)
+        env = experiment.train_env()
+        assert env.config.horizon_ticks == 200
+
+    def test_scenario_experiment_rejects_raw_spec(self):
+        from repro.eval.harness import ScenarioExperiment
+
+        with pytest.raises(ConfigError, match="resolve_scenario"):
+            ScenarioExperiment(self._spec("a"), TINY_SCALE)
+
+    def test_run_table2_with_scenario(self):
+        factories = {"Fixedtime": lambda env: FixedTimeSystem(env)}
+        scale = TINY_SCALE.with_episodes(0)
+        table = run_table2(scale, factories, seed=1, scenario=self._spec("a"))
+        assert table.patterns == ("a",)
+        travel_time = table.value("Fixedtime", "a")
+        assert np.isfinite(travel_time) and travel_time > 0
+
+    def test_run_scenario_table_generalisation_matrix(self):
+        from repro.eval.comparison import run_scenario_table
+
+        factories = {"Fixedtime": lambda env: FixedTimeSystem(env)}
+        scale = TINY_SCALE.with_episodes(0)
+        table = run_scenario_table(
+            scale,
+            {"light": self._spec("light", 300.0), "heavy": self._spec("heavy", 700.0)},
+            factories,
+            seed=1,
+        )
+        assert table.patterns == ("light", "heavy")
+        row = table.rows["Fixedtime"]
+        assert set(row) == {"light", "heavy"}
+        assert all(np.isfinite(v) for v in row.values())
+        assert "light" in table.formatted("matrix")
+
+    def test_run_scenario_table_rejects_layout_mismatch(self):
+        from repro.eval.comparison import run_scenario_table
+
+        bigger = self._spec("big")
+        bigger["network"] = {"kind": "grid", "rows": 3, "cols": 3}
+        bigger["demand"][0]["destination"] = "I2_0->Ts0"
+        with pytest.raises(ConfigError, match="agent layout"):
+            run_scenario_table(
+                TINY_SCALE.with_episodes(0),
+                {"small": self._spec("small"), "big": bigger},
+                {"Fixedtime": lambda env: FixedTimeSystem(env)},
+            )
+
+    def test_run_scenario_table_rejects_unknown_train_on(self):
+        from repro.eval.comparison import run_scenario_table
+
+        with pytest.raises(ConfigError, match="train_on"):
+            run_scenario_table(
+                TINY_SCALE.with_episodes(0),
+                {"only": self._spec("only")},
+                {"Fixedtime": lambda env: FixedTimeSystem(env)},
+                train_on="nope",
+            )

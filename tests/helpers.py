@@ -30,3 +30,65 @@ def make_env(
     return TrafficSignalEnv(
         scenario.network, scenario.phase_plans, flows, config, seed=seed
     )
+
+
+def public_engine_snapshot(sim) -> dict:
+    """The full public introspection surface of an engine, as one dict.
+
+    Snapshot equality across engines is the cross-engine agreement
+    oracle used by the fuzz suites (``tests/sim/test_engine_fuzz.py``
+    and ``tests/scenarios/test_fuzz_zoo.py``).
+    """
+    network = sim.network
+    return {
+        "time": sim.time,
+        "queues": {
+            lane.lane_id: (
+                sim.queue_length(lane.lane_id),
+                sim.head_wait(lane.lane_id),
+                sim.discharge_credit(lane.lane_id),
+            )
+            for link in network.links.values()
+            for lane in link.lanes
+        },
+        "links": {
+            link_id: (
+                sim.link_occupancy[link_id],
+                sim.halting_count(link_id),
+                sim.link_head_wait(link_id),
+            )
+            for link_id in network.links
+        },
+        "counts": (
+            sim.vehicles_in_network(),
+            sim.pending_insertions(),
+            sim.total_created,
+            len(sim.finished_vehicles),
+            sim.teleport_count,
+        ),
+        "drained": sim.is_drained(),
+    }
+
+
+def check_engine_invariants(sim, teleport=None) -> None:
+    """Conservation and bounds every engine must satisfy at any tick.
+
+    ``teleport`` is the engine's teleport watchdog (or None): with the
+    watchdog on, a teleported head enters its next link ignoring storage,
+    so the static occupancy bound is only asserted without it.
+    """
+    created = sim.total_created
+    in_network = sim.vehicles_in_network()
+    pending = sim.pending_insertions()
+    finished = len(sim.finished_vehicles)
+    assert created == in_network + pending + finished
+    assert min(in_network, pending, finished) >= 0
+    for link_id, link in sim.network.links.items():
+        occupancy = sim.link_occupancy[link_id]
+        halted = sim.halting_count(link_id)
+        assert 0 <= halted <= occupancy
+        if teleport is None:
+            assert occupancy <= link.storage
+        for lane in link.lanes:
+            assert sim.queue_length(lane.lane_id) >= 0
+            assert sim.head_wait(lane.lane_id) >= 0

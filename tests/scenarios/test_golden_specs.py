@@ -1,0 +1,59 @@
+"""Golden-spec regression tests: canonical zoo scenarios are pinned.
+
+The fixtures under ``tests/scenarios/golden/`` hold the canonical
+(compiled, round-tripped) spec JSON of a few zoo entries plus a digest
+manifest.  A drift here means every previously-exported spec file in
+the wild now compiles differently — regenerate deliberately with
+``scripts/regen_golden_specs.py`` and review the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.spec import (
+    compile_spec,
+    load_spec,
+    scenario_digest,
+    scenario_to_spec,
+)
+from repro.scenarios.zoo import build_zoo_scenario
+
+pytestmark = pytest.mark.zoo
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+#: (name, seed) pairs pinned as golden; keep in sync with the regen script.
+GOLDEN_ENTRIES = (
+    ("commuter_day", 0),
+    ("incident_closure", 0),
+    ("stadium_surge", 2),
+)
+MANIFEST = json.loads((GOLDEN_DIR / "digests.json").read_text())
+
+
+def test_manifest_matches_fixture_files():
+    files = {path.name for path in GOLDEN_DIR.glob("*.json")} - {"digests.json"}
+    assert files == set(MANIFEST)
+    assert files == {f"{name}-s{seed}.json" for name, seed in GOLDEN_ENTRIES}
+
+
+@pytest.mark.parametrize(("name", "seed"), GOLDEN_ENTRIES)
+def test_zoo_builder_reproduces_golden(name, seed):
+    """Today's builder output is byte-for-byte the pinned canonical spec."""
+    scenario = build_zoo_scenario(name, seed=seed)
+    fixture = json.loads((GOLDEN_DIR / f"{name}-s{seed}.json").read_text())
+    assert scenario_to_spec(scenario) == fixture
+    assert scenario_digest(scenario) == MANIFEST[f"{name}-s{seed}.json"]
+
+
+@pytest.mark.parametrize(("name", "seed"), GOLDEN_ENTRIES)
+def test_golden_fixture_compiles_and_round_trips(name, seed):
+    """The pinned file itself stays a valid, stable spec — the
+    compatibility contract for specs exported by older versions."""
+    spec = load_spec(GOLDEN_DIR / f"{name}-s{seed}.json")
+    scenario = compile_spec(spec)
+    assert scenario_digest(scenario) == MANIFEST[f"{name}-s{seed}.json"]
+    assert scenario_to_spec(scenario) == spec

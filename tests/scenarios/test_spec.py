@@ -1,0 +1,307 @@
+"""Scenario-spec compiler tests: kinds, validation errors, round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ScenarioSpecError
+from repro.faults.incidents import IncidentSchedule
+from repro.scenarios.spec import (
+    SPEC_VERSION,
+    CompiledScenario,
+    compile_spec,
+    load_spec,
+    resolve_scenario,
+    save_spec,
+    scenario_digest,
+    scenario_to_spec,
+    spec_digest,
+    validate_spec,
+)
+
+
+def grid_spec(rows=2, cols=2, **extra):
+    spec = {
+        "version": SPEC_VERSION,
+        "name": "t",
+        "network": {"kind": "grid", "rows": rows, "cols": cols},
+        "demand": [
+            {
+                "kind": "od",
+                "name": "main",
+                "origin": "Tn0->I0_0",
+                "destination": f"I{rows - 1}_0->Ts0",
+                "profile": {
+                    "kind": "triangular",
+                    "start": 0,
+                    "peak_time": 100,
+                    "end": 200,
+                    "peak_rate": 400,
+                },
+            }
+        ],
+    }
+    spec.update(extra)
+    return spec
+
+
+EDGE_LIST_SPEC = {
+    "version": SPEC_VERSION,
+    "name": "y",
+    "network": {
+        "kind": "edge_list",
+        "nodes": [
+            {"id": "A", "x": 0, "y": 0},
+            {"id": "B", "x": 200, "y": 0, "signalized": True},
+            {"id": "C", "x": 400, "y": 100},
+            {"id": "D", "x": 400, "y": -100},
+        ],
+        "edges": [
+            {"from": "A", "to": "B", "length": 200, "lanes": 2},
+            {"from": "B", "to": "C", "length": 220},
+            {"from": "B", "to": "D", "length": 220},
+        ],
+    },
+    "demand": [
+        {
+            "kind": "od",
+            "name": "ac",
+            "origin": "A->B",
+            "destination": "B->C",
+            "profile": {"kind": "constant", "rate": 300, "duration": 600},
+        }
+    ],
+}
+
+
+class TestCompileKinds:
+    def test_grid(self):
+        scenario = compile_spec(grid_spec())
+        assert isinstance(scenario, CompiledScenario)
+        assert scenario.grid is not None
+        assert scenario.grid.spec.rows == 2
+        assert len(scenario.flows) == 1
+        assert set(scenario.phase_plans) == set(
+            scenario.network.signalized_nodes()
+        )
+
+    def test_edge_list(self):
+        scenario = compile_spec(EDGE_LIST_SPEC)
+        assert scenario.grid is None
+        # Two-way edges: 3 edges -> 6 directed links.
+        assert len(scenario.network.links) == 6
+        # Only the hub is signalized and gets a default plan.
+        assert set(scenario.phase_plans) == {"B"}
+
+    def test_edge_list_oneway(self):
+        spec = json.loads(json.dumps(EDGE_LIST_SPEC))
+        spec["network"]["edges"][1]["oneway"] = True
+        scenario = compile_spec(spec)
+        assert "B->C" in scenario.network.links
+        assert "C->B" not in scenario.network.links
+
+    def test_explicit_round_trips_through_canonical(self):
+        scenario = compile_spec(grid_spec(incidents=[
+            {"kind": "link_closure", "link": "I0_0->I0_1", "start": 30, "duration": 40}
+        ]))
+        canonical = scenario_to_spec(scenario)
+        assert canonical["network"]["kind"] == "explicit"
+        rebuilt = compile_spec(canonical)
+        assert scenario_digest(rebuilt) == scenario_digest(scenario)
+        # Canonicalisation is idempotent.
+        assert scenario_to_spec(rebuilt) == canonical
+
+    def test_digest_distinguishes_scenarios(self):
+        a = spec_digest(grid_spec())
+        b = spec_digest(grid_spec(rows=3))
+        assert a != b
+
+
+class TestDemandProfiles:
+    @pytest.mark.parametrize(
+        "profile",
+        [
+            {"kind": "constant", "rate": 100, "duration": 300},
+            {"kind": "triangular", "start": 0, "peak_time": 100, "end": 300, "peak_rate": 500},
+            {
+                "kind": "multi_peak",
+                "base_rate": 40,
+                "duration": 2000,
+                "peaks": [
+                    {"time": 400, "rate": 500, "width": 400},
+                    {"time": 1400, "rate": 450, "width": 400},
+                ],
+            },
+            {"kind": "surge", "start": 100, "duration": 400, "rate": 600, "ramp": 50},
+            {"kind": "points", "points": [[0, 0], [100, 300], [200, 0]]},
+        ],
+        ids=lambda p: p["kind"],
+    )
+    def test_profile_kinds_compile_nonnegative(self, profile):
+        spec = grid_spec()
+        spec["demand"][0]["profile"] = profile
+        scenario = compile_spec(spec)
+        rp = scenario.flows[0].profile
+        assert all(rate >= 0 for _, rate in rp.points)
+        assert scenario.horizon_ticks > rp.end_time  # drain margin applied
+
+    def test_pattern_demand_expands(self):
+        spec = grid_spec(rows=3, cols=3)
+        spec["demand"] = [{"kind": "pattern", "pattern": 1, "t_peak": 200.0}]
+        scenario = compile_spec(spec)
+        assert len(scenario.flows) == 16
+
+    def test_uniform_demand_expands(self):
+        spec = grid_spec(rows=3, cols=3)
+        spec["demand"] = [{"kind": "uniform", "duration": 600.0}]
+        scenario = compile_spec(spec)
+        assert len(scenario.flows) == 6  # one per row + one per column
+
+    def test_pattern_requires_grid(self):
+        spec = json.loads(json.dumps(EDGE_LIST_SPEC))
+        spec["demand"] = [{"kind": "pattern", "pattern": 1}]
+        with pytest.raises(ScenarioSpecError, match="grid network"):
+            compile_spec(spec)
+
+    def test_explicit_horizon_wins(self):
+        scenario = compile_spec(grid_spec(horizon=123))
+        assert scenario.horizon_ticks == 123
+
+    def test_fresh_flows_are_copies(self):
+        scenario = compile_spec(grid_spec())
+        first = scenario.fresh_flows()
+        second = scenario.fresh_flows()
+        assert first[0] is not second[0]
+        first[0]._accumulator = 7.0
+        assert second[0]._accumulator == 0.0
+
+
+class TestIncidents:
+    def test_incident_kinds_compile(self):
+        spec = grid_spec(
+            incidents=[
+                {"kind": "link_closure", "link": "I0_0->I0_1", "start": 10, "duration": 20},
+                {"kind": "lane_closure", "link": "I0_0->I1_0", "start": 5, "duration": 50},
+                {"kind": "capacity", "link": "I0_1->I0_0", "start": 0, "duration": 30, "factor": 0.5},
+            ]
+        )
+        scenario = compile_spec(spec)
+        assert isinstance(scenario.incidents, IncidentSchedule)
+        assert len(scenario.incidents) == 3
+        factors = scenario.incidents.factors_at(12)
+        assert factors["I0_0->I0_1"] == 0.0
+
+    def test_horizon_covers_incidents(self):
+        spec = grid_spec(
+            incidents=[
+                {"kind": "capacity", "link": "I0_0->I0_1", "start": 900, "duration": 300, "factor": 0.5}
+            ]
+        )
+        scenario = compile_spec(spec)
+        assert scenario.horizon_ticks >= 1200
+
+
+class TestValidationErrors:
+    @pytest.mark.parametrize(
+        ("mutate", "match"),
+        [
+            (lambda s: s.update(version=99), "version"),
+            (lambda s: s.update(name=""), "name"),
+            (lambda s: s.pop("network"), "network"),
+            (lambda s: s["network"].update(kind="osm"), "kind"),
+            (lambda s: s.update(demand=[]), "no demand"),
+            (lambda s: s["demand"][0].pop("origin"), "origin"),
+            (lambda s: s["demand"][0]["profile"].update(peak_rate=-1), "peak_rate"),
+            (lambda s: s.update(horizon=0), "horizon"),
+            (lambda s: s.update(metadata=[1]), "metadata"),
+            (
+                lambda s: s.update(
+                    demand=s["demand"] + [dict(s["demand"][0])]
+                ),
+                "duplicate flow name",
+            ),
+            (
+                lambda s: s.update(
+                    incidents=[{"kind": "capacity", "link": "x", "start": 0, "duration": 5, "factor": 2.0}]
+                ),
+                "factor",
+            ),
+        ],
+        ids=[
+            "bad-version", "empty-name", "no-network", "bad-net-kind",
+            "no-demand", "missing-origin", "negative-rate", "zero-horizon",
+            "bad-metadata", "dup-flow", "bad-factor",
+        ],
+    )
+    def test_rejects(self, mutate, match):
+        spec = grid_spec()
+        mutate(spec)
+        with pytest.raises(ScenarioSpecError, match=match):
+            compile_spec(spec)
+
+    def test_unknown_origin_names_flow(self):
+        spec = grid_spec()
+        spec["demand"][0]["origin"] = "nope"
+        with pytest.raises(ScenarioSpecError, match="main"):
+            compile_spec(spec)
+
+    def test_unknown_incident_link(self):
+        spec = grid_spec(
+            incidents=[{"kind": "link_closure", "link": "Z->Q", "start": 0, "duration": 5}]
+        )
+        with pytest.raises(ScenarioSpecError, match="unknown link"):
+            compile_spec(spec)
+
+    def test_multi_peak_overlap_rejected(self):
+        spec = grid_spec()
+        spec["demand"][0]["profile"] = {
+            "kind": "multi_peak",
+            "duration": 1000,
+            "peaks": [
+                {"time": 300, "rate": 400, "width": 400},
+                {"time": 400, "rate": 400, "width": 400},
+            ],
+        }
+        with pytest.raises(ScenarioSpecError, match="overlap"):
+            compile_spec(spec)
+
+    def test_validate_spec_rejects_non_dict(self):
+        with pytest.raises(ScenarioSpecError, match="JSON object"):
+            validate_spec([1, 2])
+
+
+class TestFilesAndResolve:
+    def test_save_load_compile(self, tmp_path):
+        path = tmp_path / "s.json"
+        save_spec(path, grid_spec())
+        loaded = load_spec(path)
+        assert spec_digest(loaded) == spec_digest(grid_spec())
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ScenarioSpecError, match="not valid JSON"):
+            load_spec(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ScenarioSpecError, match="cannot read"):
+            load_spec(tmp_path / "absent.json")
+
+    def test_resolve_forms(self, tmp_path):
+        compiled = compile_spec(grid_spec())
+        assert resolve_scenario(compiled) is compiled
+        assert scenario_digest(resolve_scenario(grid_spec())) == scenario_digest(compiled)
+        path = tmp_path / "s.json"
+        save_spec(path, grid_spec())
+        assert scenario_digest(resolve_scenario(str(path))) == scenario_digest(compiled)
+        zoo = resolve_scenario("zoo:incident_closure:3")
+        assert zoo.metadata["zoo"] == "incident_closure"
+        assert zoo.metadata["seed"] == 3
+
+    def test_resolve_rejects_bad_zoo_ref(self):
+        with pytest.raises(ScenarioSpecError, match="zoo"):
+            resolve_scenario("zoo:")
+        with pytest.raises(ScenarioSpecError, match="integer"):
+            resolve_scenario("zoo:commuter_day:x")

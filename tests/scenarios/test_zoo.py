@@ -1,0 +1,124 @@
+"""Demand-zoo tests: catalogue, determinism, per-entry structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.spec import compile_spec, scenario_digest, spec_digest
+from repro.scenarios.zoo import (
+    build_zoo_scenario,
+    build_zoo_spec,
+    zoo_catalogue,
+)
+
+pytestmark = pytest.mark.zoo
+
+NAMES = sorted(zoo_catalogue())
+
+
+def test_catalogue_contents():
+    catalogue = zoo_catalogue()
+    assert set(catalogue) == {
+        "commuter_day",
+        "incident_closure",
+        "stadium_surge",
+        "emergency_corridor",
+        "closure_wave",
+    }
+    for name, description in catalogue.items():
+        assert description, name
+
+
+def test_unknown_name_lists_catalogue():
+    from repro.errors import ScenarioSpecError
+
+    with pytest.raises(ScenarioSpecError, match="commuter_day"):
+        build_zoo_spec("no_such_entry")
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_every_entry_compiles(name):
+    scenario = build_zoo_scenario(name, seed=0)
+    assert scenario.metadata["zoo"] == name
+    assert scenario.metadata["seed"] == 0
+    assert scenario.flows
+    assert scenario.horizon_ticks > 0
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_same_seed_same_spec(name):
+    """Zoo generation is a pure function of (name, seed, rows, cols) —
+    independent of process hash randomisation and call order."""
+    first = build_zoo_spec(name, seed=11)
+    second = build_zoo_spec(name, seed=11)
+    assert first == second
+    assert spec_digest(first) == spec_digest(second)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_different_seeds_differ(name):
+    digests = {scenario_digest(build_zoo_scenario(name, seed=s)) for s in range(3)}
+    assert len(digests) == 3
+
+
+def test_commuter_day_is_multi_peak():
+    scenario = build_zoo_scenario("commuter_day", seed=0)
+    # Each corridor carries a day with two rush hours: paired -am/-pm
+    # flows whose peaks are well separated in time.
+    names = {flow.name for flow in scenario.flows}
+    am = {n for n in names if n.endswith("-am")}
+    assert am and {n[:-3] + "-pm" for n in am} <= names
+    peak_time = {
+        flow.name: max(flow.profile.points, key=lambda p: p[1])[0]
+        for flow in scenario.flows
+    }
+    for name in am:
+        assert peak_time[name[:-3] + "-pm"] - peak_time[name] >= 1000
+    assert scenario.incidents is None
+
+
+def test_incident_closure_has_incidents():
+    scenario = build_zoo_scenario("incident_closure", seed=0)
+    assert scenario.incidents is not None
+    assert len(scenario.incidents) >= 2
+    # At least one full closure.
+    assert any(inc.factor == 0.0 for inc in scenario.incidents.incidents)
+    assert scenario.horizon_ticks >= scenario.incidents.end_time
+
+
+def test_stadium_surge_converges():
+    spec = build_zoo_spec("stadium_surge", seed=0)
+    surge = [d for d in spec["demand"] if d.get("name", "").startswith("event-")]
+    assert len(surge) == 4
+    destinations = {d["destination"] for d in surge}
+    assert len(destinations) <= 2  # all converge on the event corner
+
+
+def test_emergency_corridor_marks_priority():
+    scenario = build_zoo_scenario("emergency_corridor", seed=0)
+    priority = scenario.metadata["priority_flows"]
+    names = {flow.name for flow in scenario.flows}
+    assert priority and set(priority) <= names
+
+
+def test_closure_wave_staggers():
+    scenario = build_zoo_scenario("closure_wave", seed=0)
+    starts = sorted(inc.start for inc in scenario.incidents.incidents)
+    assert len(starts) >= 3
+    assert starts == sorted(set(starts))  # strictly staggered
+
+
+def test_custom_grid_size():
+    scenario = build_zoo_scenario("commuter_day", seed=0, rows=3, cols=5)
+    assert scenario.grid is not None
+    assert scenario.grid.spec.rows == 3
+    assert scenario.grid.spec.cols == 5
+
+
+def test_zoo_specs_round_trip():
+    from repro.scenarios.spec import scenario_to_spec
+
+    for name in NAMES:
+        scenario = build_zoo_scenario(name, seed=1)
+        canonical = scenario_to_spec(scenario)
+        assert scenario_to_spec(compile_spec(canonical)) == canonical

@@ -1,0 +1,150 @@
+"""Cross-engine agreement on a compiled zoo scenario (satellite check).
+
+One canonical zoo workload is run on every engine the repo ships:
+
+* object engine (fast and slow paths) and a single-replica SoA engine —
+  **bit-exact**, full public-snapshot agreement, incidents included;
+* ``ShardedSimulation`` with ``num_shards=1`` — **bit-exact vehicle
+  trajectories** against the monolithic object engine;
+* ``num_shards=2`` (serial driver) — *not* bit-exact by design: a
+  vehicle crossing a shard cut spends one tick on the wire and remote
+  occupancy is one tick stale (DESIGN.md section 8).  The contract held
+  here is the documented one: vehicle conservation, identical total
+  demand, and a self-consistent summary.
+
+The sharded legs use ``commuter_day`` (no incidents: the sharded driver
+predates the incident hooks); the object/SoA leg uses
+``incident_closure`` so closures are exercised cross-engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import check_engine_invariants, public_engine_snapshot
+from repro.scenarios.zoo import build_zoo_scenario
+from repro.sim.engine import Simulation
+from repro.sim.sharded import ShardedSimulation
+from repro.sim.signal import FixedTimeProgram
+from repro.sim.soa import SoAEngine
+
+pytestmark = pytest.mark.zoo
+
+TICKS = 400
+
+
+def _programs(scenario, green=15):
+    return {
+        node_id: FixedTimeProgram([(i, green) for i in range(plan.num_phases)])
+        for node_id, plan in scenario.phase_plans.items()
+    }
+
+
+def _trajectories(sim):
+    return sorted(
+        (
+            vehicle.vehicle_id,
+            vehicle.created,
+            vehicle.inserted,
+            vehicle.finished,
+            vehicle.state.value,
+            vehicle.wait_total,
+            vehicle.links_travelled,
+            tuple(vehicle.route),
+            vehicle.route_index,
+        )
+        for vehicle in sim.vehicles.values()
+    )
+
+
+def _object_run(scenario, ticks=TICKS, fast_path=True):
+    sim = scenario.build_simulation(seed=0, stochastic=False, fast_path=fast_path)
+    sim.run_fixed_time(_programs(scenario), ticks)
+    return sim
+
+
+def test_object_fast_slow_soa_agree_with_incidents():
+    scenario = build_zoo_scenario("incident_closure", seed=0)
+    engines = []
+    for which in ("fast", "slow", "soa"):
+        demand = scenario.demand_generator(seed=0, stochastic=False)
+        if which == "soa":
+            sim = SoAEngine(scenario.network, [demand], scenario.phase_plans).view(0)
+        else:
+            sim = Simulation(
+                scenario.network, demand, scenario.phase_plans,
+                fast_path=which == "fast",
+            )
+        sim.incidents = scenario.incidents
+        engines.append(sim)
+
+    programs = _programs(scenario)
+    ticks = min(scenario.horizon_ticks, 700)
+    incident_window_seen = False
+    for t in range(ticks):
+        for sim in engines:
+            for node_id, program in programs.items():
+                sim.set_phase(node_id, program.phase_at(t))
+            sim.step()
+        if t % 50 == 0 or t == ticks - 1:
+            for sim in engines:
+                check_engine_invariants(sim, teleport=None)
+            snapshots = [public_engine_snapshot(sim) for sim in engines]
+            assert snapshots[0] == snapshots[1] == snapshots[2], f"tick {t}"
+        factors = [
+            {k: v for k, v in sim.capacity_factors.items() if v != 1.0}
+            for sim in engines
+        ]
+        assert factors[0] == factors[1] == factors[2]
+        incident_window_seen = incident_window_seen or bool(factors[0])
+    assert incident_window_seen  # the closure actually hit the run
+    assert engines[0].total_created > 0
+
+
+def test_sharded_single_shard_bit_exact():
+    scenario = build_zoo_scenario("commuter_day", seed=0)
+    mono = _object_run(scenario)
+    with ShardedSimulation(
+        scenario.network,
+        scenario.phase_plans,
+        scenario.fresh_flows(),
+        1,
+        seed=0,
+        stochastic=False,
+        workers=False,
+        programs=_programs(scenario),
+    ) as sharded:
+        sharded.run(TICKS)
+        sharded.check_conservation()
+        assert sharded.trajectories() == _trajectories(mono)
+        summary = sharded.summary()
+    assert summary["created"] == mono.total_created
+    assert summary["created"] > 0
+    assert summary["handoffs"] == 0
+
+
+def test_sharded_two_shards_conserves():
+    """K=2 follows the documented protocol, not bit-exactness: per-tick
+    cut handoffs make trajectories legitimately differ from the
+    monolithic run, but demand, conservation and the summary must hold."""
+    scenario = build_zoo_scenario("commuter_day", seed=0)
+    mono = _object_run(scenario)
+    with ShardedSimulation(
+        scenario.network,
+        scenario.phase_plans,
+        scenario.fresh_flows(),
+        2,
+        seed=0,
+        stochastic=False,
+        workers=False,
+        programs=_programs(scenario),
+    ) as sharded:
+        sharded.run(TICKS)
+        sharded.check_conservation()
+        summary = sharded.summary()
+        trajectories = sharded.trajectories()
+    # Deterministic emission is split per shard but sums to the same
+    # schedule the monolithic engine saw.
+    assert summary["created"] == mono.total_created
+    assert summary["created"] == len(trajectories)
+    assert summary["finished"] > 0

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from helpers import check_engine_invariants, public_engine_snapshot
 from repro.eval.harness import ExperimentScale, GridExperiment
 from repro.sim.engine import Simulation
 from repro.sim.soa import SoAEngine
@@ -56,56 +57,6 @@ def _fresh_demand(scale, pattern, demand_seed):
     return env.network, env.sim.demand, env.phase_plans
 
 
-def _public_snapshot(sim) -> dict:
-    network = sim.network
-    return {
-        "time": sim.time,
-        "queues": {
-            lane.lane_id: (
-                sim.queue_length(lane.lane_id),
-                sim.head_wait(lane.lane_id),
-                sim.discharge_credit(lane.lane_id),
-            )
-            for link in network.links.values()
-            for lane in link.lanes
-        },
-        "links": {
-            link_id: (
-                sim.link_occupancy[link_id],
-                sim.halting_count(link_id),
-                sim.link_head_wait(link_id),
-            )
-            for link_id in network.links
-        },
-        "counts": (
-            sim.vehicles_in_network(),
-            sim.pending_insertions(),
-            sim.total_created,
-            len(sim.finished_vehicles),
-            sim.teleport_count,
-        ),
-        "drained": sim.is_drained(),
-    }
-
-
-def _check_invariants(sim, teleport) -> None:
-    created = sim.total_created
-    in_network = sim.vehicles_in_network()
-    pending = sim.pending_insertions()
-    finished = len(sim.finished_vehicles)
-    assert created == in_network + pending + finished
-    assert min(in_network, pending, finished) >= 0
-    for link_id, link in sim.network.links.items():
-        occupancy = sim.link_occupancy[link_id]
-        halted = sim.halting_count(link_id)
-        assert 0 <= halted <= occupancy
-        if teleport is None:
-            assert occupancy <= link.storage
-        for lane in link.lanes:
-            assert sim.queue_length(lane.lane_id) >= 0
-            assert sim.head_wait(lane.lane_id) >= 0
-
-
 @pytest.mark.parametrize("case_seed", CASES)
 def test_fuzzed_invariants_and_cross_engine_agreement(case_seed):
     scale, teleport, pattern, demand_seed = _draw_scenario(case_seed)
@@ -135,8 +86,8 @@ def test_fuzzed_invariants_and_cross_engine_agreement(case_seed):
             sim.step()
         if t % 20 == 0 or t == 239:
             for sim in engines:
-                _check_invariants(sim, teleport)
-            snapshots = [_public_snapshot(sim) for sim in engines]
+                check_engine_invariants(sim, teleport)
+            snapshots = [public_engine_snapshot(sim) for sim in engines]
             assert snapshots[0] == snapshots[1] == snapshots[2], (
                 f"case {case_seed} diverged at tick {t}"
             )

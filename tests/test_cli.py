@@ -211,3 +211,84 @@ class TestShardedCommand:
         assert main([*self.SMALL, "--telemetry-dir", str(run_dir)]) == 0
         assert "telemetry written" in capsys.readouterr().out
         assert (run_dir / "events.jsonl").exists()
+
+
+class TestZooCommand:
+    def test_list(self, capsys):
+        assert main(["zoo", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "commuter_day" in out
+        assert "incident_closure" in out
+
+    def test_show_is_valid_spec_json(self, capsys):
+        assert main(["zoo", "show", "stadium_surge", "--seed", "3"]) == 0
+        from repro.scenarios.spec import compile_spec
+
+        spec = json.loads(capsys.readouterr().out)
+        assert spec["name"] == "stadium_surge-s3-4x4"
+        compile_spec(spec)
+
+    def test_export_round_trips(self, tmp_path, capsys):
+        out_path = tmp_path / "surge.json"
+        assert main(
+            ["zoo", "export", "stadium_surge", "--seed", "2", "--out", str(out_path)]
+        ) == 0
+        assert "digest" in capsys.readouterr().out
+        from repro.scenarios.spec import load_spec, spec_digest
+        from repro.scenarios.zoo import build_zoo_spec
+
+        exported = load_spec(out_path)
+        assert spec_digest(exported) == spec_digest(
+            build_zoo_spec("stadium_surge", seed=2)
+        )
+
+    def test_unknown_entry_exits_2(self, capsys):
+        assert main(["zoo", "show", "nope"]) == 2
+        assert "commuter_day" in capsys.readouterr().err
+
+
+class TestScenarioFlag:
+    def test_compare_accepts_zoo_scenario(self, capsys):
+        code = main(
+            ["compare", "--models", "Fixedtime", "--scenario",
+             "zoo:incident_closure", "--horizon", "300", "--episodes", "0",
+             "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "incident_closure-s0-4x4" in out
+        assert "Fixedtime" in out
+
+    def test_compare_accepts_spec_file(self, tmp_path, capsys):
+        from repro.scenarios.spec import save_spec
+        from repro.scenarios.zoo import build_zoo_spec
+
+        path = tmp_path / "spec.json"
+        save_spec(path, build_zoo_spec("commuter_day", seed=1, rows=2, cols=2))
+        code = main(
+            ["compare", "--models", "Fixedtime", "--scenario", str(path),
+             "--horizon", "200", "--episodes", "0"]
+        )
+        assert code == 0
+        assert "commuter_day-s1-2x2" in capsys.readouterr().out
+
+    def test_scenario_with_table3_rejected(self, capsys):
+        assert main(
+            ["compare", "--table", "3", "--scenario", "zoo:commuter_day"]
+        ) == 2
+
+    def test_bad_scenario_path_exits_2(self, capsys):
+        assert main(
+            ["compare", "--models", "Fixedtime", "--scenario", "/no/such.json",
+             "--episodes", "0"]
+        ) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_multiseed_accepts_scenario(self, capsys):
+        code = main(
+            ["multiseed", "--model", "Fixedtime", "--seeds", "2",
+             "--scenario", "zoo:commuter_day", "--horizon", "200",
+             "--episodes", "1", "--rows", "2", "--cols", "2"]
+        )
+        assert code == 0
+        assert "seed 2" in capsys.readouterr().out
