@@ -26,8 +26,10 @@ sys.path.insert(
 )
 
 from repro.perf.regression import (
+    BATCHED_TRAIN_THRESHOLD,
     DEFAULT_THRESHOLD,
     SHARDED_THRESHOLD,
+    check_batched_train_regression,
     check_engine_regression,
     check_engine_soa_regression,
     check_serve_regression,
@@ -87,6 +89,17 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-train", action="store_true", help="skip the train benchmark gate"
     )
     parser.add_argument(
+        "--skip-batched-train",
+        action="store_true",
+        help="skip the batched-train speedup gate",
+    )
+    parser.add_argument(
+        "--batched-train-threshold",
+        type=float,
+        default=BATCHED_TRAIN_THRESHOLD,
+        help="allowed drop for the batched-vs-serial train speedup ratio",
+    )
+    parser.add_argument(
         "--skip-update", action="store_true", help="skip the update benchmark gate"
     )
     parser.add_argument(
@@ -121,6 +134,17 @@ def main(argv: list[str] | None = None) -> int:
             (
                 args.train_baseline,
                 lambda path: check_train_regression(path, threshold=args.threshold),
+            )
+        )
+    if not args.skip_batched_train:
+        # Same baseline file as the train gate: the batched section of
+        # BENCH_train.json carries the same-run speedup ratio.
+        gates.append(
+            (
+                args.train_baseline,
+                lambda path: check_batched_train_regression(
+                    path, threshold=args.batched_train_threshold
+                ),
             )
         )
     if not args.skip_update:

@@ -10,7 +10,8 @@
 #      object fast/slow and SoA engines with conservation/round-trip
 #      property checks and a fixed per-case time budget,
 #   5. the perf-regression gates (engine ticks/s, batched SoA aggregate
-#      ticks/s, train env-steps/s, fused PPO-update steps/s, serve
+#      ticks/s, train env-steps/s, batched-vs-serial train speedup at
+#      B=8 (same-run ratio), fused PPO-update steps/s, serve
 #      intersections/s, sharded same-run speedup — each vs its
 #      committed BENCH_*.json),
 #   6. the coverage floors (stdlib trace; no coverage package):
@@ -35,7 +36,7 @@ echo "== scenario fuzz stage (50 fuzzed specs, fixed seed, per-case budget) =="
 REPRO_FUZZ_CASES=50 REPRO_FUZZ_SEED=20260808 REPRO_FUZZ_CASE_BUDGET_S=30 \
     python -m pytest tests/scenarios/test_fuzz_zoo.py -q
 
-echo "== perf regression gates (engine / engine_soa / train / update / serve / sharded) =="
+echo "== perf regression gates (engine / engine_soa / train / batched-train / update / serve / sharded) =="
 python scripts/check_perf_regression.py --engine-soa-baseline benchmarks/BENCH_engine_soa.json
 
 echo "== telemetry coverage floor (src/repro/obs) =="

@@ -290,6 +290,23 @@ class PairUpLightSystem(AgentSystem):
         env: TrafficSignalEnv,
         training: bool,
     ) -> dict[str, int]:
+        return self._act_impl(observations, env, training)
+
+    def _act_impl(
+        self,
+        observations: dict[str, np.ndarray],
+        env: TrafficSignalEnv,
+        training: bool,
+        critic_feats: np.ndarray | None = None,
+    ) -> dict[str, int]:
+        """Body of :meth:`act`.
+
+        ``critic_feats`` (``(num_agents, feat_width)``) lets the batched
+        lockstep path pass in pre-assembled critic features; the values
+        are identical to what :class:`CriticFeatureBuilder` would build
+        from ``observations``, so the default per-agent assembly below is
+        the reference the batched path is tested against.
+        """
         cfg = self.config
         incoming = self._read_incoming(env)
         obs_rows = [observations[a] for a in self.agent_ids]
@@ -333,12 +350,13 @@ class PairUpLightSystem(AgentSystem):
             self.board.post(agent_id, m_hat[index])
 
         if training:
-            critic_feats = np.stack(
-                [
-                    _pad(self.feature_builder.build(a, observations[a]), self._feat_width())
-                    for a in self.agent_ids
-                ]
-            )
+            if critic_feats is None:
+                critic_feats = np.stack(
+                    [
+                        _pad(self.feature_builder.build(a, observations[a]), self._feat_width())
+                        for a in self.agent_ids
+                    ]
+                )
             values = self._critic_values(critic_feats, advance_state=True)
             self._pending = {
                 "obs": np.stack([_pad(o, self._obs_width()) for o in obs_rows]),

@@ -281,6 +281,8 @@ def cmd_multiseed(args: argparse.Namespace) -> int:
         workers=args.workers,
         engine=args.engine,
         scenario=getattr(args, "scenario", "") or None,
+        batched_policy=args.batched_policy,
+        shared_across_replicas=args.shared_policy,
     )
     print(result.summary())
     for run in result.runs:
@@ -484,10 +486,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
             )
             batched = payload.get("batched")
             if batched:
+                speedup = batched.get("speedup_vs_serial_same_run")
+                suffix = (
+                    f" ({speedup}x serial, same run)" if speedup else ""
+                )
                 print(
                     f"  batched: {batched['aggregate_env_steps_per_second']} "
                     f"aggregate env-steps/s over {batched['batch']} "
-                    f"lockstep replicas"
+                    f"lockstep replicas{suffix}"
                 )
     return 0
 
@@ -629,6 +635,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("object", "soa"), default="object",
         help="'soa' batches all seeds into one structure-of-arrays "
         "engine in this process (bit-identical results; ignores --workers)",
+    )
+    p_multi.add_argument(
+        "--batched-policy", action="store_true", dest="batched_policy",
+        help="with --engine soa: one policy forward per tick for all "
+        "seeds' agents (PairUpLight only; bit-identical results)",
+    )
+    p_multi.add_argument(
+        "--shared-policy", action="store_true", dest="shared_policy",
+        help="with --batched-policy: train one shared policy on all "
+        "seeds ((T, B*M) PPO batches; a new training regime, not "
+        "bit-identical to per-seed runs)",
     )
     p_multi.set_defaults(func=cmd_multiseed)
 

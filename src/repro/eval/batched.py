@@ -64,6 +64,10 @@ class LockstepEnvGroup:
                 raise ConfigError("lockstep envs must share phase plans")
         self.envs = envs
         self.engine: SoAEngine | None = None
+        #: Vectorized cross-replica step finisher (see
+        #: :mod:`repro.eval.batched_obs`); ``None`` means every step runs
+        #: the reference per-env ``_finish_step`` loop.
+        self.extractor = None
 
     def reset_all(self, seeds: list[int]) -> list[dict[str, np.ndarray]]:
         """Start a fresh episode in every env, batched in one engine."""
@@ -85,6 +89,13 @@ class LockstepEnvGroup:
         for b, (env, seed) in enumerate(zip(self.envs, seeds)):
             env._episode_count += 1
             observations.append(env._adopt_sim(self.engine.view(b), seed))
+        # Detector suites were rebuilt by _adopt_sim, so the extractor is
+        # rebuilt too; ineligible configurations (fault-injecting
+        # detectors, telemetry, heterogeneous layouts) get None and fall
+        # back to the bit-identical per-env path.
+        from repro.eval.batched_obs import BatchedStepExtractor
+
+        self.extractor = BatchedStepExtractor.maybe_build(self.envs, self.engine)
         return observations
 
     def step_all(
@@ -102,6 +113,10 @@ class LockstepEnvGroup:
             if acts is not None:
                 env._apply_actions(acts)
         self.engine.step(self.envs[0].config.delta_t)
+        if self.extractor is not None:
+            return self.extractor.finish_all(
+                [acts is not None for acts in actions]
+            )
         return [
             env._finish_step() if acts is not None else None
             for env, acts in zip(self.envs, actions)
@@ -113,42 +128,77 @@ def train_lockstep(
     envs: list[TrafficSignalEnv],
     episodes: int,
     seeds: list[int],
+    batched_policy: bool = False,
+    shared_across_replicas: bool = False,
 ) -> list[TrainingHistory]:
-    """Train B independent (agent, env) pairs batched over one engine.
+    """Train B (agent, env) pairs batched over one engine.
 
     Mirrors ``rl.runner.train``'s core loop (fixed-horizon episodes,
     per-episode ``end_episode`` updates) for every pair at once; seed
     ``b`` runs episode ``e`` with episode seed ``seeds[b] + e``, exactly
     like the serial runner.
+
+    ``batched_policy=True`` drives the group through
+    :class:`repro.agents.pairuplight.batched.BatchedPolicyGroup`
+    (PairUpLight systems only; raises :class:`ConfigError` otherwise).
+    The default independent mode is bit-exact with the per-agent path;
+    ``shared_across_replicas=True`` instead trains the first system's
+    parameters on all B seeds with one ``(B·M)`` forward per tick and one
+    combined PPO update.
+
+    Timing: ``duration_s`` is the per-seed share of the group's
+    wall-clock (group time / B, the amortized per-seed cost comparable
+    against serial histories); the whole-group wall-clock is recorded
+    once per seed in ``group_duration_s``.
     """
     group = LockstepEnvGroup(envs)
+    policy = None
+    if batched_policy:
+        from repro.agents.pairuplight.batched import BatchedPolicyGroup
+
+        policy = BatchedPolicyGroup(
+            agents, group, shared_across_replicas=shared_across_replicas
+        )
     histories = [TrainingHistory(agent_name=agent.name) for agent in agents]
     for episode in range(episodes):
         started = time.perf_counter()
         observations = group.reset_all([seed + episode for seed in seeds])
-        for agent, env in zip(agents, envs):
-            agent.begin_episode(env, True)
+        if policy is not None:
+            policy.begin_episode_all(True)
+        else:
+            for agent, env in zip(agents, envs):
+                agent.begin_episode(env, True)
         wait_samples: list[list[float]] = [[] for _ in envs]
         total_rewards = [0.0] * len(envs)
         done = False
         while not done:
-            actions = [
-                agent.act(obs, env, True)
-                for agent, env, obs in zip(agents, envs, observations)
-            ]
+            if policy is not None:
+                actions = policy.act_all(observations, True)
+            else:
+                actions = [
+                    agent.act(obs, env, True)
+                    for agent, env, obs in zip(agents, envs, observations)
+                ]
             results = group.step_all(actions)
-            for b, (agent, env, result) in enumerate(
-                zip(agents, envs, results)
-            ):
-                agent.observe(result, env)
+            if policy is not None:
+                policy.observe_all(results)
+            for b, result in enumerate(results):
+                if policy is None:
+                    agents[b].observe(result, envs[b])
                 observations[b] = result.observations
                 wait_samples[b].append(result.info["average_wait"])
                 total_rewards[b] += float(sum(result.rewards.values()))
             # drain=False: every env shares the horizon, so dones agree.
             done = results[0].done
         duration = time.perf_counter() - started
-        for b, (agent, env) in enumerate(zip(agents, envs)):
-            stats = agent.end_episode(env, training=True)
+        if policy is not None:
+            stats_list = policy.end_episode_all(True)
+        else:
+            stats_list = [
+                agent.end_episode(env, training=True)
+                for agent, env in zip(agents, envs)
+            ]
+        for b in range(len(envs)):
             histories[b].episodes.append(
                 EpisodeLog(
                     episode=episode,
@@ -156,8 +206,9 @@ def train_lockstep(
                     if wait_samples[b]
                     else 0.0,
                     total_reward=total_rewards[b],
-                    duration_s=duration,
-                    update_stats=stats,
+                    duration_s=duration / len(envs),
+                    update_stats=stats_list[b],
+                    group_duration_s=duration,
                 )
             )
     return histories
@@ -168,6 +219,8 @@ def evaluate_lockstep(
     envs: list[TrafficSignalEnv],
     episodes: int,
     seeds: list[int],
+    batched_policy: bool = False,
+    shared_across_replicas: bool = False,
 ) -> list[EvaluationResult]:
     """Evaluate B (agent, env) pairs batched; envs may be drain-mode.
 
@@ -175,8 +228,18 @@ def evaluate_lockstep(
     travel-time sample per episode, NaN-excluded aggregation.  A replica
     that drains early has its final info captured at its done step and
     then coasts inside the shared engine until the batch finishes.
+
+    ``batched_policy``/``shared_across_replicas`` select the same policy
+    drivers as :func:`train_lockstep`.
     """
     group = LockstepEnvGroup(envs)
+    policy = None
+    if batched_policy:
+        from repro.agents.pairuplight.batched import BatchedPolicyGroup
+
+        policy = BatchedPolicyGroup(
+            agents, group, shared_across_replicas=shared_across_replicas
+        )
     B = len(envs)
     travel_times: list[list[float]] = [[] for _ in range(B)]
     waits: list[list[float]] = [[] for _ in range(B)]
@@ -184,18 +247,24 @@ def evaluate_lockstep(
     created = [0] * B
     for episode in range(episodes):
         observations = group.reset_all([seed + episode for seed in seeds])
-        for agent, env in zip(agents, envs):
-            agent.begin_episode(env, False)
+        if policy is not None:
+            policy.begin_episode_all(False)
+        else:
+            for agent, env in zip(agents, envs):
+                agent.begin_episode(env, False)
         wait_samples: list[list[float]] = [[] for _ in range(B)]
         infos: list[dict] = [{} for _ in range(B)]
         live = [True] * B
         while any(live):
-            actions = [
-                agents[b].act(observations[b], envs[b], False)
-                if live[b]
-                else None
-                for b in range(B)
-            ]
+            if policy is not None:
+                actions = policy.act_all(observations, False, live=live)
+            else:
+                actions = [
+                    agents[b].act(observations[b], envs[b], False)
+                    if live[b]
+                    else None
+                    for b in range(B)
+                ]
             results = group.step_all(actions)
             for b in range(B):
                 result = results[b]
@@ -206,8 +275,12 @@ def evaluate_lockstep(
                 infos[b] = result.info
                 if result.done:
                     live[b] = False
+        if policy is not None:
+            policy.end_episode_all(False)
+        else:
+            for b in range(B):
+                agents[b].end_episode(envs[b], training=False)
         for b in range(B):
-            agents[b].end_episode(envs[b], training=False)
             travel_times[b].append(
                 infos[b].get("average_travel_time", float("nan"))
             )

@@ -80,6 +80,8 @@ def run_multiseed(
     telemetry=None,
     engine: str = "object",
     scenario=None,
+    batched_policy: bool = False,
+    shared_across_replicas: bool = False,
 ) -> MultiSeedResult:
     """Train/evaluate the same configuration under several seeds.
 
@@ -111,6 +113,13 @@ def run_multiseed(
     scenario-spec experiment; ``train_pattern``/``eval_pattern`` are
     then ignored for demand (the spec defines it) but still label the
     result.
+
+    ``batched_policy`` (``engine="soa"`` only) additionally batches the
+    *policy* side: all seeds' PairUpLight systems act through one
+    :class:`repro.agents.pairuplight.batched.BatchedPolicyGroup` per
+    tick.  Default (independent) mode stays bit-exact with the serial
+    path; ``shared_across_replicas`` trains one shared policy on all
+    seeds.  Incompatible agent types raise :class:`ConfigError`.
     """
     from repro.perf.parallel import parallel_map
 
@@ -118,6 +127,8 @@ def run_multiseed(
         raise ConfigError("need at least one seed")
     if engine not in ("object", "soa"):
         raise ConfigError(f"engine must be 'object' or 'soa', got {engine!r}")
+    if batched_policy and engine != "soa":
+        raise ConfigError("batched_policy requires engine='soa'")
     if scenario is not None:
         # Resolve once so every seed shares one compiled network and a
         # file/zoo reference is not re-read per seed.
@@ -130,7 +141,14 @@ def run_multiseed(
     if engine == "soa":
         result.runs.extend(
             _run_seeds_batched(
-                scale, factory, seeds, train_pattern, eval_pattern, scenario
+                scale,
+                factory,
+                seeds,
+                train_pattern,
+                eval_pattern,
+                scenario,
+                batched_policy=batched_policy,
+                shared_across_replicas=shared_across_replicas,
             )
         )
         _emit_telemetry(result, telemetry, model_name, eval_pattern)
@@ -165,6 +183,8 @@ def _run_seeds_batched(
     train_pattern: int,
     eval_pattern: int,
     scenario=None,
+    batched_policy: bool = False,
+    shared_across_replicas: bool = False,
 ) -> list[SeedRun]:
     """All seeds in one process over one batched SoA engine.
 
@@ -181,10 +201,22 @@ def _run_seeds_batched(
     agents = [
         factory(env, seed) for env, seed in zip(train_envs, seeds)
     ]
-    histories = train_lockstep(agents, train_envs, scale.train_episodes, seeds)
+    histories = train_lockstep(
+        agents,
+        train_envs,
+        scale.train_episodes,
+        seeds,
+        batched_policy=batched_policy,
+        shared_across_replicas=shared_across_replicas,
+    )
     eval_envs = [exp.eval_env(eval_pattern) for exp in experiments]
     evaluations = evaluate_lockstep(
-        agents, eval_envs, scale.eval_episodes, [seed + 900 for seed in seeds]
+        agents,
+        eval_envs,
+        scale.eval_episodes,
+        [seed + 900 for seed in seeds],
+        batched_policy=batched_policy,
+        shared_across_replicas=shared_across_replicas,
     )
     return [
         SeedRun(

@@ -202,52 +202,133 @@ def bench_engine_soa(
 def bench_train_soa(batch: int = 8, episodes: int = 1) -> dict:
     """Batched lockstep training throughput (B seeds, one SoA engine).
 
-    ``batch`` independent PairUpLight systems train on ``batch`` demand
-    seeds whose envs share one batched SoA engine
-    (:class:`repro.eval.batched.LockstepEnvGroup`) — the single-process
-    replacement for fork-parallel multiseed workers.  Reports aggregate
-    rollout env-steps/s across all replicas (updates untimed, as in
-    ``bench_train``).
+    ``batch`` PairUpLight systems train on ``batch`` demand seeds whose
+    envs share one batched SoA engine
+    (:class:`repro.eval.batched.LockstepEnvGroup`).  Three policy modes
+    are timed, plus a **serial same-run** reference (one seed through
+    the plain ``env.step`` loop, measured in this process so the ratio
+    is era-robust against host drift):
+
+    * ``per_agent_policy`` — the pre-PR-10 loop: vectorized extraction
+      but one ``agent.act`` per replica per tick;
+    * ``independent`` — :class:`BatchedPolicyGroup` default mode,
+      bit-exact with the serial runner (per-seed parameters/RNG);
+    * ``shared_policy`` — ``shared_across_replicas``: one ``(B·M, ·)``
+      forward per tick, one combined PPO update.
+
+    The headline ``aggregate_env_steps_per_second`` (and the CI-gated
+    ``speedup_vs_serial_same_run``) comes from the fastest batched
+    policy path.  Rollout only; updates untimed, as in ``bench_train``.
     """
     from repro.agents.pairuplight import PairUpLightSystem
+    from repro.agents.pairuplight.batched import BatchedPolicyGroup
     from repro.eval.batched import LockstepEnvGroup
 
     scale = ExperimentScale(**_TRAIN_SCALE)
-    envs = [
-        GridExperiment(scale, seed=7).train_env(1) for _ in range(batch)
-    ]
-    agents = [PairUpLightSystem(env, seed=7 + b) for b, env in enumerate(envs)]
-    group = LockstepEnvGroup(envs)
-    total_steps = 0
-    total_rollout = 0.0
-    for episode in range(episodes):
-        observations = group.reset_all([100 + episode + b for b in range(batch)])
-        for agent, env in zip(agents, envs):
+
+    def measure_serial() -> float:
+        experiment = GridExperiment(scale, seed=7)
+        env = experiment.train_env(1)
+        agent = PairUpLightSystem(env, seed=7)
+        steps = 0
+        elapsed = 0.0
+        for episode in range(episodes):
+            observations = env.reset(seed=100 + episode)
             agent.begin_episode(env, True)
-        done = False
-        started = time.process_time()
-        while not done:
-            actions = [
-                agent.act(obs, env, True)
-                for agent, env, obs in zip(agents, envs, observations)
-            ]
-            results = group.step_all(actions)
-            for b, (agent, env) in enumerate(zip(agents, envs)):
-                agent.observe(results[b], env)
-                observations[b] = results[b].observations
-            done = results[0].done
-            total_steps += batch
-        total_rollout += time.process_time() - started
-        for agent, env in zip(agents, envs):
+            done = False
+            started = time.process_time()
+            while not done:
+                actions = agent.act(observations, env, True)
+                result = env.step(actions)
+                agent.observe(result, env)
+                observations = result.observations
+                done = result.done
+                steps += 1
+            elapsed += time.process_time() - started
             agent.end_episode(env, training=True)
-    aggregate = total_steps / total_rollout
+        return steps / elapsed
+
+    def measure_batched(mode: str) -> float:
+        envs = [
+            GridExperiment(scale, seed=7).train_env(1) for _ in range(batch)
+        ]
+        agents = [
+            PairUpLightSystem(env, seed=7 + b) for b, env in enumerate(envs)
+        ]
+        group = LockstepEnvGroup(envs)
+        policy = None
+        if mode != "per_agent":
+            policy = BatchedPolicyGroup(
+                agents, group, shared_across_replicas=(mode == "shared")
+            )
+        steps = 0
+        elapsed = 0.0
+        for episode in range(episodes):
+            observations = group.reset_all(
+                [100 + episode + b for b in range(batch)]
+            )
+            if policy is not None:
+                policy.begin_episode_all(True)
+            else:
+                for agent, env in zip(agents, envs):
+                    agent.begin_episode(env, True)
+            done = False
+            started = time.process_time()
+            while not done:
+                if policy is not None:
+                    actions = policy.act_all(observations, True)
+                else:
+                    actions = [
+                        agent.act(obs, env, True)
+                        for agent, env, obs in zip(agents, envs, observations)
+                    ]
+                results = group.step_all(actions)
+                if policy is not None:
+                    policy.observe_all(results)
+                else:
+                    for b, (agent, env) in enumerate(zip(agents, envs)):
+                        agent.observe(results[b], env)
+                for b, result in enumerate(results):
+                    observations[b] = result.observations
+                done = results[0].done
+                steps += batch
+            elapsed += time.process_time() - started
+            if policy is not None:
+                policy.end_episode_all(True)
+            else:
+                for agent, env in zip(agents, envs):
+                    agent.end_episode(env, training=True)
+        return steps / elapsed
+
+    serial_rate = measure_serial()
+    per_agent_rate = measure_batched("per_agent")
+    independent_rate = measure_batched("independent")
+    shared_rate = measure_batched("shared")
+    best = max(independent_rate, shared_rate)
     return {
         "benchmark": "train_soa",
         "scenario": dict(_TRAIN_SCALE, model="PairUpLight", batch=batch,
                          episodes=episodes, engine="soa"),
         "batch": batch,
-        "aggregate_env_steps_per_second": round(aggregate, 2),
-        "per_replica_env_steps_per_second": round(aggregate / batch, 2),
+        "aggregate_env_steps_per_second": round(best, 2),
+        "per_replica_env_steps_per_second": round(best / batch, 2),
+        "serial_same_run": {
+            "env_steps_per_second": round(serial_rate, 2),
+        },
+        "per_agent_policy": {
+            "aggregate_env_steps_per_second": round(per_agent_rate, 2),
+        },
+        "independent_policy": {
+            "aggregate_env_steps_per_second": round(independent_rate, 2),
+            "speedup_vs_serial_same_run": round(
+                independent_rate / serial_rate, 2
+            ),
+        },
+        "shared_policy": {
+            "aggregate_env_steps_per_second": round(shared_rate, 2),
+            "speedup_vs_serial_same_run": round(shared_rate / serial_rate, 2),
+        },
+        "speedup_vs_serial_same_run": round(best / serial_rate, 2),
     }
 
 

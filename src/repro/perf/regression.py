@@ -6,7 +6,7 @@ committed number and fails when the drop exceeds ``threshold`` (default
 20%).  Benchmarks are noisy, so measurements favour best-of/median
 aggregation — a genuine regression shifts every repeat, noise does not.
 
-Six gates cover the six committed benchmark files:
+Seven gates cover the six committed benchmark files:
 
 * :func:`check_engine_regression` — simulator ticks/s
   (``BENCH_engine.json``),
@@ -14,6 +14,9 @@ Six gates cover the six committed benchmark files:
   the object engine, same interleaved run (``BENCH_engine_soa.json``),
 * :func:`check_train_regression` — rollout env-steps/s
   (``BENCH_train.json``),
+* :func:`check_batched_train_regression` — batched-vs-serial training
+  speedup at B=8, same interleaved run (``BENCH_train.json``'s
+  ``batched`` section),
 * :func:`check_update_regression` — fused PPO-update minibatch steps/s
   (``BENCH_update.json``),
 * :func:`check_serve_regression` — control-service intersections-served/s
@@ -33,6 +36,7 @@ from repro.perf.bench import (
     bench_serve,
     bench_sharded,
     bench_train,
+    bench_train_soa,
     bench_update,
 )
 
@@ -151,6 +155,48 @@ def check_train_regression(
         baseline,
         threshold=threshold,
         metric="train env-steps/s",
+    )
+
+
+#: Allowed drop for the batched-train speedup gate.  Same-run ratio, so
+#: era-robust; with the committed ~4.2x ratio a 25% floor keeps the gate
+#: above the PR-10 acceptance target of 3x batched-vs-serial at B=8.
+BATCHED_TRAIN_THRESHOLD = 0.25
+
+
+def check_batched_train_regression(
+    baseline_path: str,
+    threshold: float = BATCHED_TRAIN_THRESHOLD,
+    episodes: int = 1,
+) -> RegressionVerdict:
+    """Gate the batched-training speedup over serial, same interleaved run.
+
+    ``BENCH_train.json``'s ``batched`` section records aggregate
+    env-steps/s at B=8 through the batched policy path *and* the serial
+    single-seed rate measured in the same process run;
+    ``speedup_vs_serial_same_run`` is their ratio.  Like the SoA and
+    sharded gates, gating the ratio rather than absolute env-steps/s
+    makes the check era-robust: host drift moves both numerator and
+    denominator, a regression in the vectorized extraction or the
+    grouped policy forward moves only the numerator.
+    """
+    with open(baseline_path) as handle:
+        committed = json.load(handle)
+    batched = committed.get("batched")
+    if not batched or "speedup_vs_serial_same_run" not in batched:
+        raise ValueError(
+            f"{baseline_path!r} has no batched.speedup_vs_serial_same_run; "
+            "regenerate benchmarks (python -m repro.cli bench --write)"
+        )
+    baseline = float(batched["speedup_vs_serial_same_run"])
+    live = bench_train_soa(
+        batch=int(batched.get("batch", 8)), episodes=episodes
+    )
+    return evaluate_gate(
+        float(live["speedup_vs_serial_same_run"]),
+        baseline,
+        threshold=threshold,
+        metric="batched train speedup vs serial (same run)",
     )
 
 

@@ -44,6 +44,11 @@ class EpisodeLog:
     total_reward: float
     duration_s: float
     update_stats: dict = field(default_factory=dict)
+    #: Wall-clock of the whole lockstep *group* episode (B seeds sharing
+    #: one engine).  Serial runs leave it at 0.0; batched runs stamp the
+    #: group time here and the amortized per-seed share in
+    #: ``duration_s``, keeping per-seed throughput comparisons honest.
+    group_duration_s: float = 0.0
 
 
 @dataclass

@@ -71,8 +71,13 @@ class _SerialDriver:
             for runtime, inbound in zip(self.runtimes, inbounds)
         ]
 
-    def call_all(self, method):
-        return [getattr(runtime, method)() for runtime in self.runtimes]
+    def call_all(self, method, args_list=None):
+        if args_list is None:
+            return [getattr(runtime, method)() for runtime in self.runtimes]
+        return [
+            getattr(runtime, method)(*args)
+            for runtime, args in zip(self.runtimes, args_list)
+        ]
 
     def close(self) -> None:
         return None
@@ -88,8 +93,8 @@ class _PoolDriver:
     def tick_all(self, inbounds):
         return self.pool.call_all("tick", [(inbound,) for inbound in inbounds])
 
-    def call_all(self, method):
-        return self.pool.call_all(method)
+    def call_all(self, method, args_list=None):
+        return self.pool.call_all(method, args_list)
 
     def close(self) -> None:
         self.pool.close()
@@ -255,6 +260,11 @@ class ShardedSimulation:
         self._handoff_window = 0
         self._handoff_window_edges: dict[str, int] = {}
         self._inbounds = [dict() for _ in range(num_shards)]
+        #: full-network link ids, for validating capacity/incident hooks.
+        self._all_links = frozenset(network.links)
+        #: coordinator's view of non-default capacity factors.
+        self.capacity_factors: dict[str, float] = {}
+        self._incidents = None
 
         if telemetry is not None:
             for spec, pid in zip(self.specs, self._driver.pids):
@@ -267,6 +277,50 @@ class ShardedSimulation:
                     cut_in=len(spec.entry_links),
                     pid=pid,
                 )
+
+    # ------------------------------------------------------------------
+    # Incident / capacity control surface (mirrors ``Simulation``'s)
+    # ------------------------------------------------------------------
+    def set_capacity_factor(self, link_id: str, factor: float) -> None:
+        """Scale a link's effective storage across the whole city.
+
+        Broadcast to every shard: the owning shard throttles entry onto
+        the link, and (for cut links) the upstream shard's exit-stub
+        copy blocks discharge against the same reduced storage.  Shards
+        whose subnetwork lacks the link skip the write.  Validation
+        matches :meth:`repro.sim.engine.Simulation.set_capacity_factor`.
+        """
+        if link_id not in self._all_links:
+            raise SimulationError(f"unknown link {link_id!r}")
+        if not 0.0 <= factor <= 1.0:
+            raise SimulationError(
+                f"capacity factor must lie in [0, 1], got {factor}"
+            )
+        if factor >= 1.0:
+            self.capacity_factors.pop(link_id, None)
+        else:
+            self.capacity_factors[link_id] = factor
+        self._driver.call_all(
+            "set_capacity_factor", [(link_id, factor)] * self.num_shards
+        )
+
+    @property
+    def incidents(self):
+        """Optional :class:`~repro.faults.incidents.IncidentSchedule`.
+
+        Setting it broadcasts the schedule to every shard engine, which
+        reconciles it at the start of each lockstep tick — closure
+        scenarios therefore run at city scale with no extra coordinator
+        round trips.
+        """
+        return self._incidents
+
+    @incidents.setter
+    def incidents(self, schedule) -> None:
+        self._incidents = schedule
+        self._driver.call_all(
+            "set_incidents", [(schedule,)] * self.num_shards
+        )
 
     # ------------------------------------------------------------------
     def run(self, ticks: int) -> None:

@@ -482,6 +482,30 @@ class ShardRuntime:
         return scores
 
     # ------------------------------------------------------------------
+    def set_capacity_factor(self, link_id: str, factor: float) -> None:
+        """Apply an incident capacity factor to this shard's copy of the
+        link, silently skipping links outside the subnetwork.
+
+        The owning shard's factor throttles entry onto the link (queues,
+        origin insertion); the upstream shard's exit-stub copy carries
+        the same factor so its discharge spillback check blocks against
+        the reduced effective storage, exactly as the monolithic engine
+        does at that link.
+        """
+        if link_id in self.sim.network.links:
+            self.sim.set_capacity_factor(link_id, factor)
+
+    def set_incidents(self, schedule) -> None:
+        """Attach an :class:`~repro.faults.incidents.IncidentSchedule`.
+
+        Each shard engine reconciles the schedule at the start of every
+        tick; links absent from the shard's subnetwork are skipped by
+        ``IncidentSchedule.apply`` itself, so one city-wide schedule can
+        be broadcast to every shard unchanged.
+        """
+        self.sim.incidents = schedule
+
+    # ------------------------------------------------------------------
     def summary(self) -> dict:
         """Raw per-shard tallies; the coordinator aggregates exactly."""
         sim = self.sim

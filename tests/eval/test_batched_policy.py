@@ -1,0 +1,194 @@
+"""Batched-policy-path equivalence: the PR 10 bit-exactness contract.
+
+The cross-replica batched path (vectorized extraction in
+``eval/batched_obs.py`` plus ``BatchedPolicyGroup``) must be invisible
+in results: training B seeds through ``train_lockstep`` — with or
+without ``batched_policy=True`` — reproduces ``rl.runner.train`` seed by
+seed, down to the parameter bytes.  The suite pins:
+
+* PairUpLight via ``batched_policy=True`` (fast extraction + grouped
+  acting) — parameter bytes and episode summaries bit-exact vs serial;
+* a baseline (IQL) through the fast extraction — same contract;
+* a *faulted* variant, where fault-injecting detector suites disqualify
+  the vectorized extractor and the reference per-env path must kick in
+  (still bit-exact);
+* the clean ``ConfigError`` for agents the policy group cannot drive;
+* the ``shared_across_replicas`` training regime (no serial oracle:
+  deterministic, finite, one combined update);
+* the satellite fix: ``duration_s`` is the per-seed share and
+  ``group_duration_s`` the whole-group wall-clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.batched import LockstepEnvGroup, train_lockstep
+from repro.eval.harness import ExperimentScale, make_experiment
+from repro.faults.config import FaultConfig
+from repro.rl.runner import train
+
+pytestmark = pytest.mark.soa
+
+TINY = ExperimentScale(
+    rows=2,
+    cols=2,
+    peak_rate=600.0,
+    t_peak=60.0,
+    light_duration=120.0,
+    horizon_ticks=80,
+    max_ticks=3600,
+    train_episodes=2,
+    eval_episodes=1,
+)
+
+SEEDS = [0, 1]
+
+
+def _make_envs(faults: FaultConfig | None = None):
+    experiments = [make_experiment(TINY, seed=seed) for seed in SEEDS]
+    return [exp.train_env(1, faults=faults) for exp in experiments]
+
+
+def _serial_histories(factory, faults: FaultConfig | None = None):
+    """The ``rl.runner.train`` oracle, one run per seed."""
+    agents, histories = [], []
+    for env, seed in zip(_make_envs(faults), SEEDS):
+        agent = factory(env, seed)
+        histories.append(
+            train(agent, env, episodes=TINY.train_episodes, seed=seed)
+        )
+        agents.append(agent)
+    return agents, histories
+
+
+def _batched_histories(factory, faults: FaultConfig | None = None, **kwargs):
+    envs = _make_envs(faults)
+    agents = [factory(env, seed) for env, seed in zip(envs, SEEDS)]
+    histories = train_lockstep(
+        agents, envs, TINY.train_episodes, SEEDS, **kwargs
+    )
+    return agents, histories
+
+
+def _assert_same_parameters(serial_agents, batched_agents):
+    for serial, batched in zip(serial_agents, batched_agents):
+        state_s, state_b = serial.state_dict(), batched.state_dict()
+        assert state_s.keys() == state_b.keys()
+        for key in state_s:
+            assert state_s[key].tobytes() == state_b[key].tobytes(), key
+
+
+def _assert_same_histories(serial_histories, batched_histories):
+    for hist_s, hist_b in zip(serial_histories, batched_histories):
+        assert len(hist_s.episodes) == len(hist_b.episodes)
+        for log_s, log_b in zip(hist_s.episodes, hist_b.episodes):
+            assert log_s.episode == log_b.episode
+            assert log_s.avg_wait == log_b.avg_wait
+            assert log_s.total_reward == log_b.total_reward
+            assert log_s.update_stats == log_b.update_stats
+
+
+def _pairuplight(env, seed):
+    from repro.agents import PairUpLightSystem
+
+    return PairUpLightSystem(env, seed=seed)
+
+
+def _iql(env, seed):
+    from repro.agents import IQLSystem
+
+    return IQLSystem(env, seed=seed)
+
+
+class TestBatchedPathBitExact:
+    def test_pairuplight_batched_policy(self):
+        serial_agents, serial_hist = _serial_histories(_pairuplight)
+        batched_agents, batched_hist = _batched_histories(
+            _pairuplight, batched_policy=True
+        )
+        _assert_same_parameters(serial_agents, batched_agents)
+        _assert_same_histories(serial_hist, batched_hist)
+
+    def test_baseline_fast_extraction(self):
+        serial_agents, serial_hist = _serial_histories(_iql)
+        batched_agents, batched_hist = _batched_histories(_iql)
+        _assert_same_parameters(serial_agents, batched_agents)
+        _assert_same_histories(serial_hist, batched_hist)
+
+    def test_faulted_variant_falls_back_and_matches(self):
+        faults = FaultConfig(detector_dropout=0.3, message_drop=0.3)
+        serial_agents, serial_hist = _serial_histories(_pairuplight, faults)
+        batched_agents, batched_hist = _batched_histories(
+            _pairuplight, faults, batched_policy=True
+        )
+        _assert_same_parameters(serial_agents, batched_agents)
+        _assert_same_histories(serial_hist, batched_hist)
+
+
+class TestExtractorEligibility:
+    def test_healthy_group_uses_extractor(self):
+        group = LockstepEnvGroup(_make_envs())
+        group.reset_all(SEEDS)
+        assert group.extractor is not None
+
+    def test_faulty_detectors_disqualify(self):
+        faults = FaultConfig(detector_dropout=0.3)
+        group = LockstepEnvGroup(_make_envs(faults))
+        group.reset_all(SEEDS)
+        assert group.extractor is None
+
+
+class TestIncompatibleAgents:
+    def test_static_controller_rejected(self):
+        from repro.agents import MaxPressureSystem
+
+        envs = _make_envs()
+        agents = [MaxPressureSystem(env) for env in envs]
+        with pytest.raises(ConfigError, match="MaxPressureSystem"):
+            train_lockstep(
+                agents, envs, TINY.train_episodes, SEEDS, batched_policy=True
+            )
+
+
+class TestSharedAcrossReplicas:
+    def test_trains_deterministically(self):
+        def run():
+            agents, histories = _batched_histories(
+                _pairuplight, batched_policy=True, shared_across_replicas=True
+            )
+            return agents[0].state_dict(), histories
+
+        state_a, hist_a = run()
+        state_b, hist_b = run()
+        for key in state_a:
+            assert state_a[key].tobytes() == state_b[key].tobytes(), key
+        for hist in hist_a:
+            for log in hist.episodes:
+                assert log.update_stats  # one combined PPO update ran
+                for value in log.update_stats.values():
+                    assert np.isfinite(value)
+        # Every seed's history records the same combined-update stats.
+        for log_0, log_1 in zip(hist_a[0].episodes, hist_a[1].episodes):
+            assert log_0.update_stats == log_1.update_stats
+        _assert_same_histories(hist_a, hist_b)
+
+
+class TestGroupDurationStamping:
+    def test_duration_is_per_seed_share(self):
+        _, histories = _batched_histories(_pairuplight)
+        for history in histories:
+            for log in history.episodes:
+                assert log.group_duration_s > 0.0
+                assert log.duration_s == pytest.approx(
+                    log.group_duration_s / len(SEEDS)
+                )
+
+    def test_serial_runner_leaves_group_time_zero(self):
+        env = _make_envs()[0]
+        agent = _pairuplight(env, 0)
+        history = train(agent, env, episodes=1, seed=0)
+        assert history.episodes[0].group_duration_s == 0.0
+        assert history.episodes[0].duration_s > 0.0
